@@ -1,0 +1,48 @@
+"""Shared configuration for the figure benchmarks.
+
+Scale selection: set ``REPRO_SCALE`` to ``small`` / ``medium`` / ``large``
+(default ``medium``).  The structures for each (dims, scale) are built once
+per session and shared across the figure benchmarks.
+
+Each benchmark prints the reproduced series (the same rows the paper's
+figure plots) and writes it under ``bench_results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "medium")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_report(benchmark, figure: str, scale: str, results_dir: Path,
+                   **kwargs):
+    """Run one figure experiment under pytest-benchmark and archive it."""
+    from repro.bench import format_figure, run_figure
+
+    result = benchmark.pedantic(
+        run_figure, args=(figure,), kwargs={"scale": scale, **kwargs},
+        rounds=1, iterations=1,
+    )
+    text = format_figure(result)
+    print()
+    print(text)
+    (results_dir / f"{figure}.txt").write_text(text + "\n")
+    return result

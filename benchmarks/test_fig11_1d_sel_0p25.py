@@ -1,0 +1,19 @@
+"""Figure 11: 1-D sampling race at 0.25% selectivity.
+
+Paper shape: the ACE Tree leads by a wide margin throughout the 4% window;
+the ranked B+-Tree is the best alternative; the randomly permuted file is
+almost flat (its useful rate equals the tiny selectivity).
+"""
+
+from conftest import run_and_report
+
+from repro.bench import ACE, BPLUS, PERMUTED
+
+
+def test_fig11(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig11", scale, results_dir)
+    if scale == "small":
+        return  # too quantized for shape assertions
+    assert result.leader_at(4.0) == ACE
+    assert result.percent_at(ACE, 4.0) > 2 * result.percent_at(BPLUS, 4.0)
+    assert result.percent_at(BPLUS, 4.0) > result.percent_at(PERMUTED, 4.0)

@@ -1,0 +1,18 @@
+"""Figure 12: 1-D sampling race at 2.5% selectivity.
+
+Paper shape: ACE leads; the permuted file is second; the B+-Tree barely
+leaves the x-axis in the window (too many random I/Os to cover the range).
+"""
+
+from conftest import run_and_report
+
+from repro.bench import ACE, BPLUS, PERMUTED
+
+
+def test_fig12(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig12", scale, results_dir)
+    if scale == "small":
+        return
+    assert result.leader_at(4.0) == ACE
+    assert result.percent_at(ACE, 4.0) > 2 * result.percent_at(PERMUTED, 4.0)
+    assert result.percent_at(PERMUTED, 4.0) > 3 * result.percent_at(BPLUS, 4.0)

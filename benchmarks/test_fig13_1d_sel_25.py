@@ -1,0 +1,22 @@
+"""Figure 13: 1-D sampling race at 25% selectivity.
+
+Paper shape: the permuted file's sequential scan wins at this selectivity
+(its curve sits above the ACE Tree's in the paper's plot, at exactly
+selectivity x elapsed); ACE is clearly second; the B+-Tree is pinned near
+zero because the huge range cannot be buffered.
+"""
+
+import pytest
+from conftest import run_and_report
+
+from repro.bench import ACE, BPLUS, PERMUTED
+
+
+def test_fig13(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig13", scale, results_dir)
+    if scale == "small":
+        return
+    assert result.leader_at(4.0) == PERMUTED
+    # Permuted at 4% of scan returns ~ 25% x 4% = 1% of the relation.
+    assert result.percent_at(PERMUTED, 4.0) == pytest.approx(1.0, rel=0.25)
+    assert result.percent_at(ACE, 4.0) > 10 * result.percent_at(BPLUS, 4.0)

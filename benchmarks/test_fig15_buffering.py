@@ -1,0 +1,35 @@
+"""Figure 15: ACE Tree buffered-record footprint (0.25% and 2.5%).
+
+Paper shape: the number of matching records parked in the combine buckets
+is a very small fraction of the relation, and it fluctuates over time
+(growing when sections are stored, shrinking when they combine).
+"""
+
+from conftest import run_and_report
+
+from repro.bench import ACE
+
+
+def _check(result, scale):
+    curve = result.curves[ACE]
+    peak = max(curve.max_buffered)
+    assert peak > 0  # something was buffered at some point
+    # "A very small fraction of the total number of records is buffered."
+    assert peak / result.relation_records < 0.02
+    if scale == "small":
+        return
+    # Fluctuation: the mean buffered series is not monotone.
+    series = curve.mean_buffered
+    rises = any(b > a for a, b in zip(series, series[1:]))
+    falls = any(b < a for a, b in zip(series, series[1:]))
+    assert rises and falls
+
+
+def test_fig15a(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig15a", scale, results_dir)
+    _check(result, scale)
+
+
+def test_fig15b(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig15b", scale, results_dir)
+    _check(result, scale)

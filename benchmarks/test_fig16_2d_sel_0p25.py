@@ -1,0 +1,17 @@
+"""Figure 16: 2-D sampling race at 0.25% selectivity.
+
+Paper shape: the k-d ACE Tree leads; the ranked R-Tree is the best
+alternative; the permuted file is nearly flat at this selectivity.
+"""
+
+from conftest import run_and_report
+
+from repro.bench import ACE, PERMUTED, RTREE
+
+
+def test_fig16(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig16", scale, results_dir)
+    if scale == "small":
+        return
+    assert result.leader_at(5.0) == ACE
+    assert result.percent_at(RTREE, 5.0) > result.percent_at(PERMUTED, 5.0)

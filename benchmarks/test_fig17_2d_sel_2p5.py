@@ -1,0 +1,17 @@
+"""Figure 17: 2-D sampling race at 2.5% selectivity.
+
+Paper shape: the k-d ACE Tree leads; the permuted file is second;
+the R-Tree stays near the x-axis.
+"""
+
+from conftest import run_and_report
+
+from repro.bench import ACE, PERMUTED, RTREE
+
+
+def test_fig17(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig17", scale, results_dir)
+    if scale == "small":
+        return
+    assert result.leader_at(5.0) == ACE
+    assert result.percent_at(PERMUTED, 5.0) > result.percent_at(RTREE, 5.0)

@@ -1,0 +1,21 @@
+"""Figure 18: 2-D sampling race at 25% selectivity.
+
+Paper shape: the permuted file's sequential scan leads at this selectivity
+(its label sits above the ACE Tree's in the paper's plot); ACE is second;
+the R-Tree is pinned near zero.
+"""
+
+import pytest
+from conftest import run_and_report
+
+from repro.bench import ACE, PERMUTED, RTREE
+
+
+def test_fig18(benchmark, scale, results_dir):
+    result = run_and_report(benchmark, "fig18", scale, results_dir)
+    if scale == "small":
+        return
+    assert result.leader_at(5.0) == PERMUTED
+    # Permuted at 5% of scan returns ~ 25% x 5% = 1.25% of the relation.
+    assert result.percent_at(PERMUTED, 5.0) == pytest.approx(1.25, rel=0.25)
+    assert result.percent_at(ACE, 5.0) > 5 * result.percent_at(RTREE, 5.0)

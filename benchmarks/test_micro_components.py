@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the individual components (wall-clock, via
+pytest-benchmark's usual statistics).
+
+These measure the Python implementation itself — construction throughput,
+per-leaf query cost, external sort speed — as opposed to the figure
+benchmarks, which measure *simulated* I/O time.
+"""
+
+import random
+
+import pytest
+
+from repro.acetree import AceBuildParams, build_ace_tree
+from repro.baselines import build_bplus_tree, build_permuted_file
+from repro.core import Field, Schema
+from repro.storage import CostModel, HeapFile, SimulatedDisk, external_sort
+
+SCHEMA = Schema([Field("k", "i8"), Field("v", "f8"), Field("pad", "bytes", 84)])
+N = 20_000
+
+
+def fresh_relation():
+    disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
+    rng = random.Random(0)
+    records = ((rng.randrange(10**9), rng.random(), b"") for _ in range(N))
+    return HeapFile.bulk_load(disk, SCHEMA, records, name="bench")
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return fresh_relation()
+
+
+@pytest.fixture(scope="module")
+def ace_tree(relation):
+    return build_ace_tree(relation, AceBuildParams(key_fields=("k",), height=8))
+
+
+def test_external_sort_throughput(benchmark, relation):
+    def run():
+        out = external_sort(relation, key=lambda r: r[0], memory_pages=64)
+        out.free()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_ace_build_throughput(benchmark, relation):
+    def run():
+        tree = build_ace_tree(relation, AceBuildParams(key_fields=("k",), height=8))
+        tree.free()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bplus_build_throughput(benchmark, relation):
+    def run():
+        tree = build_bplus_tree(relation, "k")
+        tree.free()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_permuted_build_throughput(benchmark, relation):
+    def run():
+        permuted = build_permuted_file(relation, ("k",))
+        permuted.free()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_ace_sample_1000_records(benchmark, ace_tree):
+    query = ace_tree.query((100_000_000, 400_000_000))
+    seeds = iter(range(10**6))
+
+    def run():
+        return ace_tree.sample(query, seed=next(seeds)).take(1000)
+
+    got = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(got) == 1000
+
+
+def test_ace_leaf_read(benchmark, ace_tree):
+    indices = iter(i % ace_tree.num_leaves for i in range(10**6))
+
+    def run():
+        return ace_tree.leaf_store.read_leaf(next(indices))
+
+    benchmark.pedantic(run, rounds=50, iterations=1)
+
+
+def test_bplus_sample_1000_records(benchmark, relation):
+    tree = build_bplus_tree(relation, "k")
+    query_box = None
+    from repro.core import Box, Interval
+
+    query_box = Box.of(Interval.closed(100_000_000, 400_000_000))
+    seeds = iter(range(10**6))
+
+    def run():
+        tree.reset_caches()
+        out = []
+        for batch in tree.sample(query_box, seed=next(seeds)):
+            out.extend(batch.records)
+            if len(out) >= 1000:
+                break
+        return out
+
+    got = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(got) == 1000

@@ -1,0 +1,8 @@
+"""Make ``src/`` importable when the package is not installed."""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,6 @@
+"""``python -m repro`` — regenerate the paper's figures from the CLI."""
+
+from .bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

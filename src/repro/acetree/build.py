@@ -1,0 +1,353 @@
+"""Bulk construction of the ACE Tree (paper Section V).
+
+Construction has two phases, each an external sort:
+
+* **Phase 1** sorts the relation on the key attribute and derives the split
+  key of every internal node from medians of the sorted order (Figure 7).
+  For the 1-D tree this is done exactly as in the paper: one external sort,
+  then the medians are picked up by rank with a single skip-sequential pass
+  over the sorted file.  For the k-d tree (Section VII) the medians of each
+  level are medians *of the partition produced by the previous levels*, so a
+  single sort cannot produce them; we project the (tiny) key columns into
+  memory during one sequential scan and compute the recursive medians there
+  — a documented substitution that charges the scan but not h-1 re-sorts.
+
+* **Phase 2** decorates every record with a uniformly random section number
+  ``s`` in ``1..h`` and a leaf number drawn uniformly among the
+  ``arity^(h-s)`` leaves below the record's level-``s`` ancestor (Figure 9),
+  then sorts by (leaf, section).  The decoration is pipelined into the
+  sort's run generation and the leaf nodes are built directly from the
+  final merge, so the phase is two read/write passes, as in the paper.
+
+The arity parameter generalizes the paper's binary tree to the k-ary
+variant discussed (and argued against) in Section III.D; for ``arity > 2``
+each internal node gets ``arity - 1`` equi-depth quantile boundaries
+instead of a single median.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import IndexBuildError
+from ..core.intervals import Box
+from ..core.records import Field as SchemaField
+from ..core.records import Record, Schema
+from ..core.rng import derive
+from ..storage.disk import DiskStats
+from ..storage.external_sort import external_sort, external_sort_to_sink
+from ..storage.heapfile import HeapFile
+from .analysis import expected_section_size
+from .geometry import TreeGeometry, choose_height
+from .storage import LeafStore, LeafStoreWriter
+from .tree import AceTree
+
+__all__ = ["AceBuildParams", "AceBuildReport", "build_ace_tree"]
+
+
+@dataclass(frozen=True)
+class AceBuildParams:
+    """Knobs for ACE Tree construction.
+
+    Attributes:
+        key_fields: indexed attribute name(s); one name gives the 1-D tree,
+            several give the k-d tree with the split axis cycling in the
+            order listed.
+        height: number of sections per leaf (and tree height).  ``None``
+            sizes the tree so an expected leaf fits one disk page, following
+            the paper's guidance.
+        target_leaf_fill: fraction of a page the expected leaf should use
+            when ``height`` is auto-chosen.
+        memory_pages: sort memory for both external sorts.
+        seed: seed for the section/leaf assignment randomness.
+        arity: internal-node fan-out; 2 is the paper's design, larger
+            values build the Section III.D k-ary variant (slower fast-first
+            sampling; kept for the ablation).
+    """
+
+    key_fields: tuple[str, ...]
+    height: int | None = None
+    target_leaf_fill: float = 0.7
+    memory_pages: int = 64
+    seed: int = 0
+    arity: int = 2
+
+    def __post_init__(self) -> None:
+        if isinstance(self.key_fields, str):
+            object.__setattr__(self, "key_fields", (self.key_fields,))
+        if not self.key_fields:
+            raise IndexBuildError("need at least one key field")
+        if self.arity < 2:
+            raise IndexBuildError(f"arity must be >= 2, got {self.arity}")
+
+
+@dataclass
+class AceBuildReport:
+    """What construction did, for tests, docs, and benchmarks."""
+
+    height: int = 0
+    num_leaves: int = 0
+    num_records: int = 0
+    mean_section_size: float = 0.0
+    build_seconds: float = 0.0
+    io: DiskStats = field(default_factory=DiskStats)
+
+
+def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
+    """Bulk-build an ACE Tree over ``source`` on the same simulated disk.
+
+    The source heap file is left intact; the tree occupies new pages.
+    """
+    disk = source.disk
+    if source.num_records == 0:
+        raise IndexBuildError("cannot build an ACE Tree over an empty relation")
+    start_stats = disk.stats.snapshot()
+    start_clock = disk.clock
+
+    dims = len(params.key_fields)
+    arity = params.arity
+    height = params.height
+    if height is None:
+        height = choose_height(
+            source.num_records,
+            source.schema.record_size,
+            disk.page_size,
+            target_fill=params.target_leaf_fill,
+            arity=arity,
+        )
+    if height < 2:
+        raise IndexBuildError(f"height must be >= 2, got {height}")
+    if dims > height - 1:
+        raise IndexBuildError(
+            f"{dims}-d keys need height >= {dims + 1}, got {height}"
+        )
+
+    key_of = source.schema.keys_getter(params.key_fields)
+
+    # ---- Phase 1: split keys -------------------------------------------
+    if dims == 1:
+        phase1_sorted = external_sort(
+            source,
+            key=key_of,
+            memory_pages=params.memory_pages,
+            name="ace.phase1",
+        )
+        domain, splits = _splits_by_rank(phase1_sorted, key_of, height, arity)
+        phase2_input = phase1_sorted
+        free_phase2_input = True
+    else:
+        domain, splits = _splits_in_memory(source, key_of, height, dims, arity)
+        phase2_input = source
+        free_phase2_input = False
+
+    geometry = TreeGeometry(domain, splits, arity=arity)
+
+    # ---- Phase 2: random section / leaf assignment + reorganization ----
+    num_leaves = geometry.num_leaves
+    cell_counts = [0] * num_leaves
+    assign_rng = random.Random(int(derive(params.seed, "ace-assign").integers(2**62)))
+    randint = assign_rng.randint
+    randrange = assign_rng.randrange
+    locate_leaf = geometry.locate_leaf
+    slots_per_section = [arity ** (height - s) for s in range(height + 1)]
+
+    def decorate(record: Record) -> Record:
+        point = key_of(record)
+        cell = locate_leaf(point)
+        cell_counts[cell] += 1
+        section = randint(1, height)
+        slots = slots_per_section[section]
+        if slots > 1:
+            ancestor = cell // slots
+            leaf = ancestor * slots + randrange(slots)
+        else:
+            leaf = cell
+        return (leaf, section) + record
+
+    decorated_schema = Schema(
+        [
+            SchemaField(source.schema.fresh_field_name("leaf_"), "i8"),
+            SchemaField(source.schema.fresh_field_name("section_"), "i8"),
+        ]
+        + list(source.schema.fields)
+    )
+
+    def build_leaves(stream: Iterator[Record]) -> LeafStore:
+        writer = LeafStoreWriter(disk, source.schema, height, num_leaves)
+        current = -1
+        sections: list[list[Record]] = []
+        for decorated in stream:
+            leaf, section = decorated[0], decorated[1]
+            if leaf != current:
+                if current >= 0:
+                    writer.append_leaf(current, sections)
+                current = leaf
+                sections = [[] for _ in range(height)]
+            sections[section - 1].append(decorated[2:])
+        if current >= 0:
+            writer.append_leaf(current, sections)
+        return writer.finish()
+
+    leaf_store = external_sort_to_sink(
+        phase2_input,
+        key=lambda rec: (rec[0], rec[1]),
+        sink=build_leaves,
+        memory_pages=params.memory_pages,
+        free_source=free_phase2_input,
+        transform=decorate,
+        output_schema=decorated_schema,
+    )
+    geometry.attach_counts(cell_counts)
+
+    report = AceBuildReport(
+        height=height,
+        num_leaves=num_leaves,
+        num_records=source.num_records,
+        mean_section_size=expected_section_size(
+            source.num_records, height, arity=arity
+        ),
+        build_seconds=disk.clock - start_clock,
+        io=disk.stats.snapshot() - start_stats,
+    )
+    return AceTree(
+        geometry=geometry,
+        leaf_store=leaf_store,
+        schema=source.schema,
+        key_fields=params.key_fields,
+        num_records=source.num_records,
+        build_report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 1 helpers
+# ---------------------------------------------------------------------------
+
+
+def _splits_by_rank(
+    sorted_file: HeapFile, key_of, height: int, arity: int = 2
+) -> tuple[Box, list[list[tuple[float, ...]]]]:
+    """Quantile boundaries by rank from a key-sorted file (1-D Phase 1).
+
+    The ``i``-th boundary (1-based) of node ``j`` at level ``s`` is the key
+    at rank ``(j * arity + i) * n // arity^s`` of the sorted order — the
+    equi-depth quantiles of that node's data span (medians for arity 2,
+    exactly Figure 7).  All required ranks are fetched in one
+    skip-sequential pass.
+    """
+    n = sorted_file.num_records
+    wanted: set[int] = {0, n - 1}  # domain bounds
+    for level in range(1, height):
+        for j in range(arity ** (level - 1)):
+            for i in range(1, arity):
+                wanted.add(((j * arity + i) * n) // arity ** level)
+
+    per_page = sorted_file.records_per_page
+    keys_at_rank: dict[int, float] = {}
+    needed_pages = sorted({rank // per_page for rank in wanted})
+    for page_index in needed_pages:
+        records = sorted_file.read_page_records(page_index)
+        base = page_index * per_page
+        for rank in wanted:
+            if base <= rank < base + len(records):
+                keys_at_rank[rank] = key_of(records[rank - base])[0]
+
+    lo, hi = keys_at_rank[0], keys_at_rank[n - 1]
+    domain = Box.closed([lo], [hi])
+
+    splits: list[list[tuple[float, ...]]] = []
+    for level in range(1, height):
+        level_splits: list[tuple[float, ...]] = []
+        for j in range(arity ** (level - 1)):
+            boundaries = []
+            for i in range(1, arity):
+                rank = ((j * arity + i) * n) // arity ** level
+                boundaries.append(keys_at_rank[rank])
+            level_splits.append(tuple(boundaries))
+        splits.append(level_splits)
+    return domain, splits
+
+
+def _splits_in_memory(
+    source: HeapFile, key_of, height: int, dims: int, arity: int = 2
+) -> tuple[Box, list[list[tuple[float, ...]]]]:
+    """Recursive k-d quantiles over an in-memory key projection (Section VII).
+
+    One sequential scan projects the key columns; each level then splits
+    every partition at the equi-depth quantiles of the level's axis,
+    exactly mirroring the paper's k-d construction ("for each of the
+    resulting partitions of the dataset, we calculate the median of all
+    the a2 values").
+    """
+    keys = np.empty((source.num_records, dims), dtype=np.float64)
+    row = 0
+    for record in source.scan():
+        keys[row] = key_of(record)
+        row += 1
+
+    domain = Box.closed(keys.min(axis=0).tolist(), keys.max(axis=0).tolist())
+    splits: list[list[tuple[float, ...]]] = []
+    partitions: list[tuple[np.ndarray, Box]] = [(keys, domain)]
+    for level in range(1, height):
+        axis = (level - 1) % dims
+        source.disk.charge_records(sum(len(part) for part, _ in partitions))
+        level_splits: list[tuple[float, ...]] = []
+        next_partitions: list[tuple[np.ndarray, Box]] = []
+        for part, box in partitions:
+            side = box.sides[axis]
+            if len(part) == 0:
+                # Empty partition: split anywhere valid; even spacing keeps
+                # the geometry non-degenerate.
+                if math.isfinite(side.width):
+                    boundaries = tuple(
+                        side.lo + side.width * i / arity for i in range(1, arity)
+                    )
+                else:
+                    boundaries = tuple(side.lo for _ in range(1, arity))
+            else:
+                vals = np.sort(part[:, axis])
+                boundaries = tuple(
+                    float(
+                        min(max(vals[(len(vals) * i) // arity], side.lo), side.hi)
+                    )
+                    for i in range(1, arity)
+                )
+            boundaries = tuple(
+                max(boundaries[:i + 1]) for i in range(len(boundaries))
+            )  # enforce ascending after clamping
+            level_splits.append(boundaries)
+            remainder_box = box
+            previous = side.lo
+            if len(part):
+                vals_col = part[:, axis]
+            for i, boundary in enumerate(boundaries):
+                low_box, remainder_box = remainder_box.split_at(axis, boundary)
+                if len(part):
+                    mask = (vals_col >= previous) & (vals_col < boundary)
+                    next_partitions.append((part[mask], low_box))
+                else:
+                    next_partitions.append((part, low_box))
+                previous = boundary
+            if len(part):
+                mask = vals_col >= previous
+                next_partitions.append((part[mask], remainder_box))
+            else:
+                next_partitions.append((part, remainder_box))
+        splits.append(level_splits)
+        partitions = next_partitions
+    return domain, splits
+
+
+def sections_of(
+    leaf_records: Sequence[Record], height: int
+) -> list[list[Record]]:  # pragma: no cover - helper for tests
+    """Split decorated records of one leaf into per-section lists."""
+    sections: list[list[Record]] = [[] for _ in range(height)]
+    for record in leaf_records:
+        sections[record[1] - 1].append(record[2:])
+    return sections

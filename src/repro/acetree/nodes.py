@@ -1,0 +1,85 @@
+"""Node views of the ACE Tree.
+
+The on-disk reality of the tree is the :class:`TreeGeometry` (split keys +
+counts) and the serialized leaf store; these classes are the typed views the
+query algorithms and tests work with.
+
+A leaf node (paper Section III.A) has ``h`` *sections*; section ``s`` holds
+a Bernoulli random sample of every record whose key falls in the box of the
+leaf's level-``s`` ancestor.  Section sizes are variable — fixing them would
+destroy the appendability/combinability properties (paper Section V.F) — so
+a leaf is a variable-size byte object that may span disk pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.intervals import Box
+from ..core.records import Record
+from .geometry import TreeGeometry
+
+__all__ = ["LeafNode", "InternalNodeView"]
+
+
+@dataclass(frozen=True, slots=True)
+class LeafNode:
+    """One materialized leaf: ``sections[s-1]`` is section ``s``'s records."""
+
+    index: int
+    sections: tuple[tuple[Record, ...], ...]
+
+    @property
+    def height(self) -> int:
+        """Number of sections (the tree height ``h``)."""
+        return len(self.sections)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(section) for section in self.sections)
+
+    def section(self, s: int) -> tuple[Record, ...]:
+        """Records of section ``s`` (1-based, matching the paper's L.S_s)."""
+        if not 1 <= s <= len(self.sections):
+            raise IndexError(f"section {s} out of range 1..{len(self.sections)}")
+        return self.sections[s - 1]
+
+    def section_range(self, s: int, geometry: TreeGeometry) -> Box:
+        """The box L.R_s sampled by section ``s`` of this leaf."""
+        return geometry.section_box(self.index, s)
+
+
+@dataclass(frozen=True, slots=True)
+class InternalNodeView:
+    """A read-only view of one internal node, in the paper's vocabulary.
+
+    Carries the node's range ``R``, split key ``k``, and the child record
+    counts ``cnt_l`` / ``cnt_r`` used by online aggregation to size the
+    population being sampled.
+    """
+
+    level: int
+    index: int
+    box: Box
+    key: float
+    count_left: int
+    count_right: int
+
+    @staticmethod
+    def from_geometry(
+        geometry: TreeGeometry, level: int, index: int
+    ) -> "InternalNodeView":
+        """Materialize the view of internal node (level, index)."""
+        return InternalNodeView(
+            level=level,
+            index=index,
+            box=geometry.node_box(level, index),
+            key=geometry.split_key(level, index),
+            count_left=geometry.node_count(level + 1, 2 * index),
+            count_right=geometry.node_count(level + 1, 2 * index + 1),
+        )
+
+    @property
+    def count(self) -> int:
+        """Total records under this node."""
+        return self.count_left + self.count_right

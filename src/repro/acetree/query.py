@@ -1,0 +1,286 @@
+"""The ACE Tree query algorithm (paper Section VI): Shuttle + Combine.
+
+The stream retrieves leaves via repeated root-to-leaf *stabs*.  At each
+internal node a stab prefers, in order:
+
+1. a child that is not yet exhausted over one that is;
+2. a child whose box overlaps the query over one that does not;
+3. otherwise the child *not* taken the last time this node was traversed
+   (the per-node toggle bit of Figure 10).
+
+Rule 3 is what fetches maximally *disparate* leaves early, so that their
+same-index sections tile the query range and become combinable quickly.
+Rule 2 makes the traversal greedy on query-relevant leaves; once those are
+exhausted the remaining leaves are drained too (shallow sections of every
+leaf sample the full domain, so records matching the query can live
+anywhere — a completion run must touch every leaf).
+
+Combine (Algorithm 4) works per section index ``s``.  The level-``s`` node
+boxes tile the domain; call the ones overlapping the query the *required
+intervals*.  A retrieved section is a Bernoulli sample of its own interval,
+so it can only be emitted once one section-``s`` cell from **every**
+required interval is available — their union is then a Bernoulli sample of
+a superset of the query range, and filtering it by the query yields a
+uniform random sample of the matching records.  Cells that cannot be
+combined yet wait in ``buckets`` (whose occupancy is exactly the paper's
+Figure 15 measurement).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.errors import QueryError
+from ..core.intervals import Box
+from ..core.records import Record
+from ..core.rng import derive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tree import AceTree
+
+__all__ = ["SampleBatch", "SampleStream"]
+
+
+@dataclass(frozen=True, slots=True)
+class SampleBatch:
+    """Records that became emittable after one stab (one leaf read).
+
+    Attributes:
+        records: newly emitted sample records, in randomized order.  The
+            concatenation of all batches so far is a uniform random sample
+            of the records matching the query.
+        clock: simulated time at which this batch became available.
+        leaves_read: total leaves retrieved so far.
+        buffered_records: matching records currently parked in the combine
+            buckets (the paper's Figure 15 metric).
+        is_final_flush: True for the last batch, which drains the buckets
+            once every leaf has been read (at that point the full matching
+            population has been seen, so draining preserves correctness).
+    """
+
+    records: tuple[Record, ...]
+    clock: float
+    leaves_read: int
+    buffered_records: int
+    is_final_flush: bool = False
+
+
+@dataclass
+class StreamStats:
+    """Running counters exposed by :class:`SampleStream`."""
+
+    leaves_read: int = 0
+    records_emitted: int = 0
+    buffered_records: int = 0
+    stabs: int = 0
+
+
+class SampleStream:
+    """Online random-sample iterator over one range query.
+
+    Iterating yields :class:`SampleBatch` objects; :meth:`records` flattens
+    them and :meth:`take` collects a fixed-size sample.  The stream is
+    exhausted when every leaf has been read and the buckets drained — at
+    that point the union of all emitted batches is exactly the set of
+    records matching the query.
+    """
+
+    def __init__(
+        self,
+        tree: "AceTree",
+        query: Box,
+        seed: int = 0,
+        alternate: bool = True,
+    ) -> None:
+        if query.dims != tree.dims:
+            raise QueryError(
+                f"query has {query.dims} dims, tree indexes {tree.dims}"
+            )
+        self.tree = tree
+        self.query = query
+        #: Figure 10's toggle-bit behaviour.  Disabling it (always descend
+        #: left among equally-eligible children) is an *ablation*: stabs
+        #: stop fetching disparate leaves, combine-sets starve, and the
+        #: fast-first property degrades — see benchmarks/test_ablations.py.
+        self.alternate = alternate
+        geometry = tree.geometry
+        self._geometry = geometry
+        self._store = tree.leaf_store
+        self._height = geometry.height
+        self._key_of = tree.schema.keys_getter(tree.key_fields)
+        self._rng = random.Random(int(derive(seed, "ace-stream").integers(2**62)))
+
+        # Required intervals per section level: the level-s node indexes
+        # whose boxes overlap the query (Combine's covering sets).
+        self._required: list[list[int]] = [
+            geometry.overlapping_nodes(s, query) for s in range(1, self._height + 1)
+        ]
+        # buckets[s-1][j] = FIFO of arrived section-s cells for interval j.
+        self._buckets: list[dict[int, list[list[Record]]]] = [
+            {} for _ in range(self._height)
+        ]
+        self._arity = geometry.arity
+        self._done: set[tuple[int, int]] = set()
+        self._next_child: dict[tuple[int, int], int] = {}
+        self.stats = StreamStats()
+        # Degenerate query: no overlap with the domain at all.
+        self._exhausted = not geometry.domain.overlaps(query)
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[SampleBatch]:
+        return self
+
+    def __next__(self) -> SampleBatch:
+        if self._exhausted:
+            raise StopIteration
+        if (1, 0) in self._done:
+            return self._final_flush()
+        leaf_index = self._stab()
+        leaf = self._store.read_leaf(leaf_index)
+        self.stats.leaves_read += 1
+        emitted = self._process_leaf(leaf_index, leaf)
+        self._rng.shuffle(emitted)
+        self.stats.records_emitted += len(emitted)
+        if (1, 0) in self._done and self.stats.buffered_records == 0:
+            self._exhausted = True
+        return SampleBatch(
+            records=tuple(emitted),
+            clock=self.tree.disk.clock,
+            leaves_read=self.stats.leaves_read,
+            buffered_records=self.stats.buffered_records,
+        )
+
+    def records(self) -> Iterator[Record]:
+        """Flatten the stream into individual sample records."""
+        for batch in self:
+            yield from batch.records
+
+    def take(self, n: int) -> list[Record]:
+        """Collect the first ``n`` sample records (fewer if exhausted)."""
+        out: list[Record] = []
+        for batch in self:
+            out.extend(batch.records)
+            if len(out) >= n:
+                break
+        return out[:n]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def population_estimate(self) -> float:
+        """Estimated matching-record count, from internal-node counts."""
+        return self.tree.estimate_count(self.query)
+
+    # -- shuttle traversal -----------------------------------------------------
+
+    def _stab(self) -> int:
+        """One root-to-leaf traversal; returns the leaf index to read.
+
+        At each internal node: among children that are not exhausted,
+        prefer those overlapping the query; break remaining ties
+        round-robin (the paper's per-node alternation — a toggle bit for
+        the binary tree, a rotating pointer for k-ary trees).
+        """
+        self.stats.stabs += 1
+        # CPU for the descent (internal nodes are memory resident).
+        self.tree.disk.charge_records(self._height)
+        geometry = self._geometry
+        arity = self._arity
+        level, index = 1, 0
+        while level < self._height:
+            base = arity * index
+            alive = [
+                c
+                for c in range(arity)
+                if (level + 1, base + c) not in self._done
+            ]
+            if not alive:  # pragma: no cover - parent would be marked done
+                raise QueryError("stab reached a fully-done subtree")
+            overlapping = [
+                c
+                for c in alive
+                if geometry.node_box(level + 1, base + c).overlaps(self.query)
+            ]
+            pool = overlapping if overlapping else alive
+            if len(pool) == 1 or not self.alternate:
+                choice = pool[0]
+            else:
+                pointer = self._next_child.get((level, index), 0)
+                # First pool member at or after the rotating pointer.
+                choice = min(pool, key=lambda c: (c - pointer) % arity)
+                self._next_child[(level, index)] = (choice + 1) % arity
+            level, index = level + 1, base + choice
+        return index
+
+    def _mark_done(self, leaf_index: int) -> None:
+        """Mark a leaf done and propagate doneness up the tree."""
+        arity = self._arity
+        level, index = self._height, leaf_index
+        self._done.add((level, index))
+        while level > 1:
+            parent = index // arity
+            base = arity * parent
+            siblings_done = all(
+                (level, base + c) in self._done for c in range(arity)
+            )
+            if not siblings_done:
+                break
+            level, index = level - 1, parent
+            self._done.add((level, index))
+
+    # -- combine ---------------------------------------------------------------
+
+    def _process_leaf(self, leaf_index: int, leaf) -> list[Record]:
+        """File the leaf's sections into buckets and emit what combines."""
+        self._mark_done(leaf_index)
+        query = self.query
+        key_of = self._key_of
+        emitted: list[Record] = []
+        for s in range(1, self._height + 1):
+            ancestor = leaf_index // self._arity ** (self._height - s)
+            cell = [
+                record
+                for record in leaf.sections[s - 1]
+                if query.contains_point(key_of(record))
+            ]
+            bucket = self._buckets[s - 1]
+            bucket.setdefault(ancestor, []).append(cell)
+            self.stats.buffered_records += len(cell)
+            emitted.extend(self._drain_level(s))
+        return emitted
+
+    def _drain_level(self, s: int) -> list[Record]:
+        """Emit combine-sets at section level ``s`` while complete ones exist."""
+        bucket = self._buckets[s - 1]
+        required = self._required[s - 1]
+        out: list[Record] = []
+        while all(bucket.get(j) for j in required):
+            for j in required:
+                cell = bucket[j].pop(0)
+                self.stats.buffered_records -= len(cell)
+                out.extend(cell)
+        return out
+
+    def _final_flush(self) -> SampleBatch:
+        """Drain every remaining bucket once all leaves have been read."""
+        leftovers: list[Record] = []
+        for bucket in self._buckets:
+            for cells in bucket.values():
+                for cell in cells:
+                    leftovers.extend(cell)
+            bucket.clear()
+        self.stats.buffered_records = 0
+        self._rng.shuffle(leftovers)
+        self.stats.records_emitted += len(leftovers)
+        self._exhausted = True
+        return SampleBatch(
+            records=tuple(leftovers),
+            clock=self.tree.disk.clock,
+            leaves_read=self.stats.leaves_read,
+            buffered_records=0,
+            is_final_flush=True,
+        )

@@ -1,0 +1,267 @@
+"""On-disk layout of ACE Tree leaves.
+
+The paper's Section V.F weighs two schemes for the randomly-sized leaves and
+picks **variable-sized leaf nodes with variable-sized sections**: leaves are
+laid end to end on disk and may span page boundaries, because most of the
+cost of a leaf access is the seek, not the extra page of transfer.  This
+module implements exactly that scheme:
+
+* a *data area* of contiguous pages holding the serialized leaves
+  back to back, in leaf-index order;
+* a *directory* (byte offset of every leaf) serialized after the data area
+  and also kept in memory, standing in for the paper's internal-node pages
+  packed into disk-page-sized units.
+
+Reading leaf ``i`` reads the page span covering its byte range: one random
+access for the first page, sequential accesses for the rest — the access
+pattern the paper's cost argument relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from ..core.errors import SerializationError, StorageError
+from ..core.records import Record, Schema
+from ..storage.disk import SimulatedDisk
+from .nodes import LeafNode
+
+__all__ = ["LeafStore", "LeafStoreWriter"]
+
+_LEAF_HEADER = struct.Struct("<IH")  # leaf index, section count
+_SECTION_COUNT = struct.Struct("<I")
+_DIR_ENTRY = struct.Struct("<Q")
+
+#: Pages per allocation extent while streaming leaves out.
+_EXTENT_PAGES = 256
+
+
+def _serialize_leaf(schema: Schema, leaf_index: int, sections: list[list[Record]]) -> bytes:
+    parts = [_LEAF_HEADER.pack(leaf_index, len(sections))]
+    for section in sections:
+        parts.append(_SECTION_COUNT.pack(len(section)))
+    for section in sections:
+        parts.append(schema.pack_many(section))
+    return b"".join(parts)
+
+
+class LeafStoreWriter:
+    """Streams serialized leaves onto contiguous disk pages.
+
+    Used by construction Phase 2: leaves must be appended in increasing
+    leaf-index order; missing indexes become empty leaves (possible in tiny
+    or skewed relations).
+    """
+
+    def __init__(
+        self, disk: SimulatedDisk, schema: Schema, height: int, num_leaves: int
+    ) -> None:
+        self.disk = disk
+        self.schema = schema
+        self.height = height
+        self.num_leaves = num_leaves
+        self._offsets: list[int] = [0]
+        self._buffer = bytearray()
+        self._page_ids: list[int] = []
+        self._extents: list[tuple[int, int]] = []
+        self._extent_used = 0
+        self._next_leaf = 0
+        self._finished = False
+
+    def append_leaf(self, leaf_index: int, sections: list[list[Record]]) -> None:
+        """Serialize and append one leaf; fills skipped indexes with empties."""
+        if self._finished:
+            raise StorageError("leaf store writer already finished")
+        if leaf_index < self._next_leaf or leaf_index >= self.num_leaves:
+            raise StorageError(
+                f"leaf {leaf_index} out of order (next expected {self._next_leaf})"
+            )
+        if len(sections) != self.height:
+            raise SerializationError(
+                f"leaf {leaf_index} has {len(sections)} sections, need {self.height}"
+            )
+        while self._next_leaf < leaf_index:
+            self._append_serialized(
+                _serialize_leaf(self.schema, self._next_leaf, [[]] * self.height)
+            )
+            self._next_leaf += 1
+        self._append_serialized(_serialize_leaf(self.schema, leaf_index, sections))
+        self.disk.charge_records(sum(len(s) for s in sections))
+        self._next_leaf += 1
+
+    def finish(self) -> "LeafStore":
+        """Flush data pages, write the directory, return the readable store."""
+        if self._finished:
+            raise StorageError("leaf store writer already finished")
+        while self._next_leaf < self.num_leaves:
+            self._append_serialized(
+                _serialize_leaf(self.schema, self._next_leaf, [[]] * self.height)
+            )
+            self._next_leaf += 1
+        self._flush_full_pages(final=True)
+
+        directory = b"".join(_DIR_ENTRY.pack(off) for off in self._offsets)
+        dir_page_ids = []
+        page_size = self.disk.page_size
+        for start in range(0, len(directory), page_size):
+            pid = self._allocate_page()
+            self.disk.write_page(pid, directory[start:start + page_size])
+            dir_page_ids.append(pid)
+        self._finished = True
+        return LeafStore(
+            disk=self.disk,
+            schema=self.schema,
+            height=self.height,
+            data_page_ids=self._page_ids,
+            dir_page_ids=dir_page_ids,
+            offsets=self._offsets,
+            extents=self._extents,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _append_serialized(self, blob: bytes) -> None:
+        self._buffer.extend(blob)
+        self._offsets.append(self._offsets[-1] + len(blob))
+        self._flush_full_pages(final=False)
+
+    def _flush_full_pages(self, final: bool) -> None:
+        page_size = self.disk.page_size
+        while len(self._buffer) >= page_size:
+            pid = self._allocate_page()
+            self.disk.write_page(pid, bytes(self._buffer[:page_size]))
+            self._page_ids.append(pid)
+            del self._buffer[:page_size]
+        if final and self._buffer:
+            pid = self._allocate_page()
+            self.disk.write_page(pid, bytes(self._buffer))
+            self._page_ids.append(pid)
+            self._buffer.clear()
+
+    def _allocate_page(self) -> int:
+        if not self._extents or self._extent_used == self._extents[-1][1]:
+            start = self.disk.allocate(_EXTENT_PAGES)
+            self._extents.append((start, _EXTENT_PAGES))
+            self._extent_used = 0
+        start, _count = self._extents[-1]
+        pid = start + self._extent_used
+        self._extent_used += 1
+        return pid
+
+
+class LeafStore:
+    """Read access to the serialized leaves of one ACE Tree."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        schema: Schema,
+        height: int,
+        data_page_ids: list[int],
+        dir_page_ids: list[int],
+        offsets: list[int],
+        extents: list[tuple[int, int]] | None = None,
+    ) -> None:
+        self.disk = disk
+        self.schema = schema
+        self.height = height
+        self._data_page_ids = data_page_ids
+        self._dir_page_ids = dir_page_ids
+        self._offsets = offsets
+        self._extents = extents
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._offsets) - 1
+
+    @property
+    def num_data_pages(self) -> int:
+        return len(self._data_page_ids)
+
+    @property
+    def num_pages(self) -> int:
+        """Data pages plus directory pages."""
+        return len(self._data_page_ids) + len(self._dir_page_ids)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_pages * self.disk.page_size
+
+    def leaf_byte_size(self, leaf_index: int) -> int:
+        """Serialized size of one leaf in bytes."""
+        self._check_leaf(leaf_index)
+        return self._offsets[leaf_index + 1] - self._offsets[leaf_index]
+
+    def leaf_page_span(self, leaf_index: int) -> tuple[int, int]:
+        """(first page position, page count) of the leaf's byte range."""
+        self._check_leaf(leaf_index)
+        start = self._offsets[leaf_index]
+        end = self._offsets[leaf_index + 1]
+        page_size = self.disk.page_size
+        first = start // page_size
+        last = max(first, (end - 1) // page_size) if end > start else first
+        return first, last - first + 1
+
+    def read_leaf(self, leaf_index: int) -> LeafNode:
+        """Fetch one leaf from disk (random I/O + sequential spill pages)."""
+        self._check_leaf(leaf_index)
+        start = self._offsets[leaf_index]
+        end = self._offsets[leaf_index + 1]
+        first, span = self.leaf_page_span(leaf_index)
+        page_size = self.disk.page_size
+        chunks = [
+            self.disk.read_page(self._data_page_ids[first + i]) for i in range(span)
+        ]
+        blob = b"".join(chunks)
+        local = start - first * page_size
+        return self._parse_leaf(blob[local:local + (end - start)], leaf_index)
+
+    def iter_leaves(self) -> Iterator[LeafNode]:
+        """All leaves in index order (sequential full-store read)."""
+        for leaf_index in range(self.num_leaves):
+            yield self.read_leaf(leaf_index)
+
+    def _parse_leaf(self, blob: bytes, expected_index: int) -> LeafNode:
+        try:
+            index, count = _LEAF_HEADER.unpack_from(blob, 0)
+        except struct.error as exc:
+            raise SerializationError(f"corrupt leaf {expected_index}: {exc}") from exc
+        if index != expected_index or count != self.height:
+            raise SerializationError(
+                f"corrupt leaf header: index {index} (expected {expected_index}), "
+                f"sections {count} (expected {self.height})"
+            )
+        pos = _LEAF_HEADER.size
+        counts = []
+        for _ in range(count):
+            (n,) = _SECTION_COUNT.unpack_from(blob, pos)
+            counts.append(n)
+            pos += _SECTION_COUNT.size
+        record_size = self.schema.record_size
+        sections = []
+        view = memoryview(blob)
+        for n in counts:
+            sections.append(tuple(self.schema.unpack_many(view[pos:], n)))
+            pos += n * record_size
+        self.disk.charge_records(sum(counts))
+        return LeafNode(index=expected_index, sections=tuple(sections))
+
+    def free(self) -> None:
+        """Release all data and directory pages (store becomes unusable)."""
+        if self._extents is not None:
+            for start, count in self._extents:
+                self.disk.free(start, count)
+        else:
+            for pid in self._data_page_ids + self._dir_page_ids:
+                self.disk.free(pid)
+        self._data_page_ids = []
+        self._dir_page_ids = []
+        self._offsets = [0]
+        self._extents = None
+
+    def _check_leaf(self, leaf_index: int) -> None:
+        if not 0 <= leaf_index < self.num_leaves:
+            raise StorageError(
+                f"leaf {leaf_index} out of range 0..{self.num_leaves - 1}"
+            )

@@ -1,0 +1,126 @@
+"""The ACE Tree facade: a built sample index over one relation.
+
+An :class:`AceTree` bundles the Phase-1 geometry (split keys + counts), the
+Phase-2 leaf store, and the schema/key metadata, and exposes the two
+operations a materialized sample view needs:
+
+* :meth:`sample` — an online random-sample stream for a range query
+  (the Shuttle/Combine algorithm of paper Section VI);
+* :meth:`estimate_count` — population-size estimation from the
+  internal-node counts (used by online aggregation, Section III.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.errors import QueryError
+from ..core.intervals import Box, Interval
+from ..core.records import Schema
+from ..storage.disk import SimulatedDisk
+from .geometry import TreeGeometry
+from .nodes import InternalNodeView
+from .storage import LeafStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (query imports tree types)
+    from .build import AceBuildReport
+    from .query import SampleStream
+
+__all__ = ["AceTree"]
+
+
+@dataclass
+class AceTree:
+    """A bulk-built ACE Tree (see :func:`repro.acetree.build_ace_tree`)."""
+
+    geometry: TreeGeometry
+    leaf_store: LeafStore
+    schema: Schema
+    key_fields: tuple[str, ...]
+    num_records: int
+    build_report: "AceBuildReport"
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self.leaf_store.disk
+
+    @property
+    def height(self) -> int:
+        return self.geometry.height
+
+    @property
+    def dims(self) -> int:
+        return self.geometry.dims
+
+    @property
+    def num_leaves(self) -> int:
+        return self.geometry.num_leaves
+
+    @property
+    def num_pages(self) -> int:
+        """Disk pages occupied by the tree (leaves + directory)."""
+        return self.leaf_store.num_pages
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, *bounds: tuple[float, float] | None) -> Box:
+        """Build a closed range-query box over the indexed attributes.
+
+        One ``(lo, hi)`` pair per key field, in ``key_fields`` order; pass
+        ``None`` to leave a dimension unconstrained.  ``tree.query((a, b))``
+        is the paper's ``WHERE key BETWEEN a AND b``.
+        """
+        if len(bounds) != self.dims:
+            raise QueryError(
+                f"need {self.dims} bound pair(s) for key fields "
+                f"{self.key_fields}, got {len(bounds)}"
+            )
+        sides = []
+        for pair, side in zip(bounds, self.geometry.domain.sides):
+            if pair is None:
+                sides.append(side)
+            else:
+                lo, hi = pair
+                if lo > hi:
+                    raise QueryError(f"range lo={lo} exceeds hi={hi}")
+                sides.append(Interval.closed(lo, hi))
+        return Box(tuple(sides))
+
+    def sample(self, query: Box, seed: int = 0, alternate: bool = True) -> "SampleStream":
+        """Open an online random-sample stream over ``query``.
+
+        At every point of the stream's progress, the set of records emitted
+        so far is a uniform random sample (without replacement) of the
+        records matching the query; run to exhaustion it returns exactly
+        the matching set.  ``alternate=False`` disables the Shuttle's
+        child-alternation (an ablation knob; correctness is unaffected but
+        early sampling rates collapse).
+        """
+        from .query import SampleStream
+
+        return SampleStream(self, query, seed=seed, alternate=alternate)
+
+    def key_of(self, record: Sequence) -> tuple:
+        """Extract the indexed key tuple from a record."""
+        return self.schema.keys_getter(self.key_fields)(record)
+
+    # -- statistics ------------------------------------------------------------
+
+    def estimate_count(self, query: Box) -> float:
+        """Estimated number of records matching ``query`` (from node counts)."""
+        return self.geometry.estimate_count(query)
+
+    def selectivity(self, query: Box) -> float:
+        """Estimated fraction of the relation matching ``query``."""
+        if self.num_records == 0:
+            return 0.0
+        return self.estimate_count(query) / self.num_records
+
+    def internal_node(self, level: int, index: int) -> InternalNodeView:
+        """The paper-shaped view of internal node ``I_{level,index+1}``."""
+        return InternalNodeView.from_geometry(self.geometry, level, index)
+
+    def free(self) -> None:
+        """Release the tree's disk pages."""
+        self.leaf_store.free()

@@ -1,0 +1,20 @@
+"""Consumer applications the paper motivates: online aggregation,
+scalable clustering, and sampling-based frequent-item mining."""
+
+from .itemsets import FrequentItemEstimator, ItemsetReport
+from .kmeans import KMeansReport, StreamingKMeans
+from .online_agg import OnlineAggregator, ProgressPoint, aggregate_stream
+from .ripple import JoinProgressPoint, RippleJoin, ripple_join_streams
+
+__all__ = [
+    "FrequentItemEstimator",
+    "ItemsetReport",
+    "JoinProgressPoint",
+    "KMeansReport",
+    "OnlineAggregator",
+    "ProgressPoint",
+    "RippleJoin",
+    "StreamingKMeans",
+    "aggregate_stream",
+    "ripple_join_streams",
+]

@@ -1,0 +1,130 @@
+"""Sampling-based frequent-item estimation over an online sample stream.
+
+One-pass frequent-itemset miners "are typically useful only if the data are
+processed in a randomized order so that the first few records are
+distributed in the same way as latter ones" (paper Section I).  This module
+provides that consumer: it estimates item frequencies from a growing random
+sample and stops as soon as a Hoeffding bound certifies every item as
+confidently above or below the support threshold.
+
+Items are whatever ``items_of`` extracts from a record (e.g. the PART field
+of SALE, or several fields treated as a basket).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator
+
+from ..core.errors import EstimatorError
+from ..core.records import Record
+
+__all__ = ["FrequentItemEstimator", "ItemsetReport"]
+
+
+@dataclass
+class ItemsetReport:
+    """Result of a sampling-based frequent-item run."""
+
+    sample_size: int = 0
+    epsilon: float = math.inf
+    frequent: dict[Hashable, float] = field(default_factory=dict)
+    undecided: dict[Hashable, float] = field(default_factory=dict)
+    converged: bool = False
+
+
+class FrequentItemEstimator:
+    """Estimate item supports from a random sample with Hoeffding bounds.
+
+    Args:
+        items_of: maps a record to the (possibly several) items it
+            contributes; each distinct item counts at most once per record.
+        support: minimum support threshold (fraction of records).
+        confidence: per-item confidence that a frequent/infrequent verdict
+            is correct.
+    """
+
+    def __init__(
+        self,
+        items_of: Callable[[Record], Iterable[Hashable]],
+        support: float,
+        confidence: float = 0.95,
+    ) -> None:
+        if not 0 < support < 1:
+            raise EstimatorError(f"support must be in (0, 1), got {support}")
+        if not 0 < confidence < 1:
+            raise EstimatorError(f"confidence must be in (0, 1), got {confidence}")
+        self._items_of = items_of
+        self.support = support
+        self.confidence = confidence
+        self._counts: Counter = Counter()
+        self._n = 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, records: Iterable[Record]) -> None:
+        for record in records:
+            self._n += 1
+            for item in set(self._items_of(record)):
+                self._counts[item] += 1
+
+    # -- estimates ----------------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        return self._n
+
+    def epsilon(self) -> float:
+        """Two-sided Hoeffding half-width at the configured confidence."""
+        if self._n == 0:
+            return math.inf
+        delta = 1.0 - self.confidence
+        return math.sqrt(math.log(2.0 / delta) / (2.0 * self._n))
+
+    def frequency(self, item: Hashable) -> float:
+        if self._n == 0:
+            raise EstimatorError("no samples yet")
+        return self._counts[item] / self._n
+
+    def verdicts(self) -> ItemsetReport:
+        """Classify every seen item as frequent, infrequent, or undecided."""
+        report = ItemsetReport(sample_size=self._n, epsilon=self.epsilon())
+        if self._n == 0:
+            return report
+        eps = report.epsilon
+        undecided = {}
+        for item, count in self._counts.items():
+            freq = count / self._n
+            if freq - eps >= self.support:
+                report.frequent[item] = freq
+            elif freq + eps > self.support:
+                undecided[item] = freq
+        report.undecided = undecided
+        report.converged = not undecided
+        return report
+
+    def run(
+        self,
+        batches: Iterator,
+        max_records: int = 100_000,
+        check_every: int = 500,
+    ) -> ItemsetReport:
+        """Consume sample batches until every verdict is certified.
+
+        Stops early once no item is within the Hoeffding band of the
+        threshold (all verdicts confident), or at ``max_records``.
+        """
+        since_check = 0
+        for batch in batches:
+            self.update(batch.records)
+            since_check += len(batch.records)
+            if since_check >= check_every:
+                since_check = 0
+                report = self.verdicts()
+                if report.converged and self._n > 0:
+                    return report
+            if self._n >= max_records:
+                break
+        return self.verdicts()

@@ -1,0 +1,169 @@
+"""Scalable clustering over an online sample stream.
+
+The paper motivates the ACE Tree with data-mining algorithms that consume a
+*randomized input ordering* — its flagship citation is Bradley et al.'s
+scalable K-means.  This module implements the sampling-driven variant of
+that idea: mini-batch K-means fed by an online random sample, stopping once
+additional samples stop moving the centroids ("incorporating samples into a
+learned model one-at-a-time until the marginal accuracy of adding an
+additional sample is small").
+
+Because the ACE stream's every prefix is a uniform random sample of the
+selected records, the clusterer sees an unbiased, shuffled view of the
+selection at all times — the property block-based samples (Section II.C)
+cannot offer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import EstimatorError
+from ..core.records import Record
+
+__all__ = ["StreamingKMeans", "KMeansReport"]
+
+
+@dataclass
+class KMeansReport:
+    """What a fit consumed and how it converged."""
+
+    records_consumed: int = 0
+    batches_consumed: int = 0
+    final_shift: float = math.inf
+    converged: bool = False
+    inertia_history: list[float] = field(default_factory=list)
+
+
+class StreamingKMeans:
+    """Mini-batch K-means over record streams.
+
+    Args:
+        k: number of clusters.
+        point_of: maps a record to its feature vector.
+        seed: seeds the centroid initialization.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        point_of: Callable[[Record], Sequence[float]],
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise EstimatorError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._point_of = point_of
+        self._rng = np.random.default_rng(seed)
+        self.centers: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit_stream(
+        self,
+        batches: Iterator,
+        min_records: int = 200,
+        max_records: int = 50_000,
+        tolerance: float = 1e-3,
+        patience: int = 3,
+    ) -> KMeansReport:
+        """Consume sample batches until the centroids stop moving.
+
+        Convergence: the mean centroid shift (relative to the data scale)
+        stays below ``tolerance`` for ``patience`` consecutive batches after
+        at least ``min_records`` have been seen.
+        """
+        report = KMeansReport()
+        calm_batches = 0
+        for batch in batches:
+            if not batch.records:
+                continue
+            points = np.array(
+                [self._point_of(record) for record in batch.records], dtype=float
+            )
+            shift = self._partial_fit(points)
+            report.records_consumed += len(points)
+            report.batches_consumed += 1
+            report.final_shift = shift
+            report.inertia_history.append(self.inertia(points))
+            if report.records_consumed >= min_records:
+                calm_batches = calm_batches + 1 if shift < tolerance else 0
+                if calm_batches >= patience:
+                    report.converged = True
+                    return report
+            if report.records_consumed >= max_records:
+                return report
+        return report
+
+    def _partial_fit(self, points: np.ndarray) -> float:
+        """One mini-batch update; returns the mean relative center shift."""
+        if self.centers is None:
+            self._initialize(points)
+            return math.inf
+        assert self._counts is not None
+        before = self.centers.copy()
+        assignments = self._assign(points)
+        for j in range(self.k):
+            members = points[assignments == j]
+            if not len(members):
+                continue
+            # Per-center learning rate 1/count: the online K-means rule.
+            for point in members:
+                self._counts[j] += 1
+                eta = 1.0 / self._counts[j]
+                self.centers[j] += eta * (point - self.centers[j])
+        scale = float(np.abs(points).mean()) or 1.0
+        return float(np.linalg.norm(self.centers - before, axis=1).mean()) / scale
+
+    def _initialize(self, points: np.ndarray) -> None:
+        """k-means++-style seeding from the first batch."""
+        available = points
+        if len(available) < self.k:
+            # Duplicate points if the first batch is tiny; later batches
+            # will pull the duplicated centers apart.
+            reps = math.ceil(self.k / len(available))
+            available = np.tile(available, (reps, 1))
+        first = self._rng.integers(len(available))
+        centers = [available[first]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                [((available - c) ** 2).sum(axis=1) for c in centers], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(available[self._rng.integers(len(available))])
+                continue
+            choice = self._rng.choice(len(available), p=d2 / total)
+            centers.append(available[choice])
+        self.centers = np.array(centers, dtype=float)
+        self._counts = np.ones(self.k)
+
+    # -- inference ------------------------------------------------------------
+
+    def _assign(self, points: np.ndarray) -> np.ndarray:
+        assert self.centers is not None
+        distances = ((points[:, None, :] - self.centers[None, :, :]) ** 2).sum(
+            axis=2
+        )
+        return distances.argmin(axis=1)
+
+    def predict(self, records: Sequence[Record]) -> np.ndarray:
+        """Cluster index for each record."""
+        if self.centers is None:
+            raise EstimatorError("model has not been fit yet")
+        points = np.array([self._point_of(r) for r in records], dtype=float)
+        return self._assign(points)
+
+    def inertia(self, points: np.ndarray) -> float:
+        """Mean squared distance of points to their assigned centers."""
+        if self.centers is None:
+            raise EstimatorError("model has not been fit yet")
+        distances = ((points[:, None, :] - self.centers[None, :, :]) ** 2).sum(
+            axis=2
+        )
+        return float(distances.min(axis=1).mean())

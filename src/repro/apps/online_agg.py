@@ -1,0 +1,175 @@
+"""Online aggregation over a sample view (the paper's motivating app).
+
+Online aggregation (Hellerstein, Haas & Wang) consumes records one at a
+time in random order and keeps the user updated with a running estimate
+plus a probabilistic error bound.  The ACE Tree's online sample stream is
+exactly the input this needs; the internal-node counts supply the
+population size for the finite-population correction (paper Section III.B:
+"these values can be used ... during evaluation of online aggregation
+queries which require the size of the population from which we are
+sampling").
+
+Estimators are the standard CLT ones: the sample mean estimates AVG, and
+``population * mean`` estimates SUM/COUNT.  Confidence intervals use a
+normal approximation with the finite-population correction
+``(N - n) / (N - 1)``, which drives the bound to zero as the sample
+approaches the full matching population.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from scipy import stats
+
+from ..core.errors import EstimatorError
+from ..core.records import Record
+
+__all__ = ["OnlineAggregator", "ProgressPoint", "aggregate_stream"]
+
+
+class OnlineAggregator:
+    """Running AVG/SUM estimate with CLT confidence bounds.
+
+    Args:
+        value_of: extracts the aggregated numeric value from a record.
+        population: number of records matching the predicate (exact or
+            estimated from the ACE Tree's internal-node counts).
+        confidence: two-sided confidence level for :meth:`interval`.
+    """
+
+    def __init__(
+        self,
+        value_of: Callable[[Record], float],
+        population: float,
+        confidence: float = 0.95,
+    ) -> None:
+        if population < 0:
+            raise EstimatorError(f"population must be >= 0, got {population}")
+        if not 0 < confidence < 1:
+            raise EstimatorError(f"confidence must be in (0, 1), got {confidence}")
+        self._value_of = value_of
+        self.population = population
+        self.confidence = confidence
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0  # Welford's sum of squared deviations
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, records: Iterable[Record]) -> None:
+        """Fold new sample records into the running estimate."""
+        value_of = self._value_of
+        for record in records:
+            value = value_of(record)
+            self._count += 1
+            delta = value - self._mean
+            self._mean += delta / self._count
+            self._m2 += delta * (value - self._mean)
+
+    # -- estimates ----------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running estimate of AVG(value)."""
+        if self._count == 0:
+            raise EstimatorError("no samples yet")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of the values."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def total(self) -> float:
+        """Running estimate of SUM(value) over the matching population."""
+        return self.mean * self.population
+
+    def mean_interval(self) -> tuple[float, float]:
+        """Confidence interval for AVG at the configured level."""
+        half = self.half_width()
+        return self._mean - half, self._mean + half
+
+    def sum_interval(self) -> tuple[float, float]:
+        """Confidence interval for SUM at the configured level."""
+        lo, hi = self.mean_interval()
+        return lo * self.population, hi * self.population
+
+    def half_width(self) -> float:
+        """Half-width of the AVG confidence interval (CLT + FPC)."""
+        if self._count == 0:
+            raise EstimatorError("no samples yet")
+        if self._count < 2:
+            return math.inf
+        z = stats.norm.ppf(0.5 + self.confidence / 2)
+        fpc = 1.0
+        if self.population > 1 and self._count < self.population:
+            fpc = (self.population - self._count) / (self.population - 1)
+        elif self._count >= self.population > 0:
+            fpc = 0.0
+        return z * math.sqrt(self.variance / self._count * fpc)
+
+    def relative_half_width(self) -> float:
+        """Half-width relative to the current estimate (inf if mean ~ 0)."""
+        mean = self.mean
+        if mean == 0:
+            return math.inf
+        return self.half_width() / abs(mean)
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressPoint:
+    """One progress report of an online-aggregation session."""
+
+    clock: float
+    sample_size: int
+    mean: float
+    mean_low: float
+    mean_high: float
+
+
+def aggregate_stream(
+    batches: Iterator,
+    value_of: Callable[[Record], float],
+    population: float,
+    confidence: float = 0.95,
+    target_relative_width: float | None = None,
+    max_records: int | None = None,
+) -> Iterator[ProgressPoint]:
+    """Drive an aggregator from a sample-batch stream, reporting progress.
+
+    Yields one :class:`ProgressPoint` per consumed batch and stops early
+    when the relative CI half-width drops below ``target_relative_width``
+    or ``max_records`` have been consumed — the "sample until the answer is
+    good enough" usage the paper motivates.
+    """
+    aggregator = OnlineAggregator(value_of, population, confidence)
+    for batch in batches:
+        if not batch.records:
+            continue
+        aggregator.update(batch.records)
+        low, high = aggregator.mean_interval()
+        yield ProgressPoint(
+            clock=batch.clock,
+            sample_size=aggregator.sample_size,
+            mean=aggregator.mean,
+            mean_low=low,
+            mean_high=high,
+        )
+        if (
+            target_relative_width is not None
+            and aggregator.sample_size >= 2
+            and aggregator.relative_half_width() <= target_relative_width
+        ):
+            return
+        if max_records is not None and aggregator.sample_size >= max_records:
+            return

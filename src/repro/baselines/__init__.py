@@ -1,0 +1,19 @@
+"""The paper's comparison baselines: permuted file, ranked B+-Tree, R-Tree."""
+
+from .base import Batch, Sampler
+from .bplustree import RankedBPlusTree, build_bplus_tree
+from .heapsampler import HeapRandomSampler
+from .permuted import PermutedFile, build_permuted_file
+from .rtree import RTree, build_rtree
+
+__all__ = [
+    "Batch",
+    "HeapRandomSampler",
+    "PermutedFile",
+    "RTree",
+    "RankedBPlusTree",
+    "Sampler",
+    "build_bplus_tree",
+    "build_permuted_file",
+    "build_rtree",
+]

@@ -1,0 +1,42 @@
+"""Common interface for the sampling baselines.
+
+Every record-retrieval method in the evaluation — the ACE Tree, the
+randomly permuted file, the ranked B+-Tree, and the R-Tree — exposes the
+same contract: given a range query (a :class:`~repro.core.intervals.Box`
+over the indexed attributes), produce an iterator of *batches*, where each
+batch carries the records that became available and the simulated clock at
+which they did.  The race harness consumes only this contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol, runtime_checkable
+
+from ..core.intervals import Box
+from ..core.records import Record
+
+__all__ = ["Batch", "Sampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """Records that became available at simulated time ``clock``."""
+
+    records: tuple[Record, ...]
+    clock: float
+
+
+@runtime_checkable
+class Sampler(Protocol):
+    """Anything that can stream a random sample for a range query."""
+
+    def sample(self, query: Box, seed: int = 0) -> Iterator[Batch]:
+        """Yield batches of sample records with their availability times.
+
+        At every prefix of the stream, the union of emitted records must be
+        a uniform random sample, without replacement, of the records
+        matching ``query``; run to exhaustion the stream returns exactly
+        the matching set.
+        """
+        ...  # pragma: no cover - protocol

@@ -1,0 +1,44 @@
+"""Benchmark harness: sampling races, per-figure experiments, reporting."""
+
+from .figures import (
+    ACE,
+    BPLUS,
+    FIGURES,
+    PERMUTED,
+    RTREE,
+    SCALES,
+    ExperimentContext,
+    FigureResult,
+    FigureSpec,
+    Scale,
+    clear_context_cache,
+    get_context,
+    run_figure,
+)
+from .model import ExperimentModel
+from .race import AveragedCurve, RaceCurve, average_curves, make_grid, run_race
+from .report import format_figure, format_summary
+
+__all__ = [
+    "ACE",
+    "AveragedCurve",
+    "BPLUS",
+    "ExperimentContext",
+    "ExperimentModel",
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "PERMUTED",
+    "RTREE",
+    "RaceCurve",
+    "SCALES",
+    "Scale",
+    "average_curves",
+    "clear_context_cache",
+    "format_figure",
+    "format_summary",
+    "get_context",
+    "make_grid",
+    "run_figure",
+    "run_race",
+]

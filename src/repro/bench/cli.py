@@ -1,0 +1,100 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro figures                 # all figures at medium scale
+    python -m repro figures fig12 fig13     # a subset
+    python -m repro figures --scale small   # quick smoke run
+    python -m repro list                    # show the figure inventory
+
+Each figure's series is printed and, with ``--out DIR``, written to
+``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .figures import FIGURES, SCALES, run_figure
+from .report import format_figure
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the evaluation figures of the ACE Tree paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="run figure experiments")
+    figures.add_argument(
+        "names",
+        nargs="*",
+        metavar="FIG",
+        help=f"figures to run (default: all of {', '.join(FIGURES)})",
+    )
+    figures.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="medium",
+        help="relation size preset (default: medium)",
+    )
+    figures.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="override the number of queries averaged per figure",
+    )
+    figures.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write per-figure text files into",
+    )
+    figures.add_argument(
+        "--seed", type=int, default=0, help="experiment seed (default 0)"
+    )
+
+    sub.add_parser("list", help="list the figure inventory")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, spec in FIGURES.items():
+            print(f"{name:7s}  {spec.title}")
+            print(f"         paper shape: {spec.expected_shape}")
+        return 0
+
+    names = args.names or list(FIGURES)
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"known: {', '.join(FIGURES)}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.time()
+        result = run_figure(
+            name, scale=args.scale, num_queries=args.queries, seed=args.seed
+        )
+        text = format_figure(result)
+        print(text)
+        print(f"[{name}: {time.time() - started:.1f}s wall]")
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,199 @@
+"""Closed-form performance models of the three retrieval methods.
+
+These formulas predict the evaluation curves from first principles — the
+cost model, the relation geometry, and each algorithm's access pattern —
+without running anything.  They serve two purposes:
+
+* they *explain* the figures (why the permuted file is linear, why the
+  B+-Tree hockey-sticks when its working set fits in cache, why the ACE
+  Tree's early rate is leaf-read-bound), and
+* they *validate the simulator*: the test suite checks that measured
+  curves track these predictions, so a regression in either the cost
+  accounting or an algorithm shows up as model disagreement.
+
+All models are for the 1-D experiment of the paper (uniform keys, one
+range predicate of a given selectivity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..storage.cost import CostModel
+from ..acetree.analysis import expected_section_size, lemma1_lower_bound
+
+__all__ = ["ExperimentModel"]
+
+
+@dataclass(frozen=True)
+class ExperimentModel:
+    """Closed-form predictions for one relation + cost model + query.
+
+    Attributes:
+        num_records: relation cardinality.
+        record_size: bytes per record.
+        page_size: disk page size in bytes.
+        cost: the simulated disk's cost model.
+        selectivity: fraction of records matched by the range predicate.
+        height: ACE Tree height (sections per leaf).
+        arity: ACE Tree fan-out.
+    """
+
+    num_records: int
+    record_size: int
+    page_size: int
+    cost: CostModel
+    selectivity: float
+    height: int
+    arity: int = 2
+
+    # -- shared geometry -----------------------------------------------------
+
+    @property
+    def records_per_page(self) -> int:
+        return (self.page_size - 4) // self.record_size
+
+    @property
+    def relation_pages(self) -> int:
+        return math.ceil(self.num_records / self.records_per_page)
+
+    @property
+    def scan_seconds(self) -> float:
+        """Time for one sequential scan of the relation (the x-axis unit)."""
+        return self.cost.seek_time + self.relation_pages * self.cost.transfer_time(
+            self.page_size
+        )
+
+    @property
+    def matching_records(self) -> int:
+        return round(self.selectivity * self.num_records)
+
+    # -- randomly permuted file ------------------------------------------------
+
+    def permuted_records_at(self, elapsed: float) -> float:
+        """Sequential scan: useful records = selectivity x scanned records.
+
+        The scan also pays the per-record decode CPU, so its effective
+        throughput is slightly below raw bandwidth.
+        """
+        page_time = (
+            self.cost.transfer_time(self.page_size)
+            + self.records_per_page * self.cost.cpu_per_record
+        )
+        pages_scanned = min(
+            max(elapsed - self.cost.seek_time, 0.0) / page_time,
+            self.relation_pages,
+        )
+        return self.selectivity * pages_scanned * self.records_per_page
+
+    def permuted_completion_seconds(self) -> float:
+        """When the scan (and hence the full matching set) finishes."""
+        page_time = (
+            self.cost.transfer_time(self.page_size)
+            + self.records_per_page * self.cost.cpu_per_record
+        )
+        return self.cost.seek_time + self.relation_pages * page_time
+
+    # -- ranked B+-Tree -----------------------------------------------------------
+
+    @property
+    def matching_pages(self) -> int:
+        """Leaf pages covered by the matching rank interval."""
+        return max(1, math.ceil(self.matching_records / self.records_per_page))
+
+    def bplus_draw_cpu(self, node_levels: int = 2) -> float:
+        """CPU per unique ranked draw once pages are resident:
+        ``node_levels`` internal-node touches plus the leaf touch."""
+        return (node_levels + 1) * self.cost.cpu_per_page
+
+    def bplus_records_at(self, elapsed: float, node_levels: int = 2) -> float:
+        """Antoshenkov sampling: integrate draw costs against cache state.
+
+        After ``u`` unique draws over ``P`` matching pages, the expected
+        fraction of pages resident is ``1 - (1 - 1/P)^u``, so the expected
+        cost of the next draw is ``miss_prob * random_io + draw_cpu``.
+        Duplicate rank draws are ignored here (they only matter near
+        exhaustion).  Solved by stepping draws until the budget is spent.
+        """
+        pages = self.matching_pages
+        total = self.matching_records
+        io_time = self.cost.random_io_time(self.page_size)
+        decode = self.records_per_page * self.cost.cpu_per_record
+        draw_cpu = self.bplus_draw_cpu(node_levels)
+        spent = 0.0
+        unique = 0
+        # Step in small batches for speed on large inputs.
+        batch = max(1, total // 2000)
+        while spent < elapsed and unique < total:
+            miss_prob = (1 - 1 / pages) ** unique
+            per_draw = miss_prob * (io_time + decode) + draw_cpu
+            spent += per_draw * batch
+            unique += batch
+        return float(min(unique, total))
+
+    # -- ACE Tree -------------------------------------------------------------------
+
+    @property
+    def mean_section_size(self) -> float:
+        return expected_section_size(self.num_records, self.height, self.arity)
+
+    @property
+    def num_leaves(self) -> int:
+        return self.arity ** (self.height - 1)
+
+    @property
+    def leaf_pages(self) -> float:
+        """Expected pages spanned by one (variable-size) leaf."""
+        leaf_bytes = self.num_records / self.num_leaves * self.record_size
+        return max(1.0, leaf_bytes / self.page_size)
+
+    def leaf_read_seconds(self) -> float:
+        """One leaf fetch: a seek, the span transfer, and record decode."""
+        leaf_records = self.num_records / self.num_leaves
+        return (
+            self.cost.seek_time
+            + self.leaf_pages * self.cost.transfer_time(self.page_size)
+            + leaf_records * self.cost.cpu_per_record
+        )
+
+    def ace_leaves_read_at(self, elapsed: float) -> int:
+        """Leaf fetches completed within the budget."""
+        return min(int(elapsed / self.leaf_read_seconds()), self.num_leaves)
+
+    def ace_lower_bound_at(self, elapsed: float) -> float:
+        """Lemma 1's lower bound on expected samples, as a function of time."""
+        m = self.ace_leaves_read_at(elapsed)
+        return min(lemma1_lower_bound(m, self.mean_section_size),
+                   float(self.matching_records))
+
+    def ace_upper_bound_at(self, elapsed: float) -> float:
+        """Upper bound: every matching record of every read leaf emitted.
+
+        While the traversal is still inside the query's span, each leaf
+        holds deep sections that are subsets of the query plus shallow
+        sections partially overlapping it — bounded above by the whole
+        leaf's expected matching mass under the in-span assumption:
+        ``mu * (h - s_Q + 1) + mu * selectivity * (arity^(s_Q-1)-1)/(arity-1)``
+        where ``s_Q`` is the shallowest level whose node boxes fit inside
+        the query.
+        """
+        m = self.ace_leaves_read_at(elapsed)
+        if self.selectivity <= 0:
+            return 0.0
+        s_q = max(
+            1.0,
+            1 + math.log(1 / self.selectivity, self.arity),
+        )
+        deep_sections = max(self.height - s_q + 1, 0.0)
+        shallow_mass = (
+            self.selectivity
+            * (self.arity ** (min(s_q, self.height) - 1) - 1)
+            / (self.arity - 1)
+        )
+        per_leaf = self.mean_section_size * (deep_sections + shallow_mass)
+        return float(min(m * per_leaf, self.matching_records))
+
+    def ace_completion_seconds(self) -> float:
+        """The full traversal: every leaf is read exactly once."""
+        return self.num_leaves * self.leaf_read_seconds()

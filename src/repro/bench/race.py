@@ -1,0 +1,143 @@
+"""The sampling race: the measurement behind every figure in the paper.
+
+A *race* runs one sampler against one range query and records the cumulative
+number of sample records returned as a function of simulated time.  The
+paper plots these curves averaged over 10 queries, with both axes
+normalized: time as a percentage of the time to scan the relation, records
+as a percentage of the relation size.
+
+Samplers share one simulated disk, so each curve is measured as a *delta*
+from the sampler's start time, and any page caches are reset before each
+query (the paper's runs start cold).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["RaceCurve", "AveragedCurve", "run_race", "average_curves", "make_grid"]
+
+
+@dataclass
+class RaceCurve:
+    """Cumulative records returned vs elapsed simulated seconds (one query)."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+    buffered: list[int] = field(default_factory=list)
+    completed: bool = False
+
+    @property
+    def total(self) -> int:
+        return self.counts[-1] if self.counts else 0
+
+    @property
+    def end_time(self) -> float:
+        return self.times[-1] if self.times else 0.0
+
+    def count_at(self, t: float) -> int:
+        """Cumulative records at elapsed time ``t`` (step interpolation)."""
+        i = bisect_right(self.times, t)
+        return self.counts[i - 1] if i else 0
+
+    def buffered_at(self, t: float) -> int:
+        """Buffered (not yet emittable) records at elapsed time ``t``."""
+        if not self.buffered:
+            return 0
+        i = bisect_right(self.times, t)
+        return self.buffered[i - 1] if i else 0
+
+
+def run_race(
+    name: str,
+    batches: Iterator,
+    start_clock: float,
+    time_limit: float | None = None,
+    count_limit: int | None = None,
+) -> RaceCurve:
+    """Consume a sampler's batch stream, recording its emission curve.
+
+    Args:
+        name: label for the curve.
+        batches: the sampler's batch iterator (``.records`` / ``.clock``;
+            ACE batches additionally carry ``.buffered_records``).
+        start_clock: the simulated clock value when the sampler started
+            (batch clocks are absolute; the curve stores deltas).
+        time_limit: stop once a batch lands past this many elapsed seconds.
+        count_limit: stop once this many records have been returned.
+    """
+    curve = RaceCurve(name=name)
+    cumulative = 0
+    for batch in batches:
+        elapsed = batch.clock - start_clock
+        cumulative += len(batch.records)
+        curve.times.append(elapsed)
+        curve.counts.append(cumulative)
+        curve.buffered.append(getattr(batch, "buffered_records", 0))
+        if time_limit is not None and elapsed >= time_limit:
+            return curve
+        if count_limit is not None and cumulative >= count_limit:
+            return curve
+    curve.completed = True
+    return curve
+
+
+@dataclass
+class AveragedCurve:
+    """A curve averaged across queries, on a normalized time grid."""
+
+    name: str
+    grid: list[float]  # elapsed seconds
+    mean_counts: list[float]
+    min_counts: list[float]
+    max_counts: list[float]
+    mean_buffered: list[float]
+    min_buffered: list[float]
+    max_buffered: list[float]
+    num_queries: int
+
+    def normalized(
+        self, scan_seconds: float, relation_records: int
+    ) -> list[tuple[float, float]]:
+        """(time as % of scan, mean records as % of relation) pairs."""
+        return [
+            (100.0 * t / scan_seconds, 100.0 * c / relation_records)
+            for t, c in zip(self.grid, self.mean_counts)
+        ]
+
+
+def average_curves(
+    name: str, curves: Sequence[RaceCurve], grid: Sequence[float]
+) -> AveragedCurve:
+    """Average per-query race curves onto a shared time grid."""
+    if not curves:
+        raise ValueError("need at least one curve to average")
+    counts = np.array(
+        [[curve.count_at(t) for t in grid] for curve in curves], dtype=float
+    )
+    buffered = np.array(
+        [[curve.buffered_at(t) for t in grid] for curve in curves], dtype=float
+    )
+    return AveragedCurve(
+        name=name,
+        grid=list(grid),
+        mean_counts=counts.mean(axis=0).tolist(),
+        min_counts=counts.min(axis=0).tolist(),
+        max_counts=counts.max(axis=0).tolist(),
+        mean_buffered=buffered.mean(axis=0).tolist(),
+        min_buffered=buffered.min(axis=0).tolist(),
+        max_buffered=buffered.max(axis=0).tolist(),
+        num_queries=len(curves),
+    )
+
+
+def make_grid(limit: float, points: int = 20) -> list[float]:
+    """An evenly spaced time grid over ``(0, limit]``."""
+    if points < 1:
+        raise ValueError(f"need at least one grid point, got {points}")
+    return [limit * (i + 1) / points for i in range(points)]

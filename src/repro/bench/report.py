@@ -1,0 +1,76 @@
+"""ASCII reporting of reproduced figures.
+
+Each benchmark prints the series the paper plots: percent of the relation
+returned versus percent of the scan time, one column per retrieval method,
+plus the buffered-record series for Figure 15.  The same text lands in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from .figures import ACE, FigureResult
+
+__all__ = ["format_figure", "format_summary"]
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one figure's averaged series as an ASCII table."""
+    spec = result.spec
+    names = list(result.curves)
+    lines = [
+        f"{spec.figure}: {spec.title}  "
+        f"[scale={result.scale.name}, n={result.relation_records}, "
+        f"{result.curves[names[0]].num_queries} queries]",
+        f"paper shape: {spec.expected_shape}",
+    ]
+    header = f"{'% scan time':>12} | " + " | ".join(f"{name:>24}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    grid = result.curves[names[0]].grid
+    for i, t in enumerate(grid):
+        pct_time = 100.0 * t / result.scan_seconds
+        cells = []
+        for name in names:
+            pct = 100.0 * result.curves[name].mean_counts[i] / result.relation_records
+            cells.append(f"{pct:>23.4f}%")
+        lines.append(f"{pct_time:>11.2f}% | " + " | ".join(cells))
+    if spec.buffer_metric and ACE in result.curves:
+        lines.append("")
+        lines.append("ACE Tree buffered records (fraction of relation):")
+        lines.append(
+            f"{'% scan time':>12} | {'mean':>12} | {'min':>12} | {'max':>12}"
+        )
+        curve = result.curves[ACE]
+        for i, t in enumerate(grid):
+            pct_time = 100.0 * t / result.scan_seconds
+            mean = curve.mean_buffered[i] / result.relation_records
+            low = curve.min_buffered[i] / result.relation_records
+            high = curve.max_buffered[i] / result.relation_records
+            lines.append(
+                f"{pct_time:>11.2f}% | {mean:>12.6f} | {low:>12.6f} | {high:>12.6f}"
+            )
+    lines.append("")
+    lines.append(format_summary(result))
+    return "\n".join(lines)
+
+
+def format_summary(result: FigureResult) -> str:
+    """One-paragraph outcome summary: leaders and completion times."""
+    grid = next(iter(result.curves.values())).grid
+    end_pct = 100.0 * grid[-1] / result.scan_seconds
+    mid_pct = end_pct / 2
+    parts = [
+        f"leader at {mid_pct:.1f}% of scan: {result.leader_at(mid_pct)};",
+        f"leader at {end_pct:.1f}% of scan: {result.leader_at(end_pct)}.",
+    ]
+    completions = []
+    for name in result.curves:
+        seconds = result.completion_time(name)
+        if seconds is not None:
+            completions.append(
+                f"{name} completed at {100.0 * seconds / result.scan_seconds:.0f}% "
+                "of scan time"
+            )
+    if completions:
+        parts.append(" ".join(completions) + ".")
+    return " ".join(parts)

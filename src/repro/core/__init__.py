@@ -1,0 +1,44 @@
+"""Core primitives: errors, RNG discipline, interval geometry, record schemas."""
+
+from .errors import (
+    BufferPoolError,
+    EstimatorError,
+    HeapFileError,
+    IndexBuildError,
+    PageError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SerializationError,
+    SortError,
+    StorageError,
+    ViewError,
+)
+from .intervals import Box, Interval
+from .records import Field, Record, Schema
+from .rng import derive, make_rng, spawn
+
+__all__ = [
+    "Box",
+    "BufferPoolError",
+    "EstimatorError",
+    "Field",
+    "HeapFileError",
+    "IndexBuildError",
+    "Interval",
+    "PageError",
+    "ParseError",
+    "QueryError",
+    "Record",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SerializationError",
+    "SortError",
+    "StorageError",
+    "ViewError",
+    "derive",
+    "make_rng",
+    "spawn",
+]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the storage, index, and query layers when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a record does not match its schema."""
+
+
+class SerializationError(ReproError):
+    """A record or node could not be encoded to / decoded from bytes."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the simulated storage substrate."""
+
+
+class PageError(StorageError):
+    """A page id is invalid, unallocated, or was accessed incorrectly."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool was used incorrectly (e.g. unpinning a free frame)."""
+
+
+class HeapFileError(StorageError):
+    """A heap file operation failed (bad record id, closed file, ...)."""
+
+
+class SortError(StorageError):
+    """External sorting failed (e.g. zero-buffer configuration)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index construction / lookup errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``IndexBuildError``'s parent.
+    """
+
+
+class IndexBuildError(IndexError_):
+    """Bulk construction of an index structure failed."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or incompatible with the index it targets."""
+
+
+class ViewError(ReproError):
+    """A materialized sample view was defined or used incorrectly."""
+
+
+class ParseError(ViewError):
+    """The SQL-ish DDL / query text could not be parsed."""
+
+
+class EstimatorError(ReproError):
+    """An online estimator was asked for output it cannot provide yet."""

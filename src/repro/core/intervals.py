@@ -1,0 +1,228 @@
+"""Interval and box geometry used by every index structure in the library.
+
+All index geometry uses *half-open* intervals ``[lo, hi)`` over floats.
+Half-open intervals tile a domain without overlap or gaps, which is exactly
+what the ACE Tree's level-``s`` ranges and the B+-Tree's key separators need.
+User-facing range predicates (SQL ``BETWEEN a AND b`` is inclusive on both
+ends) are converted with :meth:`Interval.closed`.
+
+A :class:`Box` is a k-dimensional product of intervals; the 1-D structures
+simply use 1-dimensional boxes, so the ACE Tree code is identical for the
+1-D and k-d variants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Interval", "Box"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open interval ``[lo, hi)`` over floats.
+
+    ``lo == hi`` denotes the empty interval.  ``lo`` may be ``-inf`` and
+    ``hi`` may be ``+inf``.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval bounds must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"interval lo={self.lo} exceeds hi={self.hi}")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def closed(lo: float, hi: float) -> "Interval":
+        """Build the half-open equivalent of the closed interval [lo, hi].
+
+        For float bounds the upper end is nudged one ulp past ``hi`` so that
+        ``hi`` itself is included; integer keys are covered because
+        ``nextafter`` on an exactly-representable integer moves past it.
+        """
+        if lo > hi:
+            raise ValueError(f"closed interval lo={lo} exceeds hi={hi}")
+        return Interval(lo, math.nextafter(hi, math.inf))
+
+    @staticmethod
+    def everything() -> "Interval":
+        """The interval covering the whole real line."""
+        return Interval(-math.inf, math.inf)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo >= self.hi
+
+    def contains_value(self, value: float) -> bool:
+        return self.lo <= value < self.hi
+
+    def contains(self, other: "Interval") -> bool:
+        """True when every point of ``other`` lies in this interval."""
+        if other.is_empty:
+            return True
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one point.
+
+        Empty intervals contain no points, so they overlap nothing.
+        """
+        if self.is_empty or other.is_empty:
+            return False
+        return self.lo < other.hi and other.lo < self.hi
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The common part of the two intervals (possibly empty)."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return Interval(lo, lo)
+        return Interval(lo, hi)
+
+    def split_at(self, boundary: float) -> tuple["Interval", "Interval"]:
+        """Split into ``[lo, boundary)`` and ``[boundary, hi)``.
+
+        The boundary must satisfy ``lo <= boundary <= hi``; a boundary at
+        either end yields one empty half (this happens for degenerate median
+        splits over heavily duplicated keys).
+        """
+        if not self.lo <= boundary <= self.hi:
+            raise ValueError(
+                f"split boundary {boundary} outside interval [{self.lo}, {self.hi})"
+            )
+        return Interval(self.lo, boundary), Interval(boundary, self.hi)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lo}, {self.hi})"
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A k-dimensional half-open box: the product of k intervals."""
+
+    sides: tuple[Interval, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sides:
+            raise ValueError("a box needs at least one dimension")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def of(*sides: Interval) -> "Box":
+        return Box(tuple(sides))
+
+    @staticmethod
+    def from_bounds(lows: Sequence[float], highs: Sequence[float]) -> "Box":
+        if len(lows) != len(highs):
+            raise ValueError("lows and highs must have equal length")
+        return Box(tuple(Interval(lo, hi) for lo, hi in zip(lows, highs)))
+
+    @staticmethod
+    def closed(lows: Sequence[float], highs: Sequence[float]) -> "Box":
+        """Box including both endpoints in every dimension."""
+        if len(lows) != len(highs):
+            raise ValueError("lows and highs must have equal length")
+        return Box(tuple(Interval.closed(lo, hi) for lo, hi in zip(lows, highs)))
+
+    @staticmethod
+    def everything(dims: int) -> "Box":
+        return Box(tuple(Interval.everything() for _ in range(dims)))
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return len(self.sides)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(side.is_empty for side in self.sides)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        if len(point) != self.dims:
+            raise ValueError(f"point has {len(point)} dims, box has {self.dims}")
+        return all(side.contains_value(v) for side, v in zip(self.sides, point))
+
+    def contains(self, other: "Box") -> bool:
+        self._check_dims(other)
+        if other.is_empty:
+            return True
+        return all(a.contains(b) for a, b in zip(self.sides, other.sides))
+
+    def overlaps(self, other: "Box") -> bool:
+        self._check_dims(other)
+        return all(a.overlaps(b) for a, b in zip(self.sides, other.sides))
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "Box") -> "Box":
+        self._check_dims(other)
+        return Box(tuple(a.intersect(b) for a, b in zip(self.sides, other.sides)))
+
+    def split_at(self, axis: int, boundary: float) -> tuple["Box", "Box"]:
+        """Split along ``axis`` at ``boundary`` into (low half, high half)."""
+        if not 0 <= axis < self.dims:
+            raise ValueError(f"axis {axis} out of range for {self.dims}-d box")
+        low_side, high_side = self.sides[axis].split_at(boundary)
+        low = list(self.sides)
+        high = list(self.sides)
+        low[axis] = low_side
+        high[axis] = high_side
+        return Box(tuple(low)), Box(tuple(high))
+
+    def replace_side(self, axis: int, side: Interval) -> "Box":
+        sides = list(self.sides)
+        sides[axis] = side
+        return Box(tuple(sides))
+
+    def volume(self) -> float:
+        result = 1.0
+        for side in self.sides:
+            result *= side.width
+        return result
+
+    @staticmethod
+    def bounding(points: Iterable[Sequence[float]]) -> "Box":
+        """Smallest half-open box containing every point (one ulp of slack
+        above each max so that the max itself is inside)."""
+        lows: list[float] | None = None
+        highs: list[float] | None = None
+        for point in points:
+            if lows is None:
+                lows = list(point)
+                highs = list(point)
+                continue
+            assert highs is not None
+            for i, value in enumerate(point):
+                if value < lows[i]:
+                    lows[i] = value
+                if value > highs[i]:
+                    highs[i] = value
+        if lows is None or highs is None:
+            raise ValueError("cannot bound an empty point set")
+        return Box.closed(lows, highs)
+
+    def _check_dims(self, other: "Box") -> None:
+        if self.dims != other.dims:
+            raise ValueError(
+                f"dimension mismatch: {self.dims}-d box vs {other.dims}-d box"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " x ".join(str(side) for side in self.sides)

@@ -1,0 +1,205 @@
+"""Typed record schemas with fixed-size binary serialization.
+
+The storage substrate works on raw pages of bytes, exactly like a real
+database engine, so records must have a well-defined on-disk format.  A
+:class:`Schema` describes a fixed-width record layout (int64, float64 and
+fixed-length byte-string fields) and packs/unpacks records to ``bytes`` with
+:mod:`struct`.
+
+Records themselves are plain tuples — cheap, hashable and directly usable as
+dictionary keys, which the samplers rely on for without-replacement checks.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .errors import SchemaError, SerializationError
+
+__all__ = ["Field", "Schema", "Record"]
+
+#: A record is a plain tuple of field values matching its schema.
+Record = tuple
+
+_STRUCT_CODES = {
+    "i8": "q",  # signed 64-bit integer
+    "f8": "d",  # IEEE-754 double
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One column of a schema.
+
+    ``kind`` is one of ``"i8"``, ``"f8"`` or ``"bytes"``; for ``"bytes"``
+    a positive ``size`` gives the fixed width of the field.
+    """
+
+    name: str
+    kind: str
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"field name {self.name!r} is not an identifier")
+        if self.kind in _STRUCT_CODES:
+            if self.size:
+                raise SchemaError(f"field {self.name}: {self.kind} takes no size")
+        elif self.kind == "bytes":
+            if self.size <= 0:
+                raise SchemaError(f"field {self.name}: bytes needs a positive size")
+        else:
+            raise SchemaError(f"field {self.name}: unknown kind {self.kind!r}")
+
+    @property
+    def struct_code(self) -> str:
+        if self.kind == "bytes":
+            return f"{self.size}s"
+        return _STRUCT_CODES[self.kind]
+
+
+class Schema:
+    """An ordered collection of fields with fixed-size binary layout.
+
+    Example::
+
+        schema = Schema([
+            Field("day", "i8"),
+            Field("cust", "i8"),
+            Field("part", "i8"),
+            Field("supp", "i8"),
+            Field("pad", "bytes", 68),
+        ])
+        blob = schema.pack((5, 10, 3, 7, b""))
+        record = schema.unpack(blob)
+    """
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        if not fields:
+            raise SchemaError("a schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in {names}")
+        self._fields = tuple(fields)
+        self._index = {f.name: i for i, f in enumerate(fields)}
+        self._struct = struct.Struct("<" + "".join(f.struct_code for f in fields))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def record_size(self) -> int:
+        """Size in bytes of one packed record."""
+        return self._struct.size
+
+    def field_index(self, name: str) -> int:
+        """Position of the named field; raises :class:`SchemaError` if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no field {name!r}; have {[f.name for f in self._fields]}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{f.name}:{f.kind}{f.size or ''}" for f in self._fields)
+        return f"Schema({cols})"
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, record: Record) -> None:
+        """Raise :class:`SchemaError` unless ``record`` matches this schema."""
+        if len(record) != len(self._fields):
+            raise SchemaError(
+                f"record has {len(record)} values, schema has {len(self._fields)}"
+            )
+        for field, value in zip(self._fields, record):
+            if field.kind == "i8" and not isinstance(value, int):
+                raise SchemaError(f"field {field.name}: expected int, got {value!r}")
+            if field.kind == "f8" and not isinstance(value, (int, float)):
+                raise SchemaError(f"field {field.name}: expected float, got {value!r}")
+            if field.kind == "bytes":
+                if not isinstance(value, bytes):
+                    raise SchemaError(
+                        f"field {field.name}: expected bytes, got {value!r}"
+                    )
+                if len(value) > field.size:
+                    raise SchemaError(
+                        f"field {field.name}: {len(value)} bytes exceeds "
+                        f"fixed width {field.size}"
+                    )
+
+    # -- serialization -----------------------------------------------------
+
+    def pack(self, record: Record) -> bytes:
+        """Serialize a record to its fixed-size binary form."""
+        try:
+            return self._struct.pack(*record)
+        except struct.error as exc:
+            raise SerializationError(f"cannot pack {record!r}: {exc}") from exc
+
+    def unpack(self, blob: bytes | memoryview) -> Record:
+        """Deserialize one record; byte fields keep their fixed width."""
+        try:
+            return self._struct.unpack(blob)
+        except struct.error as exc:
+            raise SerializationError(
+                f"cannot unpack {len(blob)} bytes as {self!r}: {exc}"
+            ) from exc
+
+    def pack_many(self, records: Iterable[Record]) -> bytes:
+        """Serialize records back to back into one buffer."""
+        return b"".join(self._struct.pack(*r) for r in records)
+
+    def unpack_many(self, blob: bytes | memoryview, count: int) -> list[Record]:
+        """Deserialize ``count`` records packed back to back."""
+        size = self._struct.size
+        if len(blob) < count * size:
+            raise SerializationError(
+                f"need {count * size} bytes for {count} records, have {len(blob)}"
+            )
+        view = memoryview(blob)
+        return [self._struct.unpack(view[i * size:(i + 1) * size]) for i in range(count)]
+
+    # -- accessors ---------------------------------------------------------
+
+    def key_getter(self, name: str):
+        """Return a fast ``record -> value`` accessor for the named field."""
+        idx = self.field_index(name)
+        return lambda record: record[idx]
+
+    def keys_getter(self, names: Sequence[str]):
+        """Return a ``record -> tuple of values`` accessor for several fields."""
+        idxs = tuple(self.field_index(n) for n in names)
+        return lambda record: tuple(record[i] for i in idxs)
+
+    def fresh_field_name(self, stem: str) -> str:
+        """A field name derived from ``stem`` that does not collide.
+
+        Used when decorating records with temporary columns (sort keys,
+        leaf/section numbers): user schemas may legitimately contain any
+        identifier, so decoration names must be generated, not assumed.
+        """
+        name = stem
+        suffix = 0
+        existing = {f.name for f in self._fields}
+        while name in existing:
+            suffix += 1
+            name = f"{stem}{suffix}"
+        return name

@@ -1,0 +1,19 @@
+"""Simulated storage substrate: disk, buffer pool, heap files, external sort."""
+
+from .buffer import BufferPool, RecordPageCache
+from .cost import CostModel
+from .disk import DiskStats, SimulatedDisk
+from .external_sort import external_sort, external_sort_to_sink, merge_runs
+from .heapfile import HeapFile
+
+__all__ = [
+    "BufferPool",
+    "CostModel",
+    "DiskStats",
+    "HeapFile",
+    "RecordPageCache",
+    "SimulatedDisk",
+    "external_sort",
+    "external_sort_to_sink",
+    "merge_runs",
+]

@@ -1,0 +1,148 @@
+"""An LRU buffer pool over the simulated disk.
+
+Tree-structured indexes (the ranked B+-Tree, the R-Tree, and the ACE Tree's
+internal-node pages) read pages through a buffer pool.  The pool is what
+gives the B+-Tree baseline its characteristic curve in the paper: sampling
+is slow while leaf pages still have to be fetched with random I/Os, and
+accelerates sharply once the relevant pages are all resident.
+
+Reads through the pool charge the disk on a miss and a per-page CPU cost on
+a hit.  Writes are write-through (the workloads here are read-mostly after
+bulk construction).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.errors import BufferPoolError
+from .disk import SimulatedDisk
+
+__all__ = ["BufferPool", "RecordPageCache"]
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache.
+
+    Args:
+        disk: the simulated disk to read from / write to.
+        capacity: maximum number of resident pages; must be positive.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int) -> None:
+        if capacity <= 0:
+            raise BufferPoolError(f"capacity must be positive, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._frames
+
+    def read(self, pid: int) -> bytes:
+        """Return page ``pid``, from cache if resident.
+
+        A hit charges only CPU; a miss performs a timed disk read and may
+        evict the least recently used page.
+        """
+        if pid in self._frames:
+            self._frames.move_to_end(pid)
+            self.hits += 1
+            self.disk.charge_page_hit()
+            return self._frames[pid]
+        self.misses += 1
+        data = self.disk.read_page(pid)
+        self._admit(pid, data)
+        return data
+
+    def write(self, pid: int, data: bytes) -> None:
+        """Write-through: update the disk and keep the page resident."""
+        self.disk.write_page(pid, data)
+        if len(data) < self.disk.page_size:
+            data = data + bytes(self.disk.page_size - len(data))
+        self._admit(pid, data)
+
+    def invalidate(self, pid: int) -> None:
+        """Drop a page from the cache (e.g. after freeing it on disk)."""
+        self._frames.pop(pid, None)
+
+    def clear(self) -> None:
+        """Drop every cached page and reset the hit/miss counters."""
+        self._frames.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from cache (0.0 when no reads yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _admit(self, pid: int, data: bytes) -> None:
+        if pid in self._frames:
+            self._frames.move_to_end(pid)
+            self._frames[pid] = data
+            return
+        while len(self._frames) >= self.capacity:
+            self._frames.popitem(last=False)
+            self.evictions += 1
+        self._frames[pid] = data
+
+
+class RecordPageCache:
+    """An LRU cache of *decoded* pages, with buffer-pool cost semantics.
+
+    Real engines pin a page once and then read records out of the frame;
+    re-decoding the bytes on every access would charge CPU the system does
+    not spend.  This cache charges a miss like a buffer-pool miss (timed
+    disk read + per-record decode CPU) and a hit like a buffer-pool hit
+    (per-page CPU only), while handing back the already-decoded records.
+
+    ``decode`` maps raw page bytes to the cached value (typically a list of
+    records, via ``HeapFile.decode_page`` or an index node parser).
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int, decode) -> None:
+        if capacity <= 0:
+            raise BufferPoolError(f"capacity must be positive, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self._decode = decode
+        self._frames: OrderedDict[int, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def read(self, pid: int):
+        """Decoded contents of page ``pid``; charges like a buffer pool."""
+        if pid in self._frames:
+            self._frames.move_to_end(pid)
+            self.hits += 1
+            self.disk.charge_page_hit()
+            return self._frames[pid]
+        self.misses += 1
+        value = self._decode(self.disk.read_page(pid))
+        while len(self._frames) >= self.capacity:
+            self._frames.popitem(last=False)
+            self.evictions += 1
+        self._frames[pid] = value
+        return value
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

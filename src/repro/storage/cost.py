@@ -1,0 +1,109 @@
+"""Disk and CPU cost model for the simulated storage substrate.
+
+The paper's experiments were run against two 15,000 RPM SCSI disks and all
+results are reported as *rates*: percent of the relation returned versus
+percent of the time needed to scan the relation.  Those curves are shaped by
+three quantities, which this model makes explicit:
+
+* the cost of a random page access (seek + rotational delay + transfer),
+* the cost of a sequential page access (transfer only), and
+* the CPU cost of touching buffered data (which bounds how fast an algorithm
+  can run once its working set is cached).
+
+Using a deterministic model instead of a wall clock makes every experiment
+exactly reproducible and independent of the host machine, while preserving
+the random-versus-sequential asymmetry that drives every figure in the
+paper (see DESIGN.md section 2 for the substitution argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Time charges for simulated I/O and CPU work.
+
+    Attributes:
+        seek_time: seconds charged for each non-sequential page access
+            (head movement plus average rotational delay).  The default, 5 ms,
+            matches a 15k RPM enterprise disk, the hardware used in the paper.
+        transfer_rate: sustained sequential bandwidth in bytes/second.
+        cpu_per_record: seconds of CPU charged per record materialized,
+            compared, or filtered in memory.
+        cpu_per_page: seconds of CPU charged per buffered page access
+            (latch + lookup); this is what bounds sampling speed once a
+            tree's relevant pages are fully cached.
+    """
+
+    seek_time: float = 5e-3
+    transfer_rate: float = 100e6
+    cpu_per_record: float = 2e-7
+    cpu_per_page: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.seek_time < 0:
+            raise ValueError(f"seek_time must be >= 0, got {self.seek_time}")
+        if self.transfer_rate <= 0:
+            raise ValueError(f"transfer_rate must be > 0, got {self.transfer_rate}")
+        if self.cpu_per_record < 0 or self.cpu_per_page < 0:
+            raise ValueError("CPU costs must be >= 0")
+
+    @classmethod
+    def scaled(
+        cls,
+        page_size: int,
+        seek_to_transfer: float = 10.0,
+        transfer_rate: float = 100e6,
+        cpu_per_record: float = 2e-7,
+        cpu_per_page: float = 5e-5,
+    ) -> "CostModel":
+        """A model whose seek costs ``seek_to_transfer`` page transfers.
+
+        The paper's hardware had a ~10:1 ratio between a random page access
+        and a sequential one (10 ms seek+rotate versus ~1 ms to transfer a
+        64 KB page).  When experiments are scaled down to smaller pages,
+        keeping the *ratio* fixed — rather than the absolute seek time — is
+        what preserves the shape of every figure; this constructor does
+        that.
+
+        ``cpu_per_page`` (the buffered-access charge) is calibrated against
+        the paper's own measurements: its B+-Tree sampled ~5,700 records/s
+        once the relevant pages were resident (Figure 11), i.e. ~175 us per
+        ranked retrieval across 2-3 page touches — roughly 50 us per touch.
+        This charge is what makes a rank-by-rank sampler CPU-bound after
+        its working set is cached, and hence what places the B+-Tree's
+        completion *after* the ACE Tree's in Figure 14, as the paper found.
+        """
+        if seek_to_transfer < 0:
+            raise ValueError(f"seek_to_transfer must be >= 0, got {seek_to_transfer}")
+        page_transfer = page_size / transfer_rate
+        return cls(
+            seek_time=seek_to_transfer * page_transfer,
+            transfer_rate=transfer_rate,
+            cpu_per_record=cpu_per_record,
+            cpu_per_page=cpu_per_page,
+        )
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` on a sequential access."""
+        return nbytes / self.transfer_rate
+
+    def sequential_io_time(self, nbytes: int) -> float:
+        """Seconds for a page access that continues the previous one."""
+        return self.transfer_time(nbytes)
+
+    def random_io_time(self, nbytes: int) -> float:
+        """Seconds for a page access requiring head repositioning."""
+        return self.seek_time + self.transfer_time(nbytes)
+
+    def scan_time(self, total_bytes: int) -> float:
+        """Seconds to scan ``total_bytes`` sequentially after one seek.
+
+        This is the normalizing constant for the paper's x-axes
+        ("% of time required to scan the relation").
+        """
+        return self.seek_time + self.transfer_time(total_bytes)

@@ -1,0 +1,14 @@
+"""Materialized sample views: facade, SQL-ish DDL, and catalog."""
+
+from .catalog import Catalog
+from .ddl import CreateSampleView, SampleSelect, parse
+from .sampleview import MaterializedSampleView, create_sample_view
+
+__all__ = [
+    "Catalog",
+    "CreateSampleView",
+    "MaterializedSampleView",
+    "SampleSelect",
+    "create_sample_view",
+    "parse",
+]

@@ -1,0 +1,108 @@
+"""A small catalog tying tables and sample views to the SQL-ish front end.
+
+The catalog is the executable glue for the paper's user-level story: register
+base tables, run ``CREATE MATERIALIZED SAMPLE VIEW ... INDEX ON ...``, and
+then issue ``SELECT ... WHERE ... BETWEEN ... [SAMPLE n]`` statements that
+stream online random samples.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ViewError
+from ..core.records import Record
+from ..storage.heapfile import HeapFile
+from .ddl import CreateSampleView, SampleSelect, parse
+from .sampleview import MaterializedSampleView, create_sample_view
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Named tables and materialized sample views over one simulated disk."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, HeapFile] = {}
+        self._views: dict[str, MaterializedSampleView] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register_table(self, name: str, heap: HeapFile) -> None:
+        if name in self._tables:
+            raise ViewError(f"table {name!r} already registered")
+        self._tables[name] = heap
+
+    def table(self, name: str) -> HeapFile:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ViewError(f"no table named {name!r}") from None
+
+    def view(self, name: str) -> MaterializedSampleView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no sample view named {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self, sql: str, seed: int = 0
+    ) -> MaterializedSampleView | list[Record]:
+        """Run one statement.
+
+        ``CREATE ...`` builds and registers a view (returned);
+        ``SELECT ...`` returns the sampled records (the first ``SAMPLE n``
+        of the stream, or every matching record when no limit is given).
+        """
+        statement = parse(sql)
+        if isinstance(statement, CreateSampleView):
+            return self._execute_create(statement, seed)
+        return self._execute_select(statement, seed)
+
+    def _execute_create(
+        self, statement: CreateSampleView, seed: int
+    ) -> MaterializedSampleView:
+        if statement.view_name in self._views:
+            raise ViewError(f"view {statement.view_name!r} already exists")
+        source = self.table(statement.table_name)
+        for column in statement.index_on:
+            source.schema.field_index(column)  # raises SchemaError if absent
+        view = create_sample_view(
+            statement.view_name, source, statement.index_on, seed=seed
+        )
+        self._views[statement.view_name] = view
+        return view
+
+    def _execute_select(self, statement: SampleSelect, seed: int) -> list[Record]:
+        view = self.view(statement.view_name)
+        bounds: list[tuple[float, float] | None] = []
+        by_column = {col: (lo, hi) for col, lo, hi in statement.predicates}
+        unknown = set(by_column) - set(view.key_fields)
+        if unknown:
+            raise ViewError(
+                f"predicate on non-indexed column(s) {sorted(unknown)}; "
+                f"view {view.name!r} indexes {view.key_fields}"
+            )
+        for field_name in view.key_fields:
+            bounds.append(by_column.get(field_name))
+        query = view.query(*bounds)
+
+        out: list[Record] = []
+        for batch in view.sample(query, seed=seed):
+            out.extend(batch.records)
+            if statement.sample_size is not None and len(out) >= statement.sample_size:
+                return out[:statement.sample_size]
+        return out
+
+    def drop_view(self, name: str) -> None:
+        """Drop a view and release its disk pages."""
+        self.view(name).free()
+        del self._views[name]

@@ -1,0 +1,115 @@
+"""A tiny SQL-ish front end for materialized sample views.
+
+Supports exactly the statement forms the paper uses:
+
+* ``CREATE MATERIALIZED SAMPLE VIEW <name> AS SELECT * FROM <table>
+  INDEX ON <col>[, <col>]`` (Section I), and
+* range-predicate sampling queries over a view::
+
+      SELECT * FROM <view>
+      WHERE <col> BETWEEN <lo> AND <hi> [AND <col2> BETWEEN <lo2> AND <hi2>]
+      [SAMPLE <n>]
+
+``SAMPLE n`` asks for the first ``n`` records of the online sample stream;
+without it the query runs the stream to exhaustion (returning every
+matching record, in random order).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..core.errors import ParseError
+
+__all__ = ["CreateSampleView", "SampleSelect", "parse"]
+
+
+@dataclass(frozen=True)
+class CreateSampleView:
+    """Parsed ``CREATE MATERIALIZED SAMPLE VIEW`` statement."""
+
+    view_name: str
+    table_name: str
+    index_on: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SampleSelect:
+    """Parsed sampling ``SELECT`` over a view."""
+
+    view_name: str
+    predicates: tuple[tuple[str, float, float], ...]  # (column, lo, hi)
+    sample_size: int | None
+
+
+_CREATE_RE = re.compile(
+    r"""^\s*CREATE\s+MATERIALIZED\s+SAMPLE\s+VIEW\s+(?P<view>\w+)\s+
+        AS\s+SELECT\s+\*\s+FROM\s+(?P<table>\w+)\s+
+        INDEX\s+ON\s+(?P<cols>\w+(?:\s*,\s*\w+)*)\s*;?\s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_SELECT_RE = re.compile(
+    r"""^\s*SELECT\s+\*\s+FROM\s+(?P<view>\w+)\s+
+        WHERE\s+(?P<preds>.+?)
+        (?:\s+SAMPLE\s+(?P<n>\d+))?\s*;?\s*$""",
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_PRED_RE = re.compile(
+    r"""^\s*(?P<col>\w+)\s+BETWEEN\s+
+        (?P<lo>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s+AND\s+
+        (?P<hi>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+def parse(sql: str) -> CreateSampleView | SampleSelect:
+    """Parse one statement; raises :class:`ParseError` on anything else."""
+    match = _CREATE_RE.match(sql)
+    if match:
+        columns = tuple(
+            col.strip() for col in match.group("cols").split(",") if col.strip()
+        )
+        return CreateSampleView(
+            view_name=match.group("view"),
+            table_name=match.group("table"),
+            index_on=columns,
+        )
+    match = _SELECT_RE.match(sql)
+    if match:
+        predicates = []
+        for clause in _split_on_and(match.group("preds")):
+            pred_match = _PRED_RE.match(clause)
+            if not pred_match:
+                raise ParseError(f"cannot parse predicate {clause!r}")
+            lo = float(pred_match.group("lo"))
+            hi = float(pred_match.group("hi"))
+            if lo > hi:
+                raise ParseError(f"BETWEEN bounds reversed in {clause!r}")
+            predicates.append((pred_match.group("col"), lo, hi))
+        n = match.group("n")
+        return SampleSelect(
+            view_name=match.group("view"),
+            predicates=tuple(predicates),
+            sample_size=int(n) if n is not None else None,
+        )
+    raise ParseError(
+        "statement is neither CREATE MATERIALIZED SAMPLE VIEW nor a "
+        f"sampling SELECT: {sql!r}"
+    )
+
+
+def _split_on_and(text: str) -> list[str]:
+    """Split a WHERE clause on the ANDs between predicates.
+
+    ``BETWEEN a AND b`` contains its own AND, so split only on ANDs that
+    follow a complete BETWEEN clause (every odd-numbered AND).
+    """
+    tokens = re.split(r"\s+AND\s+", text.strip(), flags=re.IGNORECASE)
+    if len(tokens) % 2 != 0:
+        raise ParseError(f"malformed WHERE clause: {text!r}")
+    return [
+        f"{tokens[i]} AND {tokens[i + 1]}" for i in range(0, len(tokens), 2)
+    ]

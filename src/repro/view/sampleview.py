@@ -1,0 +1,201 @@
+"""Materialized sample views: the paper's user-facing abstraction.
+
+A materialized sample view (Section I) is an indexed, materialized view of a
+table that supports online random sampling from arbitrary range predicates
+over its indexed attribute(s).  This module is the facade over the ACE Tree
+that realizes it, including the differential-file update path the paper
+sketches in Section IX: newly inserted records accumulate in a *delta*
+(kept in randomly permuted order), and samples are drawn from the primary
+ACE Tree and the delta with hypergeometric interleaving, so the merged
+stream remains a uniform sample of the updated view.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..acetree import AceBuildParams, AceTree, build_ace_tree
+from ..baselines.base import Batch
+from ..core.intervals import Box
+from ..core.records import Record
+from ..core.rng import derive
+from ..storage.heapfile import HeapFile
+
+__all__ = ["MaterializedSampleView", "create_sample_view"]
+
+
+def create_sample_view(
+    name: str,
+    source: HeapFile,
+    index_on: Sequence[str],
+    height: int | None = None,
+    memory_pages: int = 64,
+    seed: int = 0,
+) -> "MaterializedSampleView":
+    """``CREATE MATERIALIZED SAMPLE VIEW name AS SELECT * FROM source
+    INDEX ON index_on...`` — builds the backing ACE Tree."""
+    params = AceBuildParams(
+        key_fields=tuple(index_on),
+        height=height,
+        memory_pages=memory_pages,
+        seed=seed,
+    )
+    tree = build_ace_tree(source, params)
+    return MaterializedSampleView(name=name, tree=tree, seed=seed)
+
+
+@dataclass
+class MaterializedSampleView:
+    """An ACE-Tree-backed sample view with a differential update path."""
+
+    name: str
+    tree: AceTree
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._delta: list[Record] = []
+
+    # -- schema ---------------------------------------------------------------
+
+    @property
+    def key_fields(self) -> tuple[str, ...]:
+        return self.tree.key_fields
+
+    @property
+    def num_records(self) -> int:
+        """Records visible through the view (base + delta)."""
+        return self.tree.num_records + len(self._delta)
+
+    @property
+    def delta_size(self) -> int:
+        return len(self._delta)
+
+    def query(self, *bounds: tuple[float, float] | None) -> Box:
+        """Closed range query over the indexed attributes (see AceTree.query)."""
+        return self.tree.query(*bounds)
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, records: Sequence[Record]) -> None:
+        """Append new records to the differential file.
+
+        The ACE Tree is not incrementally updatable (paper Section IX); new
+        data lives in the delta until :meth:`refresh` rebuilds the tree.
+        """
+        for record in records:
+            self.tree.schema.validate(record)
+        self._delta.extend(records)
+
+    def refresh(self, memory_pages: int = 64) -> None:
+        """Rebuild the ACE Tree over base + delta (the paper's fallback for
+        bulk updates: reorganize from scratch with two external sorts)."""
+        if not self._delta:
+            return
+        disk = self.tree.disk
+        merged = HeapFile.bulk_load(
+            disk,
+            self.tree.schema,
+            self._all_records(),
+            name=f"{self.name}.refresh",
+        )
+        old_tree = self.tree
+        self.tree = build_ace_tree(
+            merged,
+            AceBuildParams(
+                key_fields=self.key_fields,
+                height=None,
+                memory_pages=memory_pages,
+                seed=self.seed + 1,
+            ),
+        )
+        merged.free()
+        old_tree.free()
+        self._delta = []
+
+    def _all_records(self) -> Iterator[Record]:
+        yield from _scan_tree_records(self.tree)
+        yield from self._delta
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample(self, query: Box, seed: int = 0) -> Iterator[Batch]:
+        """Online random sample of the view's records matching ``query``.
+
+        With an empty delta this is exactly the ACE Tree stream.  With a
+        delta, tree batches are interleaved record-by-record with the
+        delta's matching records using hypergeometric probabilities
+        (Section IX / Brown & Haas): each next sample comes from a
+        partition with probability proportional to its remaining matching
+        count, so the merged prefix stays uniform over the whole view.
+        """
+        if not self._delta:
+            yield from self.tree.sample(query, seed=seed)
+            return
+        yield from self._sample_with_delta(query, seed)
+
+    def _sample_with_delta(self, query: Box, seed: int) -> Iterator[Batch]:
+        rng = random.Random(int(derive(seed, "view-delta").integers(2**62)))
+        key_of = self.tree.schema.keys_getter(self.key_fields)
+        disk = self.tree.disk
+
+        delta_matching = [
+            record for record in self._delta if query.contains_point(key_of(record))
+        ]
+        rng.shuffle(delta_matching)
+        disk.charge_records(len(self._delta))
+
+        tree_stream = self.tree.sample(query, seed=seed)
+        tree_buffer: list[Record] = []
+        tree_remaining = round(self.tree.estimate_count(query))
+        delta_remaining = len(delta_matching)
+
+        def pull_tree() -> Record | None:
+            nonlocal tree_remaining
+            while not tree_buffer:
+                batch = next(tree_stream, None)
+                if batch is None:
+                    return None
+                tree_buffer.extend(batch.records)
+            tree_remaining = max(tree_remaining - 1, 0)
+            return tree_buffer.pop()
+
+        while delta_remaining or not tree_stream.exhausted or tree_buffer:
+            total = tree_remaining + delta_remaining
+            take_delta = (
+                delta_remaining > 0
+                and (total <= 0 or rng.random() < delta_remaining / total)
+            )
+            if take_delta:
+                record = delta_matching[len(delta_matching) - delta_remaining]
+                delta_remaining -= 1
+                yield Batch(records=(record,), clock=disk.clock)
+                continue
+            record = pull_tree()
+            if record is None:
+                # Tree exhausted early (estimate overshot): drain the delta.
+                tree_remaining = 0
+                if not delta_remaining:
+                    return
+                continue
+            yield Batch(records=(record,), clock=disk.clock)
+
+    def estimate_count(self, query: Box) -> float:
+        """Estimated matching records across base and delta."""
+        key_of = self.tree.schema.keys_getter(self.key_fields)
+        delta_count = sum(
+            1 for record in self._delta if query.contains_point(key_of(record))
+        )
+        return self.tree.estimate_count(query) + delta_count
+
+    def free(self) -> None:
+        self.tree.free()
+        self._delta = []
+
+
+def _scan_tree_records(tree: AceTree) -> Iterator[Record]:
+    """Every record stored in the tree, via a sequential leaf-store scan."""
+    for leaf in tree.leaf_store.iter_leaves():
+        for section in leaf.sections:
+            yield from section

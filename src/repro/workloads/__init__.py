@@ -1,0 +1,24 @@
+"""Synthetic workloads: the paper's SALE relation and its range queries."""
+
+from .queries import queries_1d, queries_2d
+from .skew import equi_depth_queries, generate_sale_lognormal, generate_sale_zipf
+from .sale import (
+    DAY_DOMAIN,
+    generate_sale_1d,
+    generate_sale_2d,
+    sale_schema_1d,
+    sale_schema_2d,
+)
+
+__all__ = [
+    "DAY_DOMAIN",
+    "equi_depth_queries",
+    "generate_sale_1d",
+    "generate_sale_2d",
+    "generate_sale_lognormal",
+    "generate_sale_zipf",
+    "queries_1d",
+    "queries_2d",
+    "sale_schema_1d",
+    "sale_schema_2d",
+]

@@ -1,0 +1,64 @@
+"""Selectivity-targeted range-query generators.
+
+The paper's experiments sample from "10 different range selection
+predicates" per selectivity level (0.25%, 2.5%, 25%).  The workload keys
+are uniform, so a predicate accepting a target fraction of the records is a
+randomly-placed interval covering that fraction of the key domain (a
+randomly-placed square-root box per dimension in 2-D).
+"""
+
+from __future__ import annotations
+
+from ..core.intervals import Box, Interval
+from ..core.rng import derive
+from .sale import DAY_DOMAIN
+
+__all__ = ["queries_1d", "queries_2d"]
+
+
+def queries_1d(
+    selectivity: float,
+    count: int,
+    seed: int = 0,
+    domain_lo: float = 0.0,
+    domain_hi: float = float(DAY_DOMAIN),
+) -> list[Box]:
+    """Random 1-D range predicates each accepting ~``selectivity`` records."""
+    _check_selectivity(selectivity)
+    rng = derive(seed, "queries-1d")
+    span = domain_hi - domain_lo
+    width = selectivity * span
+    boxes = []
+    for _ in range(count):
+        lo = domain_lo + float(rng.random()) * (span - width)
+        boxes.append(Box.of(Interval(lo, lo + width)))
+    return boxes
+
+
+def queries_2d(
+    selectivity: float,
+    count: int,
+    seed: int = 0,
+    domain_lo: float = 0.0,
+    domain_hi: float = 1.0,
+) -> list[Box]:
+    """Random 2-D square predicates each accepting ~``selectivity`` records.
+
+    With (DAY, AMOUNT) bivariate uniform, a square of side ``sqrt(s)``
+    (relative to the domain span) accepts fraction ``s`` of the records.
+    """
+    _check_selectivity(selectivity)
+    rng = derive(seed, "queries-2d")
+    span = domain_hi - domain_lo
+    side = selectivity ** 0.5 * span
+    boxes = []
+    for _ in range(count):
+        x = domain_lo + float(rng.random()) * (span - side)
+        y = domain_lo + float(rng.random()) * (span - side)
+        boxes.append(Box.of(Interval(x, x + side), Interval(y, y + side)))
+    return boxes
+
+
+def _check_selectivity(selectivity: float) -> None:
+    if not 0 < selectivity <= 1:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")

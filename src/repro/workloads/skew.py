@@ -1,0 +1,124 @@
+"""Skewed workloads — an extension beyond the paper's uniform evaluation.
+
+The paper evaluates on uniform keys only, but the ACE Tree's Phase-1 split
+keys are *medians of the data*, not midpoints of the domain, so the
+structure is equi-depth by construction and its guarantees are distribution
+free.  These generators produce heavily skewed SALE variants (Zipf-like
+ranks and log-normal timestamps) plus query helpers that hit a target
+*record* selectivity under skew (a fixed value-range no longer does), so
+the uniform experiments can be re-run under skew
+(``benchmarks/test_ext_skew.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.intervals import Box, Interval
+from ..core.records import Record
+from ..core.rng import derive
+from ..storage.disk import SimulatedDisk
+from ..storage.heapfile import HeapFile
+from .sale import sale_schema_1d
+
+__all__ = ["generate_sale_zipf", "generate_sale_lognormal", "equi_depth_queries"]
+
+_GEN_BATCH = 65536
+
+
+def generate_sale_zipf(
+    disk: SimulatedDisk,
+    num_records: int,
+    alpha: float = 1.3,
+    num_values: int = 1_000_000,
+    seed: int = 0,
+    record_size: int = 100,
+    name: str = "sale_zipf",
+) -> HeapFile:
+    """SALE with Zipf(alpha)-distributed DAY keys over ``num_values`` ranks.
+
+    Low ranks are enormously popular: with alpha=1.3 the hottest key alone
+    carries a few percent of the relation — the adversarial case for
+    midpoint-split structures.
+    """
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for a proper Zipf, got {alpha}")
+    schema = sale_schema_1d(record_size)
+    has_pad = len(schema.fields) == 5
+
+    def records() -> Iterator[Record]:
+        rng = derive(seed, "sale-zipf")
+        remaining = num_records
+        while remaining > 0:
+            batch = min(remaining, _GEN_BATCH)
+            # numpy's zipf is unbounded; clamp to the value universe.
+            days = np.minimum(rng.zipf(alpha, size=batch), num_values) - 1
+            others = rng.integers(0, 1_000_000, size=(batch, 3))
+            for i in range(batch):
+                base = (int(days[i]), int(others[i, 0]), int(others[i, 1]),
+                        int(others[i, 2]))
+                yield base + (b"",) if has_pad else base
+            remaining -= batch
+
+    return HeapFile.bulk_load(disk, schema, records(), name=name)
+
+
+def generate_sale_lognormal(
+    disk: SimulatedDisk,
+    num_records: int,
+    sigma: float = 1.0,
+    seed: int = 0,
+    record_size: int = 100,
+    name: str = "sale_logn",
+) -> HeapFile:
+    """SALE with log-normal DAY keys (smooth but heavily right-skewed)."""
+    schema = sale_schema_1d(record_size)
+    has_pad = len(schema.fields) == 5
+
+    def records() -> Iterator[Record]:
+        rng = derive(seed, "sale-lognormal")
+        remaining = num_records
+        while remaining > 0:
+            batch = min(remaining, _GEN_BATCH)
+            days = np.floor(rng.lognormal(10.0, sigma, size=batch)).astype(np.int64)
+            others = rng.integers(0, 1_000_000, size=(batch, 3))
+            for i in range(batch):
+                base = (int(days[i]), int(others[i, 0]), int(others[i, 1]),
+                        int(others[i, 2]))
+                yield base + (b"",) if has_pad else base
+            remaining -= batch
+
+    return HeapFile.bulk_load(disk, schema, records(), name=name)
+
+
+def equi_depth_queries(
+    keys: Sequence[int],
+    selectivity: float,
+    count: int,
+    seed: int = 0,
+) -> list[Box]:
+    """Range predicates hitting ~``selectivity`` of the *records* under skew.
+
+    A fixed value-width no longer yields a fixed record fraction when keys
+    are skewed, so queries are placed in rank space: pick a random start
+    rank, take the value range spanned by the next ``selectivity * n``
+    ranks.  ``keys`` can be a sample of the relation's keys (it is sorted
+    internally).
+    """
+    if not 0 < selectivity <= 1:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    if not keys:
+        raise ValueError("need a non-empty key sample")
+    ordered = sorted(keys)
+    n = len(ordered)
+    width = max(1, round(selectivity * n))
+    rng = derive(seed, "equi-depth-queries")
+    boxes = []
+    for _ in range(count):
+        start = int(rng.integers(0, max(n - width, 1)))
+        lo = ordered[start]
+        hi = ordered[min(start + width - 1, n - 1)]
+        boxes.append(Box.of(Interval.closed(lo, hi)))
+    return boxes

@@ -1,0 +1,95 @@
+"""Tests for the multi-dimensional (k-d) ACE Tree (paper Section VII)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.acetree import AceBuildParams, build_ace_tree
+from repro.core import Field, Schema
+from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+from ..conftest import make_xy_records
+
+SCHEMA = Schema([Field("x", "f8"), Field("y", "f8"), Field("tag", "i8")])
+
+
+@pytest.fixture
+def built():
+    disk = SimulatedDisk(page_size=2048, cost=CostModel.scaled(2048))
+    records = make_xy_records(3000, seed=21)
+    heap = HeapFile.bulk_load(disk, SCHEMA, records)
+    tree = build_ace_tree(
+        heap, AceBuildParams(key_fields=("x", "y"), height=6, seed=5)
+    )
+    return records, tree
+
+
+def matching_of(records, x_lo, x_hi, y_lo, y_hi):
+    return [
+        r for r in records if x_lo <= r[0] <= x_hi and y_lo <= r[1] <= y_hi
+    ]
+
+
+class TestKdStructure:
+    def test_dims(self, built):
+        _records, tree = built
+        assert tree.dims == 2
+        assert tree.geometry.axis(1) == 0
+        assert tree.geometry.axis(2) == 1
+        assert tree.geometry.axis(3) == 0
+
+    def test_median_splits_balance_each_axis(self, built):
+        records, tree = built
+        root_key = tree.geometry.split_key(1, 0)
+        left = sum(1 for r in records if r[0] < root_key)
+        assert abs(left - 1500) < 80
+        # Level 2 splits y within each x-half.
+        y_key = tree.geometry.split_key(2, 0)
+        left_records = [r for r in records if r[0] < root_key]
+        below = sum(1 for r in left_records if r[1] < y_key)
+        assert abs(below - len(left_records) / 2) < 60
+
+
+class TestKdQueries:
+    @pytest.mark.parametrize("bounds", [
+        (0.2, 0.5, 0.3, 0.6),
+        (0.0, 1.0, 0.0, 1.0),       # everything
+        (0.45, 0.55, 0.45, 0.55),   # small center box
+        (0.0, 0.1, 0.9, 1.0),       # corner
+    ])
+    def test_completeness(self, built, bounds):
+        records, tree = built
+        x_lo, x_hi, y_lo, y_hi = bounds
+        query = tree.query((x_lo, x_hi), (y_lo, y_hi))
+        got = [r for batch in tree.sample(query, seed=1) for r in batch.records]
+        expected = matching_of(records, *bounds)
+        assert Counter(r[2] for r in got) == Counter(r[2] for r in expected)
+
+    def test_online_prefix_matches_predicate(self, built):
+        _records, tree = built
+        query = tree.query((0.2, 0.7), (0.1, 0.9))
+        prefix = tree.sample(query, seed=2).take(150)
+        assert len(prefix) == 150
+        assert all(0.2 <= r[0] <= 0.7 and 0.1 <= r[1] <= 0.9 for r in prefix)
+
+    def test_unbounded_dimension(self, built):
+        records, tree = built
+        query = tree.query((0.3, 0.6), None)
+        got = [r for batch in tree.sample(query, seed=3) for r in batch.records]
+        expected = [r for r in records if 0.3 <= r[0] <= 0.6]
+        assert Counter(r[2] for r in got) == Counter(r[2] for r in expected)
+
+    def test_count_estimate_2d(self, built):
+        records, tree = built
+        query = tree.query((0.25, 0.75), (0.25, 0.75))
+        true = len(matching_of(records, 0.25, 0.75, 0.25, 0.75))
+        assert tree.estimate_count(query) == pytest.approx(true, rel=0.15)
+
+    def test_combine_requires_matching_boxes(self, built):
+        """Required interval sets are per-level boxes: a query straddling
+        the root split needs cells from both x-halves at level 2."""
+        _records, tree = built
+        geom = tree.geometry
+        root_key = geom.split_key(1, 0)
+        query = tree.query((root_key - 0.1, root_key + 0.1), None)
+        assert len(geom.overlapping_nodes(2, query)) >= 2

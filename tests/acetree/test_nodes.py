@@ -1,0 +1,55 @@
+"""Unit tests for leaf / internal node views."""
+
+import pytest
+
+from repro.acetree import InternalNodeView, LeafNode, TreeGeometry
+from repro.core import Box, Interval
+
+
+@pytest.fixture
+def geometry():
+    return TreeGeometry(
+        domain=Box.of(Interval(0.0, 101.0)),
+        splits=[[50.0], [25.0, 75.0], [12.0, 37.0, 62.0, 88.0]],
+        cell_counts=[1, 2, 3, 4, 5, 6, 7, 8],
+    )
+
+
+class TestLeafNode:
+    def test_basic_accessors(self):
+        leaf = LeafNode(
+            index=2,
+            sections=(((1, 0.0),), ((2, 0.0), (3, 0.0)), (), ((4, 0.0),)),
+        )
+        assert leaf.height == 4
+        assert leaf.num_records == 4
+        assert leaf.section(1) == ((1, 0.0),)
+        assert leaf.section(3) == ()
+
+    def test_section_bounds_checked(self):
+        leaf = LeafNode(index=0, sections=((), ()))
+        with pytest.raises(IndexError):
+            leaf.section(0)
+        with pytest.raises(IndexError):
+            leaf.section(3)
+
+    def test_section_range(self, geometry):
+        leaf = LeafNode(index=3, sections=((), (), (), ()))
+        box = leaf.section_range(2, geometry)
+        assert box.sides[0] == Interval(0.0, 50.0)
+
+
+class TestInternalNodeView:
+    def test_root_view(self, geometry):
+        view = InternalNodeView.from_geometry(geometry, 1, 0)
+        assert view.key == 50.0
+        assert view.count_left == 10   # cells 1+2+3+4
+        assert view.count_right == 26  # cells 5+6+7+8
+        assert view.count == 36
+        assert view.box == geometry.domain
+
+    def test_level2_view(self, geometry):
+        view = InternalNodeView.from_geometry(geometry, 2, 1)
+        assert view.key == 75.0
+        assert view.count_left == 11  # cells 5+6
+        assert view.count_right == 15  # cells 7+8

@@ -1,0 +1,147 @@
+"""Unit tests for the variable-size leaf store."""
+
+import pytest
+
+from repro.acetree.storage import LeafStore, LeafStoreWriter
+from repro.core import Field, Schema
+from repro.core.errors import SerializationError, StorageError
+from repro.storage import CostModel, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(page_size=512, cost=CostModel.scaled(512))
+
+
+@pytest.fixture
+def schema():
+    return Schema([Field("k", "i8"), Field("v", "f8")])
+
+
+def sections_for(height, records):
+    """Spread records round-robin over ``height`` sections."""
+    sections = [[] for _ in range(height)]
+    for i, record in enumerate(records):
+        sections[i % height].append(record)
+    return sections
+
+
+class TestWriterBasics:
+    def test_roundtrip_one_leaf(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=3, num_leaves=1)
+        sections = [[(1, 1.0)], [(2, 2.0), (3, 3.0)], []]
+        writer.append_leaf(0, sections)
+        store = writer.finish()
+        leaf = store.read_leaf(0)
+        assert leaf.index == 0
+        assert leaf.section(1) == ((1, 1.0),)
+        assert leaf.section(2) == ((2, 2.0), (3, 3.0))
+        assert leaf.section(3) == ()
+
+    def test_missing_leaves_filled_empty(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=4)
+        writer.append_leaf(2, [[(5, 5.0)], []])
+        store = writer.finish()
+        assert store.num_leaves == 4
+        assert store.read_leaf(0).num_records == 0
+        assert store.read_leaf(2).num_records == 1
+        assert store.read_leaf(3).num_records == 0
+
+    def test_out_of_order_rejected(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=4)
+        writer.append_leaf(2, [[], []])
+        with pytest.raises(StorageError):
+            writer.append_leaf(1, [[], []])
+
+    def test_out_of_range_rejected(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=2)
+        with pytest.raises(StorageError):
+            writer.append_leaf(2, [[], []])
+
+    def test_wrong_section_count_rejected(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=3, num_leaves=1)
+        with pytest.raises(SerializationError):
+            writer.append_leaf(0, [[], []])
+
+    def test_double_finish_rejected(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=1)
+        writer.finish()
+        with pytest.raises(StorageError):
+            writer.finish()
+
+    def test_append_after_finish_rejected(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=2)
+        store = writer.finish()
+        assert store.num_leaves == 2
+        with pytest.raises(StorageError):
+            writer.append_leaf(1, [[], []])
+
+
+class TestVariableSizeLeaves:
+    def test_leaf_spanning_pages(self, disk, schema):
+        """A 512-byte page holds ~30 records; bigger leaves must span."""
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=2)
+        big = [(i, float(i)) for i in range(100)]
+        writer.append_leaf(0, [big[:50], big[50:]])
+        writer.append_leaf(1, [[(0, 0.0)], []])
+        store = writer.finish()
+        first, span = store.leaf_page_span(0)
+        assert span >= 3  # 100 * 16 bytes > 3 pages
+        leaf = store.read_leaf(0)
+        assert leaf.num_records == 100
+        assert leaf.section(1) == tuple(big[:50])
+        small = store.read_leaf(1)
+        assert small.num_records == 1
+
+    def test_leaf_byte_sizes_sum_to_stream(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=4)
+        for leaf in range(4):
+            writer.append_leaf(leaf, sections_for(2, [(i, 0.0) for i in range(leaf + 1)]))
+        store = writer.finish()
+        sizes = [store.leaf_byte_size(i) for i in range(4)]
+        assert all(size > 0 for size in sizes)
+        # Larger leaves serialize larger.
+        assert sizes[3] > sizes[0]
+
+    def test_read_charges_random_then_sequential(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=1)
+        big = [(i, float(i)) for i in range(120)]
+        writer.append_leaf(0, [big, []])
+        store = writer.finish()
+        disk.reset_clock()
+        store.read_leaf(0)
+        _first, span = store.leaf_page_span(0)
+        assert disk.stats.seeks == 1
+        assert disk.stats.page_reads == span
+
+
+class TestStoreApi:
+    def test_iter_leaves(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=3)
+        for leaf in range(3):
+            writer.append_leaf(leaf, [[(leaf, 0.0)], []])
+        store = writer.finish()
+        got = list(store.iter_leaves())
+        assert [leaf.index for leaf in got] == [0, 1, 2]
+        assert [leaf.section(1)[0][0] for leaf in got] == [0, 1, 2]
+
+    def test_read_out_of_range(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=1)
+        store = writer.finish()
+        with pytest.raises(StorageError):
+            store.read_leaf(1)
+        with pytest.raises(StorageError):
+            store.read_leaf(-1)
+
+    def test_free_releases_pages(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=2)
+        writer.append_leaf(0, [[(1, 1.0)], []])
+        store = writer.finish()
+        assert disk.allocated_pages > 0
+        store.free()
+        assert disk.allocated_pages == 0
+
+    def test_num_pages_counts_directory(self, disk, schema):
+        writer = LeafStoreWriter(disk, schema, height=2, num_leaves=2)
+        store = writer.finish()
+        assert store.num_pages == store.num_data_pages + 1  # 3 offsets fit 1 page

@@ -1,0 +1,63 @@
+"""Tests for the AceTree facade itself."""
+
+import pytest
+
+from repro.acetree import AceBuildParams, build_ace_tree
+from repro.core import Field, Schema
+from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+from ..conftest import make_kv_records
+
+
+@pytest.fixture
+def built(disk, kv_schema):
+    records = make_kv_records(2000, seed=51)
+    heap = HeapFile.bulk_load(disk, kv_schema, records)
+    tree = build_ace_tree(heap, AceBuildParams(key_fields=("k",), height=5, seed=2))
+    return records, tree
+
+
+class TestProperties:
+    def test_shape_accessors(self, built):
+        _records, tree = built
+        assert tree.height == 5
+        assert tree.dims == 1
+        assert tree.num_leaves == 16
+        assert tree.num_pages == tree.leaf_store.num_pages
+        assert tree.disk is tree.leaf_store.disk
+
+    def test_key_of(self, built):
+        _records, tree = built
+        assert tree.key_of((42, 1.0, b"")) == (42,)
+
+    def test_selectivity(self, built):
+        records, tree = built
+        query = tree.query((0, 1_000_000))
+        assert tree.selectivity(query) == pytest.approx(1.0, rel=0.01)
+        narrow = tree.query((100_000, 200_000))
+        true = sum(1 for r in records if 100_000 <= r[0] <= 200_000) / len(records)
+        assert tree.selectivity(narrow) == pytest.approx(true, rel=0.2)
+
+    def test_internal_node_views(self, built):
+        _records, tree = built
+        root = tree.internal_node(1, 0)
+        assert root.count == 2000
+        assert root.count_left + root.count_right == 2000
+        child = tree.internal_node(2, 1)
+        assert child.count == root.count_right
+
+    def test_free_releases_pages(self, disk, kv_schema):
+        heap = HeapFile.bulk_load(disk, kv_schema, make_kv_records(500))
+        pages_with_heap = disk.allocated_pages
+        tree = build_ace_tree(heap, AceBuildParams(key_fields=("k",), height=4))
+        assert disk.allocated_pages > pages_with_heap
+        tree.free()
+        assert disk.allocated_pages == pages_with_heap
+
+
+class TestZeroSelectivityEdge:
+    def test_selectivity_of_empty_relation_handled(self, disk, kv_schema):
+        heap = HeapFile.bulk_load(disk, kv_schema, [(5, 1.0, b"")])
+        tree = build_ace_tree(heap, AceBuildParams(key_fields=("k",), height=2))
+        query = tree.query((100, 200))
+        assert tree.selectivity(query) == 0.0

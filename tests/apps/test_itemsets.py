@@ -1,0 +1,124 @@
+"""Tests for sampling-based frequent-item estimation."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps import FrequentItemEstimator
+from repro.baselines.base import Batch
+from repro.core.errors import EstimatorError
+
+
+def records_of(items):
+    return [(i, item) for i, item in enumerate(items)]
+
+
+def batches_of(records, per_batch=100):
+    for i in range(0, len(records), per_batch):
+        yield Batch(records=tuple(records[i:i + per_batch]), clock=float(i))
+
+
+def skewed_items(n, seed=0):
+    """Item 'hot' has ~40% support, 'warm' ~15%, the rest spread thin."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.40:
+            out.append("hot")
+        elif roll < 0.55:
+            out.append("warm")
+        else:
+            out.append(f"cold{rng.randrange(50)}")
+    return out
+
+
+class TestValidation:
+    def test_support_bounds(self):
+        with pytest.raises(EstimatorError):
+            FrequentItemEstimator(lambda r: [r[1]], support=0.0)
+        with pytest.raises(EstimatorError):
+            FrequentItemEstimator(lambda r: [r[1]], support=1.0)
+
+    def test_confidence_bounds(self):
+        with pytest.raises(EstimatorError):
+            FrequentItemEstimator(lambda r: [r[1]], support=0.1, confidence=0)
+
+    def test_frequency_before_samples(self):
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.1)
+        with pytest.raises(EstimatorError):
+            est.frequency("x")
+
+
+class TestEstimation:
+    def test_frequency_estimates(self):
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.2)
+        est.update(records_of(["a", "a", "a", "b"]))
+        assert est.frequency("a") == pytest.approx(0.75)
+        assert est.frequency("b") == pytest.approx(0.25)
+        assert est.frequency("zzz") == 0.0
+
+    def test_item_counted_once_per_record(self):
+        est = FrequentItemEstimator(lambda r: [r[1], r[1]], support=0.2)
+        est.update(records_of(["a"]))
+        assert est.frequency("a") == pytest.approx(1.0)
+
+    def test_epsilon_shrinks(self):
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.2)
+        est.update(records_of(["a"] * 10))
+        wide = est.epsilon()
+        est.update(records_of(["a"] * 990))
+        assert est.epsilon() < wide / 3
+
+    def test_epsilon_formula(self):
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.2, confidence=0.95)
+        est.update(records_of(["a"] * 100))
+        expected = math.sqrt(math.log(2 / 0.05) / 200)
+        assert est.epsilon() == pytest.approx(expected)
+
+
+class TestVerdicts:
+    def test_converged_run_finds_hot_items(self):
+        items = skewed_items(20_000, seed=1)
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.10)
+        report = est.run(batches_of(records_of(items)), max_records=20_000)
+        assert "hot" in report.frequent
+        assert "warm" in report.frequent
+        assert not any(k.startswith("cold") for k in report.frequent)
+        assert report.frequent["hot"] == pytest.approx(0.40, abs=0.04)
+
+    def test_early_stop_when_certain(self):
+        """With a huge gap between item frequencies and the threshold, the
+        run certifies long before max_records."""
+        items = ["hot"] * 5000 + ["cold"] * 5000
+        random.Random(0).shuffle(items)
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.25)
+        report = est.run(batches_of(records_of(items)), max_records=10_000)
+        assert report.converged
+        assert report.sample_size < 10_000
+
+    def test_undecided_near_threshold(self):
+        """An item sitting exactly at the threshold stays undecided on a
+        small sample."""
+        items = (["edge"] * 10 + ["other"] * 10) * 5
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.5)
+        est.update(records_of(items))
+        report = est.verdicts()
+        assert "edge" in report.undecided or "edge" in report.frequent
+        assert not report.converged or est.epsilon() < 1e-3
+
+    def test_empty_report(self):
+        est = FrequentItemEstimator(lambda r: [r[1]], support=0.5)
+        report = est.verdicts()
+        assert report.sample_size == 0
+        assert report.frequent == {}
+
+    def test_multiple_items_per_record(self):
+        """Basket semantics: a record can contribute several items."""
+        baskets = [("milk", "bread"), ("milk",), ("bread", "eggs"), ("milk",)]
+        est = FrequentItemEstimator(lambda r: r[1], support=0.5)
+        est.update([(i, basket) for i, basket in enumerate(baskets)])
+        assert est.frequency("milk") == pytest.approx(0.75)
+        assert est.frequency("bread") == pytest.approx(0.5)
+        assert est.frequency("eggs") == pytest.approx(0.25)

@@ -1,0 +1,115 @@
+"""Tests for streaming K-means over sample batches."""
+
+import numpy as np
+import pytest
+
+from repro.apps import StreamingKMeans
+from repro.baselines.base import Batch
+from repro.core.errors import EstimatorError
+
+
+def cluster_data(n_per_cluster, centers, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for cx, cy in centers:
+        pts = rng.normal([cx, cy], 0.05, size=(n_per_cluster, 2))
+        points.extend(pts.tolist())
+    rng.shuffle(points)
+    return [(x, y, i) for i, (x, y) in enumerate(points)]
+
+
+def batches_of(records, per_batch=50):
+    for i in range(0, len(records), per_batch):
+        yield Batch(records=tuple(records[i:i + per_batch]), clock=float(i))
+
+
+CENTERS = [(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]
+
+
+class TestValidation:
+    def test_k_positive(self):
+        with pytest.raises(EstimatorError):
+            StreamingKMeans(0, lambda r: r[:2])
+
+    def test_predict_before_fit(self):
+        model = StreamingKMeans(2, lambda r: r[:2])
+        with pytest.raises(EstimatorError):
+            model.predict([(0.0, 0.0, 1)])
+
+
+class TestFitting:
+    def test_recovers_separated_clusters(self):
+        records = cluster_data(400, CENTERS, seed=3)
+        model = StreamingKMeans(3, lambda r: r[:2], seed=1)
+        report = model.fit_stream(batches_of(records), min_records=300,
+                                  tolerance=5e-3)
+        assert model.centers is not None
+        # Each true center has a learned center nearby.
+        for cx, cy in CENTERS:
+            dists = np.linalg.norm(model.centers - np.array([cx, cy]), axis=1)
+            assert dists.min() < 0.15, f"no center near ({cx},{cy}): {model.centers}"
+        assert report.records_consumed > 0
+
+    def test_convergence_stops_early(self):
+        records = cluster_data(2000, CENTERS, seed=4)
+        model = StreamingKMeans(3, lambda r: r[:2], seed=2)
+        report = model.fit_stream(
+            batches_of(records), min_records=200, tolerance=1e-2, patience=2
+        )
+        assert report.converged
+        assert report.records_consumed < len(records)
+
+    def test_max_records_cap(self):
+        records = cluster_data(1000, CENTERS, seed=5)
+        model = StreamingKMeans(3, lambda r: r[:2], seed=3)
+        report = model.fit_stream(
+            batches_of(records), min_records=10, max_records=300,
+            tolerance=0.0,  # never converges by tolerance
+        )
+        assert not report.converged
+        assert report.records_consumed <= 350  # cap plus one batch of slack
+
+    def test_tiny_first_batch(self):
+        """First batch smaller than k must not crash initialization."""
+        records = cluster_data(50, CENTERS, seed=6)
+        batches = [Batch(records=tuple(records[:2]), clock=0.0)] + list(
+            batches_of(records[2:], per_batch=30)
+        )
+        model = StreamingKMeans(3, lambda r: r[:2], seed=4)
+        report = model.fit_stream(iter(batches), min_records=100)
+        assert model.centers.shape == (3, 2)
+        assert report.records_consumed > 2
+
+    def test_empty_batches_skipped(self):
+        records = cluster_data(100, CENTERS, seed=7)
+        batches = [Batch(records=(), clock=0.0)] + list(batches_of(records))
+        model = StreamingKMeans(3, lambda r: r[:2], seed=5)
+        report = model.fit_stream(iter(batches), min_records=50)
+        assert report.records_consumed == len(records)
+
+    def test_k1_degenerate(self):
+        records = cluster_data(200, [(0.5, 0.5)], seed=8)
+        model = StreamingKMeans(1, lambda r: r[:2], seed=6)
+        model.fit_stream(batches_of(records), min_records=100)
+        assert np.linalg.norm(model.centers[0] - np.array([0.5, 0.5])) < 0.1
+
+
+class TestPrediction:
+    def test_predict_assigns_to_nearest(self):
+        records = cluster_data(300, CENTERS, seed=9)
+        model = StreamingKMeans(3, lambda r: r[:2], seed=7)
+        model.fit_stream(batches_of(records), min_records=200)
+        labels = model.predict([(0.0, 0.0, 0), (1.0, 0.0, 1), (0.5, 1.0, 2)])
+        assert len(set(labels.tolist())) == 3  # three distinct clusters
+
+    def test_inertia_decreases_with_training(self):
+        records = cluster_data(500, CENTERS, seed=10)
+        probe = np.array([r[:2] for r in records[:200]])
+        model = StreamingKMeans(3, lambda r: r[:2], seed=8)
+        stream = batches_of(records, per_batch=50)
+        first = next(stream)
+        model._partial_fit(np.array([r[:2] for r in first.records]))
+        early = model.inertia(probe)
+        model.fit_stream(stream, min_records=300)
+        late = model.inertia(probe)
+        assert late <= early + 1e-9

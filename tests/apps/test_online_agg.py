@@ -1,0 +1,158 @@
+"""Tests for the online-aggregation estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import OnlineAggregator, aggregate_stream
+from repro.baselines.base import Batch
+from repro.core.errors import EstimatorError
+
+
+def records_with_values(values):
+    return [(i, float(v)) for i, v in enumerate(values)]
+
+
+class TestAggregatorBasics:
+    def test_validation(self):
+        with pytest.raises(EstimatorError):
+            OnlineAggregator(lambda r: r[1], population=-1)
+        with pytest.raises(EstimatorError):
+            OnlineAggregator(lambda r: r[1], population=10, confidence=1.0)
+
+    def test_no_samples_yet(self):
+        agg = OnlineAggregator(lambda r: r[1], population=100)
+        with pytest.raises(EstimatorError):
+            _ = agg.mean
+        with pytest.raises(EstimatorError):
+            agg.half_width()
+
+    def test_mean_and_variance_welford(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        agg = OnlineAggregator(lambda r: r[1], population=len(values))
+        agg.update(records_with_values(values))
+        assert agg.mean == pytest.approx(np.mean(values))
+        assert agg.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_incremental_matches_batch(self):
+        values = list(np.linspace(-5, 20, 57))
+        a = OnlineAggregator(lambda r: r[1], population=57)
+        a.update(records_with_values(values))
+        b = OnlineAggregator(lambda r: r[1], population=57)
+        for record in records_with_values(values):
+            b.update([record])
+        assert a.mean == pytest.approx(b.mean)
+        assert a.variance == pytest.approx(b.variance)
+
+    def test_total_scales_by_population(self):
+        agg = OnlineAggregator(lambda r: r[1], population=1000)
+        agg.update(records_with_values([2.0, 4.0]))
+        assert agg.total == pytest.approx(3.0 * 1000)
+
+
+class TestConfidenceIntervals:
+    def test_single_sample_infinite(self):
+        agg = OnlineAggregator(lambda r: r[1], population=100)
+        agg.update(records_with_values([1.0]))
+        assert math.isinf(agg.half_width())
+
+    def test_interval_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10, 2, size=400)
+        agg = OnlineAggregator(lambda r: r[1], population=10_000)
+        agg.update(records_with_values(values[:20]))
+        wide = agg.half_width()
+        agg.update(records_with_values(values[20:]))
+        narrow = agg.half_width()
+        assert narrow < wide / 2
+
+    def test_fpc_zeroes_at_full_population(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        agg = OnlineAggregator(lambda r: r[1], population=4)
+        agg.update(records_with_values(values))
+        assert agg.half_width() == pytest.approx(0.0)
+
+    def test_interval_contains_mean(self):
+        agg = OnlineAggregator(lambda r: r[1], population=100)
+        agg.update(records_with_values([1.0, 5.0, 9.0]))
+        lo, hi = agg.mean_interval()
+        assert lo <= agg.mean <= hi
+
+    def test_sum_interval(self):
+        agg = OnlineAggregator(lambda r: r[1], population=10)
+        agg.update(records_with_values([1.0, 2.0, 3.0]))
+        lo, hi = agg.sum_interval()
+        m_lo, m_hi = agg.mean_interval()
+        assert lo == pytest.approx(m_lo * 10)
+        assert hi == pytest.approx(m_hi * 10)
+
+    def test_coverage_statistical(self):
+        """95% CIs over repeated finite-population draws should contain the
+        true mean roughly 95% of the time (allow down to 85%)."""
+        rng = np.random.default_rng(7)
+        population = rng.normal(50, 10, size=2000)
+        true_mean = float(population.mean())
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(population, size=60, replace=False)
+            agg = OnlineAggregator(lambda r: r[1], population=2000)
+            agg.update(records_with_values(sample))
+            lo, hi = agg.mean_interval()
+            hits += lo <= true_mean <= hi
+        assert hits >= 0.85 * trials
+
+
+class TestAggregateStream:
+    def _batches(self, values, per_batch=10):
+        for i in range(0, len(values), per_batch):
+            chunk = values[i:i + per_batch]
+            yield Batch(
+                records=tuple(records_with_values(chunk)), clock=float(i)
+            )
+
+    def test_progress_points(self):
+        rng = np.random.default_rng(1)
+        values = list(rng.normal(5, 1, size=100))
+        points = list(
+            aggregate_stream(
+                self._batches(values), lambda r: r[1], population=1000
+            )
+        )
+        assert len(points) == 10
+        sizes = [p.sample_size for p in points]
+        assert sizes == sorted(sizes)
+        assert points[-1].sample_size == 100
+        assert points[-1].mean_low <= points[-1].mean <= points[-1].mean_high
+
+    def test_stops_at_target_width(self):
+        rng = np.random.default_rng(2)
+        values = list(rng.normal(100, 0.1, size=10_000))
+        points = list(
+            aggregate_stream(
+                self._batches(values),
+                lambda r: r[1],
+                population=10**6,
+                target_relative_width=0.001,
+            )
+        )
+        assert points[-1].sample_size < 10_000  # stopped early
+
+    def test_stops_at_max_records(self):
+        values = [1.0] * 500
+        points = list(
+            aggregate_stream(
+                self._batches(values), lambda r: r[1], population=10**6,
+                max_records=50,
+            )
+        )
+        assert points[-1].sample_size == 50
+
+    def test_skips_empty_batches(self):
+        batches = [Batch(records=(), clock=0.0),
+                   Batch(records=tuple(records_with_values([1.0, 2.0])), clock=1.0)]
+        points = list(
+            aggregate_stream(iter(batches), lambda r: r[1], population=10)
+        )
+        assert len(points) == 1

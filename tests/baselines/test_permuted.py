@@ -1,0 +1,118 @@
+"""Tests for the randomly permuted file baseline."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_permuted_file
+from repro.core import Box, Interval
+from repro.core.errors import QueryError
+from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+from ..conftest import make_kv_records
+
+
+@pytest.fixture
+def setup(disk, kv_schema):
+    records = make_kv_records(3000, seed=17)
+    heap = HeapFile.bulk_load(disk, kv_schema, records)
+    return records, heap, build_permuted_file(heap, ("k",), seed=5)
+
+
+def query(lo, hi):
+    return Box.of(Interval.closed(lo, hi))
+
+
+class TestBuild:
+    def test_same_multiset(self, setup):
+        records, _heap, permuted = setup
+        stored = Counter((r[0], r[1]) for r in permuted.heap.scan())
+        assert stored == Counter((r[0], r[1]) for r in records)
+
+    def test_order_actually_shuffled(self, setup):
+        records, _heap, permuted = setup
+        stored_keys = [r[0] for r in permuted.heap.scan()]
+        original_keys = [r[0] for r in records]
+        assert stored_keys != original_keys
+        assert stored_keys != sorted(original_keys)
+
+    def test_deterministic_per_seed(self, kv_schema):
+        def build(seed):
+            disk = SimulatedDisk(page_size=2048, cost=CostModel.scaled(2048))
+            heap = HeapFile.bulk_load(disk, kv_schema, make_kv_records(500, seed=1))
+            return [r[0] for r in build_permuted_file(heap, ("k",), seed=seed).heap.scan()]
+
+        assert build(3) == build(3)
+        assert build(3) != build(4)
+
+    def test_prefix_is_unbiased(self, kv_schema):
+        """The mean key of the stored prefix matches the relation mean:
+        the permutation does not favour any key region."""
+        disk = SimulatedDisk(page_size=2048, cost=CostModel.scaled(2048))
+        records = make_kv_records(4000, seed=2)
+        heap = HeapFile.bulk_load(disk, kv_schema, records)
+        permuted = build_permuted_file(heap, ("k",), seed=9)
+        stored = [r[0] for r in permuted.heap.scan()]
+        prefix_mean = float(np.mean(stored[:400]))
+        full_mean = float(np.mean(stored))
+        spread = float(np.std(stored))
+        assert abs(prefix_mean - full_mean) < 5 * spread / np.sqrt(400)
+
+
+class TestSampling:
+    def test_completeness(self, setup):
+        records, _heap, permuted = setup
+        got = [r for b in permuted.sample(query(100_000, 400_000)) for r in b.records]
+        expected = [r for r in records if 100_000 <= r[0] <= 400_000]
+        assert Counter((r[0], r[1]) for r in got) == Counter(
+            (r[0], r[1]) for r in expected
+        )
+
+    def test_all_prefix_records_match(self, setup):
+        _records, _heap, permuted = setup
+        for batch in permuted.sample(query(100_000, 400_000)):
+            assert all(100_000 <= r[0] <= 400_000 for r in batch.records)
+
+    def test_clock_monotone_and_sequential(self, setup):
+        _records, _heap, permuted = setup
+        disk = permuted.heap.disk
+        disk.reset_clock()
+        clocks = [b.clock for b in permuted.sample(query(0, 1_000_000))]
+        assert clocks == sorted(clocks)
+        assert disk.stats.seeks == 1  # pure sequential scan
+
+    def test_one_batch_per_page(self, setup):
+        _records, _heap, permuted = setup
+        batches = list(permuted.sample(query(0, 1_000_000)))
+        assert len(batches) == permuted.heap.num_pages
+
+    def test_empty_query(self, setup):
+        _records, _heap, permuted = setup
+        got = [r for b in permuted.sample(query(2_000_000, 3_000_000)) for r in b.records]
+        assert got == []
+
+    def test_dims_checked(self, setup):
+        _records, _heap, permuted = setup
+        with pytest.raises(QueryError):
+            list(permuted.sample(Box.of(Interval(0, 1), Interval(0, 1))))
+
+    def test_rate_proportional_to_selectivity(self, setup):
+        """The permuted file's defining weakness: useful sample rate scales
+        with selectivity (paper Section II.A)."""
+        records, _heap, permuted = setup
+        keys = sorted(r[0] for r in records)
+        narrow = query(keys[0], keys[len(keys) // 10])       # ~10%
+        wide = query(keys[0], keys[len(keys) // 2])          # ~50%
+        batches_narrow = list(permuted.sample(narrow))[:50]
+        batches_wide = list(permuted.sample(wide))[:50]
+        got_narrow = sum(len(b.records) for b in batches_narrow)
+        got_wide = sum(len(b.records) for b in batches_wide)
+        assert got_wide > 3 * got_narrow
+
+    def test_free(self, setup):
+        _records, _heap, permuted = setup
+        disk = permuted.heap.disk
+        permuted.free()
+        # The base heap remains; the permuted copy's pages are gone.
+        assert disk.allocated_pages > 0

@@ -1,0 +1,204 @@
+"""Tests for the STR R-Tree and its two sampling algorithms."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_rtree
+from repro.baselines.rtree import str_slab_layout
+from repro.core import Box, Interval
+from repro.core.errors import IndexBuildError, QueryError
+from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+from ..conftest import make_xy_records
+
+
+@pytest.fixture
+def setup(disk, xy_schema):
+    records = make_xy_records(3000, seed=29)
+    heap = HeapFile.bulk_load(disk, xy_schema, records)
+    return records, build_rtree(heap, ("x", "y"), leaf_cache_pages=64)
+
+
+def box(x_lo, x_hi, y_lo, y_hi):
+    return Box.of(Interval.closed(x_lo, x_hi), Interval.closed(y_lo, y_hi))
+
+
+def matching_of(records, x_lo, x_hi, y_lo, y_hi):
+    return [r for r in records if x_lo <= r[0] <= x_hi and y_lo <= r[1] <= y_hi]
+
+
+class TestBuild:
+    def test_empty_rejected(self, disk, xy_schema):
+        heap = HeapFile.bulk_load(disk, xy_schema, [])
+        with pytest.raises(IndexBuildError):
+            build_rtree(heap, ("x", "y"))
+
+    def test_one_dim_rejected(self, disk, xy_schema):
+        heap = HeapFile.bulk_load(disk, xy_schema, make_xy_records(10))
+        with pytest.raises(IndexBuildError):
+            build_rtree(heap, ("x",))
+
+    def test_counts(self, setup):
+        records, tree = setup
+        assert tree.num_records == len(records)
+        assert tree.dims == 2
+        assert tree.num_pages > tree.leaves.num_pages
+
+    def test_all_records_stored(self, setup):
+        records, tree = setup
+        stored = Counter(r[2] for r in tree.leaves.scan())
+        assert stored == Counter(r[2] for r in records)
+
+    def test_str_layout_helper(self):
+        slabs, slab_records = str_slab_layout(1000, 10)
+        assert slabs == 10  # ceil(sqrt(100))
+        assert slab_records == 100
+        with pytest.raises(IndexBuildError):
+            str_slab_layout(100, 0)
+
+    def test_str_packing_produces_tight_pages(self, setup):
+        """STR leaf pages should have small MBRs: the average leaf MBR area
+        is near the ideal 1/num_pages of the unit square."""
+        _records, tree = setup
+        node = tree._node_cache.read(tree._root_pid)
+        # Walk to leaf entries and measure their MBR areas.
+        areas = []
+        stack = [tree._root_pid]
+        while stack:
+            n = tree._node_cache.read(stack.pop())
+            if n.leaf_children:
+                areas.extend(m.volume() for m in n.mbrs)
+            else:
+                stack.extend(n.children)
+        mean_area = float(np.mean(areas))
+        ideal = 1.0 / tree.leaves.num_pages
+        assert mean_area < 6 * ideal
+
+
+class TestCount:
+    @pytest.mark.parametrize("bounds", [
+        (0.1, 0.4, 0.2, 0.8),
+        (0.0, 1.0, 0.0, 1.0),
+        (0.45, 0.55, 0.45, 0.55),
+        (0.9, 1.0, 0.0, 0.05),
+    ])
+    def test_exact_count(self, setup, bounds):
+        records, tree = setup
+        assert tree.count(box(*bounds)) == len(matching_of(records, *bounds))
+
+    def test_count_empty_region(self, setup):
+        _records, tree = setup
+        assert tree.count(box(2.0, 3.0, 2.0, 3.0)) == 0
+
+    def test_count_dims_checked(self, setup):
+        _records, tree = setup
+        with pytest.raises(QueryError):
+            tree.count(Box.of(Interval(0, 1)))
+
+
+class TestRankedSampling:
+    def test_completeness(self, setup):
+        records, tree = setup
+        got = [r for b in tree.sample(box(0.2, 0.6, 0.3, 0.7), seed=1) for r in b.records]
+        expected = matching_of(records, 0.2, 0.6, 0.3, 0.7)
+        assert Counter(r[2] for r in got) == Counter(r[2] for r in expected)
+
+    def test_prefix_matches_predicate(self, setup):
+        _records, tree = setup
+        got = []
+        for batch in tree.sample(box(0.1, 0.9, 0.1, 0.9), seed=2):
+            got.extend(batch.records)
+            if len(got) >= 200:
+                break
+        assert all(0.1 <= r[0] <= 0.9 and 0.1 <= r[1] <= 0.9 for r in got)
+        assert len(set(r[2] for r in got)) == len(got)  # without replacement
+
+    def test_empty_query(self, setup):
+        _records, tree = setup
+        assert list(tree.sample(box(2.0, 3.0, 2.0, 3.0), seed=1)) == []
+
+    def test_overlapping_leaf_entries_cover_matches(self, setup):
+        records, tree = setup
+        q = box(0.3, 0.5, 0.3, 0.5)
+        entries = tree.overlapping_leaf_entries(q)
+        candidate = sum(count for _page, count in entries)
+        assert candidate >= len(matching_of(records, 0.3, 0.5, 0.3, 0.5))
+        # STR tightness: candidates should not wildly exceed matches.
+        assert candidate < 12 * max(len(matching_of(records, 0.3, 0.5, 0.3, 0.5)), 1)
+
+    def test_prefix_unbiased(self, setup):
+        records, tree = setup
+        q = box(0.2, 0.8, 0.2, 0.8)
+        matching = matching_of(records, 0.2, 0.8, 0.2, 0.8)
+        true_mean = float(np.mean([r[0] for r in matching]))
+        spread = float(np.std([r[0] for r in matching]))
+        estimates = []
+        for seed in range(30):
+            tree.reset_caches()
+            got = []
+            for batch in tree.sample(q, seed=seed):
+                got.extend(batch.records)
+                if len(got) >= 50:
+                    break
+            estimates.append(float(np.mean([r[0] for r in got])))
+        grand = float(np.mean(estimates))
+        assert abs(grand - true_mean) < 5 * spread / np.sqrt(50 * 30)
+
+
+class TestOlkenSampling:
+    def test_completeness(self, setup):
+        records, tree = setup
+        got = [
+            r
+            for b in tree.sample_olken(box(0.4, 0.7, 0.2, 0.5), seed=3)
+            for r in b.records
+        ]
+        expected = matching_of(records, 0.4, 0.7, 0.2, 0.5)
+        assert Counter(r[2] for r in got) == Counter(r[2] for r in expected)
+
+    def test_duplicate_records_do_not_stall(self, disk, xy_schema):
+        """Positional identity: exact duplicate rows are still all returned."""
+        records = [(0.5, 0.5, -1)] * 40 + make_xy_records(200, seed=1)
+        heap = HeapFile.bulk_load(disk, xy_schema, records)
+        tree = build_rtree(heap, ("x", "y"), leaf_cache_pages=64)
+        got = [
+            r
+            for b in tree.sample_olken(box(0.0, 1.0, 0.0, 1.0), seed=1)
+            for r in b.records
+        ]
+        assert len(got) == 240
+        assert sum(1 for r in got if r[2] == -1) == 40
+
+    def test_olken_prefix_unbiased(self, setup):
+        records, tree = setup
+        q = box(0.0, 1.0, 0.0, 1.0)
+        true_mean = float(np.mean([r[0] for r in records]))
+        spread = float(np.std([r[0] for r in records]))
+        estimates = []
+        for seed in range(20):
+            tree.reset_caches()
+            got = []
+            for batch in tree.sample_olken(q, seed=seed):
+                got.extend(batch.records)
+                if len(got) >= 50:
+                    break
+            estimates.append(float(np.mean([r[0] for r in got])))
+        grand = float(np.mean(estimates))
+        assert abs(grand - true_mean) < 5 * spread / np.sqrt(50 * 20)
+
+
+class TestLifecycle:
+    def test_reset_caches(self, setup):
+        _records, tree = setup
+        list(tree.sample(box(0.4, 0.6, 0.4, 0.6), seed=1))
+        tree.reset_caches()
+        assert tree._leaf_cache.hits == 0
+
+    def test_free(self, setup):
+        _records, tree = setup
+        disk = tree.leaves.disk
+        before = disk.allocated_pages
+        tree.free()
+        assert disk.allocated_pages < before

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.bench import clear_context_cache
+from repro.bench.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _clear_cache():
+    yield
+    clear_context_cache()
+
+
+class TestList:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig11", "fig14", "fig15a", "fig18"):
+            assert name in out
+
+
+class TestFigures:
+    def test_runs_one_figure(self, capsys, tmp_path):
+        code = main([
+            "figures", "fig12", "--scale", "small", "--queries", "1",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "% scan time" in out
+        assert (tmp_path / "fig12.txt").exists()
+        assert "leader at" in (tmp_path / "fig12.txt").read_text()
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_seed_changes_queries(self, capsys):
+        main(["figures", "fig12", "--scale", "small", "--queries", "1",
+              "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["figures", "fig12", "--scale", "small", "--queries", "1",
+              "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

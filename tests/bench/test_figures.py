@@ -1,0 +1,110 @@
+"""Tests for the per-figure experiment harness (at the small scale)."""
+
+import pytest
+
+from repro.bench import (
+    ACE,
+    BPLUS,
+    FIGURES,
+    PERMUTED,
+    RTREE,
+    SCALES,
+    clear_context_cache,
+    format_figure,
+    get_context,
+    run_figure,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_cache_afterwards():
+    yield
+    clear_context_cache()
+
+
+class TestScales:
+    def test_height_targets_leaf_records(self):
+        scale = SCALES["medium"]
+        leaves = 2 ** (scale.height - 1)
+        leaf_records = scale.num_records / leaves
+        assert scale.leaf_records / 2 < leaf_records <= scale.leaf_records * 2
+
+    def test_leaf_cache_about_five_percent(self):
+        scale = SCALES["medium"]
+        relation_pages = scale.num_records * scale.record_size / scale.page_size
+        assert scale.leaf_cache_pages == pytest.approx(relation_pages / 20, rel=0.1)
+
+
+class TestFigureSpecs:
+    def test_all_eight_figures_present(self):
+        assert set(FIGURES) == {
+            "fig11", "fig12", "fig13", "fig14",
+            "fig15a", "fig15b", "fig16", "fig17", "fig18",
+        }
+
+    def test_selectivities_match_paper(self):
+        assert FIGURES["fig11"].selectivity == 0.0025
+        assert FIGURES["fig12"].selectivity == 0.025
+        assert FIGURES["fig13"].selectivity == 0.25
+        assert FIGURES["fig16"].dims == 2
+        assert FIGURES["fig14"].window_fraction is None
+        assert FIGURES["fig15a"].buffer_metric
+
+
+class TestContext:
+    def test_context_cached(self):
+        a = get_context(1, "small")
+        b = get_context(1, "small")
+        assert a is b
+
+    def test_1d_has_bplus_2d_has_rtree(self):
+        one = get_context(1, "small")
+        assert one.bplus is not None and one.rtree is None
+        two = get_context(2, "small")
+        assert two.rtree is not None and two.bplus is None
+
+    def test_sampler_names(self):
+        context = get_context(1, "small")
+        assert set(context.samplers()) == {ACE, BPLUS, PERMUTED}
+        context2 = get_context(2, "small")
+        assert set(context2.samplers()) == {ACE, RTREE, PERMUTED}
+
+
+class TestRunFigure:
+    def test_windowed_figure_runs(self):
+        result = run_figure("fig12", scale="small", num_queries=2, grid_points=8)
+        assert set(result.curves) == {ACE, BPLUS, PERMUTED}
+        for curve in result.curves.values():
+            assert len(curve.grid) == 8
+            assert curve.mean_counts == sorted(curve.mean_counts)  # cumulative
+        # Window is 4% of the scan.
+        assert result.curves[ACE].grid[-1] == pytest.approx(
+            0.04 * result.scan_seconds
+        )
+
+    def test_completion_figure_runs(self):
+        result = run_figure("fig14", scale="small", num_queries=1, grid_points=6)
+        # Everyone finished and returned the full matching set.
+        for name, raws in result.raw.items():
+            assert all(curve.completed for curve in raws), name
+        totals = {name: raws[0].total for name, raws in result.raw.items()}
+        assert len(set(totals.values())) == 1, f"mismatched totals {totals}"
+        assert result.completion_time(PERMUTED) is not None
+
+    def test_2d_figure_runs(self):
+        result = run_figure("fig17", scale="small", num_queries=1, grid_points=6)
+        assert RTREE in result.curves
+
+    def test_percent_and_leader_helpers(self):
+        result = run_figure("fig13", scale="small", num_queries=2, grid_points=8)
+        pct = result.percent_at(PERMUTED, 4.0)
+        # Permuted at 4% of scan returns ~ 4% x 25% = 1% of the relation.
+        assert pct == pytest.approx(1.0, rel=0.5)
+        assert result.leader_at(4.0) in result.curves
+
+    def test_format_figure_renders(self):
+        result = run_figure("fig15b", scale="small", num_queries=1, grid_points=5)
+        text = format_figure(result)
+        assert "fig15b" in text
+        assert "buffered" in text
+        assert "% scan time" in text

@@ -1,0 +1,114 @@
+"""Tests for the sampling-race measurement machinery."""
+
+import pytest
+
+from repro.baselines.base import Batch
+from repro.bench import RaceCurve, average_curves, make_grid, run_race
+
+
+def fake_batches(spec):
+    """spec: list of (clock, n_records[, buffered])."""
+    for entry in spec:
+        clock, n = entry[0], entry[1]
+        buffered = entry[2] if len(entry) > 2 else 0
+        batch = Batch(records=tuple((i, 0.0) for i in range(n)), clock=clock)
+        if buffered:
+            # Emulate ACE batches, which carry buffered_records.
+            class _B:
+                pass
+
+            b = _B()
+            b.records = batch.records
+            b.clock = clock
+            b.buffered_records = buffered
+            yield b
+        else:
+            yield batch
+
+
+class TestRunRace:
+    def test_records_elapsed_deltas(self):
+        curve = run_race("x", fake_batches([(10.0, 2), (11.0, 3)]), start_clock=10.0)
+        assert curve.times == [0.0, 1.0]
+        assert curve.counts == [2, 5]
+        assert curve.completed
+        assert curve.total == 5
+
+    def test_time_limit_stops(self):
+        curve = run_race(
+            "x",
+            fake_batches([(1.0, 1), (2.0, 1), (3.0, 1)]),
+            start_clock=0.0,
+            time_limit=2.0,
+        )
+        assert len(curve.times) == 2
+        assert not curve.completed
+
+    def test_count_limit_stops(self):
+        curve = run_race(
+            "x",
+            fake_batches([(1.0, 5), (2.0, 5), (3.0, 5)]),
+            start_clock=0.0,
+            count_limit=8,
+        )
+        assert curve.counts == [5, 10]
+        assert not curve.completed
+
+    def test_buffered_tracked(self):
+        curve = run_race(
+            "x", fake_batches([(1.0, 1, 7), (2.0, 1, 3)]), start_clock=0.0
+        )
+        assert curve.buffered == [7, 3]
+
+    def test_count_at_step_interpolation(self):
+        curve = run_race("x", fake_batches([(1.0, 2), (3.0, 4)]), start_clock=0.0)
+        assert curve.count_at(0.5) == 0
+        assert curve.count_at(1.0) == 2
+        assert curve.count_at(2.9) == 2
+        assert curve.count_at(3.0) == 6
+        assert curve.count_at(100.0) == 6
+
+    def test_empty_stream(self):
+        curve = run_race("x", iter(()), start_clock=0.0)
+        assert curve.total == 0
+        assert curve.completed
+        assert curve.count_at(1.0) == 0
+
+
+class TestAverageCurves:
+    def test_mean_min_max(self):
+        a = run_race("x", fake_batches([(1.0, 2), (2.0, 2)]), start_clock=0.0)
+        b = run_race("x", fake_batches([(1.0, 4), (2.0, 4)]), start_clock=0.0)
+        avg = average_curves("x", [a, b], grid=[1.0, 2.0])
+        assert avg.mean_counts == [3.0, 6.0]
+        assert avg.min_counts == [2.0, 4.0]
+        assert avg.max_counts == [4.0, 8.0]
+        assert avg.num_queries == 2
+
+    def test_buffered_averaged(self):
+        a = run_race("x", fake_batches([(1.0, 1, 10)]), start_clock=0.0)
+        b = run_race("x", fake_batches([(1.0, 1, 20)]), start_clock=0.0)
+        avg = average_curves("x", [a, b], grid=[1.0])
+        assert avg.mean_buffered == [15.0]
+        assert avg.min_buffered == [10.0]
+        assert avg.max_buffered == [20.0]
+
+    def test_normalized(self):
+        a = run_race("x", fake_batches([(1.0, 50)]), start_clock=0.0)
+        avg = average_curves("x", [a], grid=[1.0, 2.0])
+        pairs = avg.normalized(scan_seconds=10.0, relation_records=100)
+        assert pairs[0] == (pytest.approx(10.0), pytest.approx(50.0))
+
+    def test_empty_curve_list_rejected(self):
+        with pytest.raises(ValueError):
+            average_curves("x", [], grid=[1.0])
+
+
+class TestMakeGrid:
+    def test_even_spacing(self):
+        grid = make_grid(10.0, points=5)
+        assert grid == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_grid(10.0, points=0)

@@ -1,0 +1,93 @@
+"""Tests for the ASCII figure reports."""
+
+import pytest
+
+from repro.bench import (
+    ACE,
+    BPLUS,
+    PERMUTED,
+    FigureResult,
+    RaceCurve,
+    average_curves,
+    format_figure,
+    format_summary,
+)
+from repro.bench.figures import FIGURES, SCALES
+
+
+def _curve(name, times_counts, buffered=None):
+    curve = RaceCurve(name=name)
+    for i, (t, c) in enumerate(times_counts):
+        curve.times.append(t)
+        curve.counts.append(c)
+        curve.buffered.append(buffered[i] if buffered else 0)
+    curve.completed = True
+    return curve
+
+
+@pytest.fixture
+def result():
+    grid = [1.0, 2.0]
+    curves = {
+        ACE: average_curves(ACE, [_curve(ACE, [(0.5, 50), (1.5, 120)],
+                                         buffered=[30, 10])], grid),
+        PERMUTED: average_curves(PERMUTED, [_curve(PERMUTED, [(1.0, 20),
+                                                              (2.0, 40)])], grid),
+        BPLUS: average_curves(BPLUS, [_curve(BPLUS, [(2.0, 5)])], grid),
+    }
+    return FigureResult(
+        spec=FIGURES["fig12"],
+        scale=SCALES["small"],
+        scan_seconds=10.0,
+        relation_records=10_000,
+        curves=curves,
+        raw={
+            ACE: [_curve(ACE, [(0.5, 50), (1.5, 120)])],
+            PERMUTED: [_curve(PERMUTED, [(1.0, 20), (2.0, 40)])],
+            BPLUS: [_curve(BPLUS, [(2.0, 5)])],
+        },
+    )
+
+
+class TestFigureResultHelpers:
+    def test_percent_at(self, result):
+        # At 20% of scan (t=2.0): ACE mean count is 120 of 10,000 = 1.2%.
+        assert result.percent_at(ACE, 20.0) == pytest.approx(1.2)
+        assert result.percent_at(PERMUTED, 20.0) == pytest.approx(0.4)
+
+    def test_percent_before_first_point_is_zero(self, result):
+        assert result.percent_at(BPLUS, 5.0) == 0.0
+
+    def test_leader_at(self, result):
+        assert result.leader_at(20.0) == ACE
+
+    def test_completion_time(self, result):
+        assert result.completion_time(ACE) == pytest.approx(1.5)
+        assert result.completion_time(PERMUTED) == pytest.approx(2.0)
+
+    def test_completion_none_when_capped(self, result):
+        result.raw[ACE][0].completed = False
+        assert result.completion_time(ACE) is None
+
+
+class TestFormatting:
+    def test_format_figure_contains_series(self, result):
+        text = format_figure(result)
+        assert "fig12" in text
+        assert "% scan time" in text
+        assert ACE in text
+        assert "1.2000%" in text
+
+    def test_format_summary_names_leaders(self, result):
+        text = format_summary(result)
+        assert "leader at" in text
+        assert ACE in text
+        assert "completed at" in text
+
+    def test_buffer_section_only_for_fig15(self, result):
+        assert "buffered" not in format_figure(result)
+        object.__setattr__(result.spec, "buffer_metric", True)
+        try:
+            assert "buffered" in format_figure(result)
+        finally:
+            object.__setattr__(result.spec, "buffer_metric", False)

@@ -1,0 +1,41 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro.core import errors
+
+
+def _leaf_exceptions():
+    return [
+        errors.SchemaError,
+        errors.SerializationError,
+        errors.PageError,
+        errors.BufferPoolError,
+        errors.HeapFileError,
+        errors.SortError,
+        errors.IndexBuildError,
+        errors.QueryError,
+        errors.ViewError,
+        errors.ParseError,
+        errors.EstimatorError,
+    ]
+
+
+@pytest.mark.parametrize("exc", _leaf_exceptions())
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_storage_family():
+    for exc in (errors.PageError, errors.BufferPoolError, errors.HeapFileError,
+                errors.SortError):
+        assert issubclass(exc, errors.StorageError)
+
+
+def test_parse_error_is_view_error():
+    assert issubclass(errors.ParseError, errors.ViewError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.QueryError("boom")

@@ -1,0 +1,194 @@
+"""Unit tests for the interval/box geometry."""
+
+import math
+
+import pytest
+
+from repro.core import Box, Interval
+
+
+class TestInterval:
+    def test_basic_construction(self):
+        iv = Interval(1.0, 5.0)
+        assert iv.lo == 1.0
+        assert iv.hi == 5.0
+        assert iv.width == 4.0
+        assert not iv.is_empty
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, math.nan)
+
+    def test_empty_interval(self):
+        assert Interval(3.0, 3.0).is_empty
+        assert not Interval(3.0, 3.0).contains_value(3.0)
+
+    def test_half_open_semantics(self):
+        iv = Interval(0.0, 10.0)
+        assert iv.contains_value(0.0)
+        assert iv.contains_value(9.999999)
+        assert not iv.contains_value(10.0)
+        assert not iv.contains_value(-0.0001)
+
+    def test_closed_constructor_includes_upper_bound(self):
+        iv = Interval.closed(0.0, 10.0)
+        assert iv.contains_value(10.0)
+        assert not iv.contains_value(10.0001)
+
+    def test_closed_constructor_on_integers(self):
+        iv = Interval.closed(5, 5)
+        assert iv.contains_value(5)
+        assert not iv.is_empty
+
+    def test_closed_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Interval.closed(2.0, 1.0)
+
+    def test_everything_contains_all(self):
+        iv = Interval.everything()
+        assert iv.contains_value(0.0)
+        assert iv.contains_value(1e300)
+        assert iv.contains_value(-1e300)
+
+    def test_contains_interval(self):
+        outer = Interval(0.0, 10.0)
+        assert outer.contains(Interval(2.0, 8.0))
+        assert outer.contains(Interval(0.0, 10.0))
+        assert not outer.contains(Interval(-1.0, 5.0))
+        assert not outer.contains(Interval(5.0, 11.0))
+
+    def test_contains_empty_always_true(self):
+        assert Interval(0.0, 1.0).contains(Interval(100.0, 100.0))
+
+    def test_overlaps(self):
+        a = Interval(0.0, 5.0)
+        assert a.overlaps(Interval(4.0, 10.0))
+        assert a.overlaps(Interval(-1.0, 0.5))
+        assert not a.overlaps(Interval(5.0, 10.0))  # touching: half-open
+        assert not a.overlaps(Interval(-5.0, 0.0))
+        assert not a.overlaps(Interval(2.0, 2.0))  # empty never overlaps
+
+    def test_intersect(self):
+        a = Interval(0.0, 5.0)
+        got = a.intersect(Interval(3.0, 8.0))
+        assert (got.lo, got.hi) == (3.0, 5.0)
+        assert a.intersect(Interval(7.0, 9.0)).is_empty
+
+    def test_split_at(self):
+        low, high = Interval(0.0, 10.0).split_at(4.0)
+        assert (low.lo, low.hi) == (0.0, 4.0)
+        assert (high.lo, high.hi) == (4.0, 10.0)
+
+    def test_split_at_edges_allowed(self):
+        low, high = Interval(0.0, 10.0).split_at(0.0)
+        assert low.is_empty
+        assert not high.is_empty
+        low, high = Interval(0.0, 10.0).split_at(10.0)
+        assert not low.is_empty
+        assert high.is_empty
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 10.0).split_at(11.0)
+
+
+class TestBox:
+    def test_of_and_dims(self):
+        box = Box.of(Interval(0.0, 1.0), Interval(2.0, 3.0))
+        assert box.dims == 2
+        assert not box.is_empty
+
+    def test_needs_a_dimension(self):
+        with pytest.raises(ValueError):
+            Box(())
+
+    def test_closed(self):
+        box = Box.closed([0.0, 0.0], [1.0, 1.0])
+        assert box.contains_point((1.0, 1.0))
+        assert not box.contains_point((1.0001, 1.0))
+
+    def test_from_bounds_mismatched(self):
+        with pytest.raises(ValueError):
+            Box.from_bounds([0.0], [1.0, 2.0])
+
+    def test_contains_point_checks_dims(self):
+        box = Box.of(Interval(0.0, 1.0))
+        with pytest.raises(ValueError):
+            box.contains_point((0.5, 0.5))
+
+    def test_contains_box(self):
+        outer = Box.of(Interval(0.0, 10.0), Interval(0.0, 10.0))
+        inner = Box.of(Interval(1.0, 2.0), Interval(1.0, 2.0))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_overlaps_requires_all_dims(self):
+        a = Box.of(Interval(0.0, 5.0), Interval(0.0, 5.0))
+        b = Box.of(Interval(4.0, 6.0), Interval(10.0, 12.0))
+        assert not a.overlaps(b)  # overlap in x only
+        c = Box.of(Interval(4.0, 6.0), Interval(4.0, 6.0))
+        assert a.overlaps(c)
+
+    def test_dims_mismatch_rejected(self):
+        a = Box.of(Interval(0.0, 1.0))
+        b = Box.of(Interval(0.0, 1.0), Interval(0.0, 1.0))
+        with pytest.raises(ValueError):
+            a.overlaps(b)
+        with pytest.raises(ValueError):
+            a.contains(b)
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+    def test_intersect(self):
+        a = Box.of(Interval(0.0, 5.0), Interval(0.0, 5.0))
+        b = Box.of(Interval(3.0, 8.0), Interval(-2.0, 2.0))
+        got = a.intersect(b)
+        assert got.sides[0].lo == 3.0
+        assert got.sides[0].hi == 5.0
+        assert got.sides[1].lo == 0.0
+        assert got.sides[1].hi == 2.0
+
+    def test_split_at_axis(self):
+        box = Box.of(Interval(0.0, 10.0), Interval(0.0, 10.0))
+        low, high = box.split_at(1, 4.0)
+        assert low.sides[0] == box.sides[0]
+        assert low.sides[1].hi == 4.0
+        assert high.sides[1].lo == 4.0
+
+    def test_split_bad_axis(self):
+        box = Box.of(Interval(0.0, 1.0))
+        with pytest.raises(ValueError):
+            box.split_at(1, 0.5)
+
+    def test_volume(self):
+        box = Box.of(Interval(0.0, 2.0), Interval(0.0, 3.0))
+        assert box.volume() == 6.0
+
+    def test_everything(self):
+        box = Box.everything(3)
+        assert box.dims == 3
+        assert box.contains_point((1e9, -1e9, 0.0))
+
+    def test_bounding(self):
+        box = Box.bounding([(0.0, 5.0), (2.0, 1.0), (-1.0, 3.0)])
+        assert box.contains_point((0.0, 5.0))
+        assert box.contains_point((2.0, 1.0))
+        assert box.contains_point((-1.0, 3.0))
+        # Tight: barely outside the hull fails.
+        assert not box.contains_point((-1.1, 3.0))
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Box.bounding([])
+
+    def test_replace_side(self):
+        box = Box.of(Interval(0.0, 1.0), Interval(0.0, 1.0))
+        got = box.replace_side(1, Interval(5.0, 6.0))
+        assert got.sides[0] == box.sides[0]
+        assert got.sides[1].lo == 5.0

@@ -1,0 +1,159 @@
+"""Unit tests for schemas and record serialization."""
+
+import pytest
+
+from repro.core import Field, Schema, SchemaError, SerializationError
+
+
+class TestField:
+    def test_scalar_fields(self):
+        assert Field("a", "i8").struct_code == "q"
+        assert Field("a", "f8").struct_code == "d"
+
+    def test_bytes_field(self):
+        assert Field("pad", "bytes", 12).struct_code == "12s"
+
+    def test_bytes_requires_size(self):
+        with pytest.raises(SchemaError):
+            Field("pad", "bytes")
+
+    def test_scalar_rejects_size(self):
+        with pytest.raises(SchemaError):
+            Field("a", "i8", 4)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            Field("a", "i32")
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Field("not a name", "i8")
+        with pytest.raises(SchemaError):
+            Field("", "i8")
+
+
+class TestSchema:
+    def test_record_size(self):
+        schema = Schema([Field("k", "i8"), Field("v", "f8"), Field("p", "bytes", 84)])
+        assert schema.record_size == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("k", "i8"), Field("k", "f8")])
+
+    def test_field_index(self):
+        schema = Schema([Field("a", "i8"), Field("b", "f8")])
+        assert schema.field_index("a") == 0
+        assert schema.field_index("b") == 1
+        with pytest.raises(SchemaError):
+            schema.field_index("missing")
+
+    def test_equality_and_hash(self):
+        a = Schema([Field("k", "i8")])
+        b = Schema([Field("k", "i8")])
+        c = Schema([Field("k", "f8")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_pack_unpack_roundtrip(self):
+        schema = Schema([Field("k", "i8"), Field("v", "f8"), Field("p", "bytes", 4)])
+        record = (42, 3.5, b"ab")
+        blob = schema.pack(record)
+        assert len(blob) == schema.record_size
+        got = schema.unpack(blob)
+        assert got[0] == 42
+        assert got[1] == 3.5
+        assert got[2] == b"ab\x00\x00"  # padded to fixed width
+
+    def test_pack_negative_and_extremes(self):
+        schema = Schema([Field("k", "i8"), Field("v", "f8")])
+        record = (-(2**63), float("inf"))
+        assert schema.unpack(schema.pack(record)) == record
+
+    def test_pack_bad_record(self):
+        schema = Schema([Field("k", "i8")])
+        with pytest.raises(SerializationError):
+            schema.pack(("not an int",))
+        with pytest.raises(SerializationError):
+            schema.pack((1, 2))
+
+    def test_unpack_wrong_size(self):
+        schema = Schema([Field("k", "i8")])
+        with pytest.raises(SerializationError):
+            schema.unpack(b"\x00" * 4)
+
+    def test_pack_many_unpack_many(self):
+        schema = Schema([Field("k", "i8"), Field("v", "f8")])
+        records = [(i, i / 2) for i in range(10)]
+        blob = schema.pack_many(records)
+        assert len(blob) == 10 * schema.record_size
+        assert schema.unpack_many(blob, 10) == records
+
+    def test_unpack_many_truncated(self):
+        schema = Schema([Field("k", "i8")])
+        with pytest.raises(SerializationError):
+            schema.unpack_many(b"\x00" * 8, 2)
+
+    def test_validate(self):
+        schema = Schema([Field("k", "i8"), Field("p", "bytes", 2)])
+        schema.validate((1, b"ab"))
+        with pytest.raises(SchemaError):
+            schema.validate((1,))  # wrong arity
+        with pytest.raises(SchemaError):
+            schema.validate(("x", b"ab"))  # wrong type
+        with pytest.raises(SchemaError):
+            schema.validate((1, b"abc"))  # bytes too long
+        with pytest.raises(SchemaError):
+            schema.validate((1, "ab"))  # str is not bytes
+
+    def test_validate_float_accepts_int(self):
+        schema = Schema([Field("v", "f8")])
+        schema.validate((3,))
+
+    def test_key_getter(self):
+        schema = Schema([Field("a", "i8"), Field("b", "f8")])
+        get_b = schema.key_getter("b")
+        assert get_b((1, 2.5)) == 2.5
+
+    def test_keys_getter(self):
+        schema = Schema([Field("a", "i8"), Field("b", "f8"), Field("c", "i8")])
+        get = schema.keys_getter(("c", "a"))
+        assert get((1, 2.5, 9)) == (9, 1)
+
+
+class TestFreshFieldName:
+    def test_no_collision_returns_stem(self):
+        schema = Schema([Field("a", "i8")])
+        assert schema.fresh_field_name("leaf_") == "leaf_"
+
+    def test_collision_appends_suffix(self):
+        schema = Schema([Field("leaf_", "i8"), Field("leaf_1", "i8")])
+        assert schema.fresh_field_name("leaf_") == "leaf_2"
+
+
+class TestDecorationCollision:
+    def test_ace_build_with_hostile_field_names(self):
+        """A source schema already using the decoration names must still
+        build (the decorated schema generates fresh names)."""
+        from repro.acetree import AceBuildParams, build_ace_tree
+        from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+        schema = Schema([Field("leaf_", "i8"), Field("section_", "f8")])
+        disk = SimulatedDisk(page_size=1024, cost=CostModel.scaled(1024))
+        records = [(i * 7 % 1000, float(i)) for i in range(300)]
+        heap = HeapFile.bulk_load(disk, schema, records)
+        tree = build_ace_tree(
+            heap, AceBuildParams(key_fields=("leaf_",), height=3, seed=1)
+        )
+        got = [
+            r
+            for batch in tree.sample(tree.query((100, 600)), seed=1)
+            for r in batch.records
+        ]
+        expected = [r for r in records if 100 <= r[0] <= 600]
+        assert sorted(got) == sorted(expected)

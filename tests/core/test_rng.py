@@ -1,0 +1,89 @@
+"""Unit tests for the seeded-randomness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import derive, hash_str, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng(42).integers(0, 1_000_000, size=16)
+        b = make_rng(42).integers(0, 1_000_000, size=16)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=16)
+        b = make_rng(2).integers(0, 1_000_000, size=16)
+        assert not (a == b).all()
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(make_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn(make_rng(0), 2)
+        a = children[0].integers(0, 1_000_000, size=16)
+        b = children[1].integers(0, 1_000_000, size=16)
+        assert not (a == b).all()
+
+    def test_reproducible(self):
+        a = spawn(make_rng(9), 3)[2].integers(0, 1_000_000, size=8)
+        b = spawn(make_rng(9), 3)[2].integers(0, 1_000_000, size=8)
+        assert (a == b).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+    def test_zero_count(self):
+        assert spawn(make_rng(0), 0) == []
+
+
+class TestDerive:
+    def test_stateless_reproducibility(self):
+        a = derive(7, "build").integers(0, 2**62)
+        b = derive(7, "build").integers(0, 2**62)
+        assert a == b
+
+    def test_tags_separate_streams(self):
+        a = derive(7, "build").integers(0, 2**62)
+        b = derive(7, "query").integers(0, 2**62)
+        assert a != b
+
+    def test_int_tags(self):
+        a = derive(7, 1, 2).integers(0, 2**62)
+        b = derive(7, 1, 3).integers(0, 2**62)
+        assert a != b
+
+    def test_order_matters(self):
+        a = derive(7, "a", "b").integers(0, 2**62)
+        b = derive(7, "b", "a").integers(0, 2**62)
+        assert a != b
+
+    def test_seed_separates(self):
+        a = derive(1, "x").integers(0, 2**62)
+        b = derive(2, "x").integers(0, 2**62)
+        assert a != b
+
+
+class TestHashStr:
+    def test_deterministic_across_processes(self):
+        # FNV-1a of "abc" is a fixed published value.
+        assert hash_str("abc") == 0xE71FA2190541574B
+
+    def test_distinct(self):
+        assert hash_str("build") != hash_str("query")
+
+    def test_empty(self):
+        assert hash_str("") == 0xCBF29CE484222325
+
+
+class TestStatisticalSanity:
+    def test_derive_streams_uncorrelated(self):
+        """Means of derived streams should scatter around 0.5."""
+        means = [float(derive(0, i).random(100).mean()) for i in range(50)]
+        overall = np.mean(means)
+        assert abs(overall - 0.5) < 0.05

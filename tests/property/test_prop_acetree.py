@@ -1,0 +1,131 @@
+"""Property-based tests for the ACE Tree's core invariants."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acetree import AceBuildParams, build_ace_tree
+from repro.core import Field, Schema
+from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=400
+)
+range_strategy = st.tuples(
+    st.integers(min_value=-100, max_value=11_000),
+    st.integers(min_value=-100, max_value=11_000),
+).map(lambda pair: (min(pair), max(pair)))
+
+
+def build(keys, height, seed):
+    disk = SimulatedDisk(page_size=1024, cost=CostModel.scaled(1024))
+    records = [(key, float(i)) for i, key in enumerate(keys)]
+    heap = HeapFile.bulk_load(disk, SCHEMA, records)
+    tree = build_ace_tree(
+        heap, AceBuildParams(key_fields=("k",), height=height, seed=seed)
+    )
+    return records, tree
+
+
+class TestBuildInvariants:
+    @given(keys_strategy, st.integers(2, 5), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_every_record_stored_once_in_consistent_cell(self, keys, height, seed):
+        records, tree = build(keys, height, seed)
+        geom = tree.geometry
+        stored = []
+        for leaf in tree.leaf_store.iter_leaves():
+            for s in range(1, height + 1):
+                box = geom.section_box(leaf.index, s)
+                for record in leaf.section(s):
+                    stored.append(record)
+                    assert box.contains_point((record[0],))
+        assert Counter(r[1] for r in stored) == Counter(r[1] for r in records)
+
+    @given(keys_strategy, st.integers(2, 5), st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_cell_counts_consistent(self, keys, height, seed):
+        records, tree = build(keys, height, seed)
+        geom = tree.geometry
+        total = sum(geom.cell_count(i) for i in range(geom.num_leaves))
+        assert total == len(records)
+        # Node counts aggregate consistently at every level.
+        for level in range(1, height):
+            level_total = sum(
+                geom.node_count(level, j) for j in range(geom.num_nodes(level))
+            )
+            assert level_total == len(records)
+
+    @given(keys_strategy, st.integers(2, 4), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_section_ranges_nested(self, keys, height, seed):
+        _records, tree = build(keys, height, seed)
+        geom = tree.geometry
+        for leaf in range(geom.num_leaves):
+            for s in range(1, height):
+                assert geom.section_box(leaf, s).contains(
+                    geom.section_box(leaf, s + 1)
+                )
+
+
+class TestQueryInvariants:
+    @given(keys_strategy, range_strategy, st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_completeness_without_replacement(self, keys, bounds, seed):
+        lo, hi = bounds
+        records, tree = build(keys, 3, seed)
+        stream = tree.sample(tree.query((lo, hi)), seed=seed)
+        got = [r for batch in stream for r in batch.records]
+        expected = [r for r in records if lo <= r[0] <= hi]
+        assert Counter(r[1] for r in got) == Counter(r[1] for r in expected)
+
+    @given(keys_strategy, range_strategy, st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_subset_of_matching(self, keys, bounds, seed):
+        lo, hi = bounds
+        records, tree = build(keys, 3, seed)
+        stream = tree.sample(tree.query((lo, hi)), seed=seed)
+        prefix = stream.take(10)
+        matching_values = {r[1] for r in records if lo <= r[0] <= hi}
+        assert all(r[1] in matching_values for r in prefix)
+
+    @given(keys_strategy, st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_full_domain_query_returns_everything(self, keys, seed):
+        records, tree = build(keys, 3, seed)
+        stream = tree.sample(tree.query(None), seed=seed)
+        got = [r for batch in stream for r in batch.records]
+        assert Counter(r[1] for r in got) == Counter(r[1] for r in records)
+
+    @given(keys_strategy, range_strategy, st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_buffered_counter_never_negative_and_drains(self, keys, bounds, seed):
+        lo, hi = bounds
+        _records, tree = build(keys, 3, seed)
+        last = None
+        for batch in tree.sample(tree.query((lo, hi)), seed=seed):
+            assert batch.buffered_records >= 0
+            last = batch
+        if last is not None:
+            assert last.buffered_records == 0
+
+
+class TestKaryPropertyInvariants:
+    @given(keys_strategy, range_strategy, st.integers(3, 4), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_kary_completeness(self, keys, bounds, arity, seed):
+        lo, hi = bounds
+        disk = SimulatedDisk(page_size=1024, cost=CostModel.scaled(1024))
+        records = [(key, float(i)) for i, key in enumerate(keys)]
+        heap = HeapFile.bulk_load(disk, SCHEMA, records)
+        tree = build_ace_tree(
+            heap,
+            AceBuildParams(key_fields=("k",), height=3, arity=arity, seed=seed),
+        )
+        stream = tree.sample(tree.query((lo, hi)), seed=seed)
+        got = [r for batch in stream for r in batch.records]
+        expected = [r for r in records if lo <= r[0] <= hi]
+        assert Counter(r[1] for r in got) == Counter(r[1] for r in expected)

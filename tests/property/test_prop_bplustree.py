@@ -1,0 +1,65 @@
+"""Property-based tests for the ranked B+-Tree against a sorted-list oracle."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import build_bplus_tree
+from repro.core import Box, Field, Interval, Schema
+from repro.storage import CostModel, HeapFile, SimulatedDisk
+
+SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
+
+keys_strategy = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300
+)
+
+
+def build(keys):
+    disk = SimulatedDisk(page_size=512, cost=CostModel.scaled(512))
+    records = [(key, float(i)) for i, key in enumerate(keys)]
+    heap = HeapFile.bulk_load(disk, SCHEMA, records)
+    return records, build_bplus_tree(heap, "k", leaf_cache_pages=16)
+
+
+class TestRankedOracle:
+    @given(keys_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_record_at_rank_matches_sorted(self, keys):
+        _records, tree = build(keys)
+        sorted_keys = sorted(keys)
+        for rank in range(0, len(keys), max(1, len(keys) // 7)):
+            assert tree.record_at_rank(rank)[0] == sorted_keys[rank]
+
+    @given(keys_strategy, st.integers(-1100, 1100))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_of_matches_count_below(self, keys, value):
+        _records, tree = build(keys)
+        assert tree.rank_of(value) == sum(1 for k in keys if k < value)
+
+    @given(keys_strategy, st.tuples(st.integers(-1100, 1100),
+                                    st.integers(-1100, 1100)))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_interval_counts_matching(self, keys, bounds):
+        lo, hi = min(bounds), max(bounds)
+        _records, tree = build(keys)
+        r1, r2 = tree.range_rank_interval(Box.of(Interval.closed(lo, hi)))
+        assert r2 - r1 == sum(1 for k in keys if lo <= k <= hi)
+
+
+class TestSamplingOracle:
+    @given(keys_strategy, st.tuples(st.integers(-1100, 1100),
+                                    st.integers(-1100, 1100)),
+           st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_complete_and_exact(self, keys, bounds, seed):
+        lo, hi = min(bounds), max(bounds)
+        records, tree = build(keys)
+        got = [
+            r
+            for batch in tree.sample(Box.of(Interval.closed(lo, hi)), seed=seed)
+            for r in batch.records
+        ]
+        expected = [r for r in records if lo <= r[0] <= hi]
+        assert Counter(r[1] for r in got) == Counter(r[1] for r in expected)

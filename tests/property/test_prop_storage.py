@@ -1,0 +1,85 @@
+"""Property-based tests for serialization, heap files, and external sort."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Field, Schema
+from repro.storage import CostModel, HeapFile, SimulatedDisk, external_sort
+
+SCHEMA = Schema([Field("k", "i8"), Field("v", "f8"), Field("tag", "bytes", 6)])
+
+i8 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+f8 = st.floats(allow_nan=False, width=64)
+tag = st.binary(max_size=6)
+records_strategy = st.lists(st.tuples(i8, f8, tag), max_size=200)
+
+
+def fresh_disk():
+    return SimulatedDisk(page_size=1024, cost=CostModel.scaled(1024))
+
+
+def normalize(record):
+    """Byte fields come back padded to fixed width."""
+    return (record[0], record[1], record[2].ljust(6, b"\x00"))
+
+
+class TestSchemaRoundtrip:
+    @given(st.tuples(i8, f8, tag))
+    def test_pack_unpack(self, record):
+        assert SCHEMA.unpack(SCHEMA.pack(record)) == normalize(record)
+
+    @given(st.lists(st.tuples(i8, f8, tag), max_size=50))
+    def test_pack_many_roundtrip(self, records):
+        blob = SCHEMA.pack_many(records)
+        got = SCHEMA.unpack_many(blob, len(records))
+        assert got == [normalize(r) for r in records]
+
+
+class TestHeapFileRoundtrip:
+    @given(records_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_scan_returns_all_in_order(self, records):
+        disk = fresh_disk()
+        heap = HeapFile.bulk_load(disk, SCHEMA, records)
+        assert list(heap.scan()) == [normalize(r) for r in records]
+        assert heap.num_records == len(records)
+
+    @given(records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_append_equals_bulk(self, records):
+        disk = fresh_disk()
+        bulk = HeapFile.bulk_load(disk, SCHEMA, records)
+        incremental = HeapFile.create(disk, SCHEMA)
+        incremental.extend(records)
+        assert list(incremental.scan()) == list(bulk.scan())
+
+
+class TestExternalSortProperties:
+    @given(records_strategy, st.integers(3, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_and_permutation(self, records, memory_pages):
+        disk = fresh_disk()
+        heap = HeapFile.bulk_load(disk, SCHEMA, records)
+        out = external_sort(heap, key=lambda r: r[0], memory_pages=memory_pages)
+        got = list(out.scan())
+        assert [r[0] for r in got] == sorted(r[0] for r in records)
+        assert sorted(got) == sorted(normalize(r) for r in records)
+
+    @given(records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent(self, records):
+        disk = fresh_disk()
+        heap = HeapFile.bulk_load(disk, SCHEMA, records)
+        once = external_sort(heap, key=lambda r: r[0], memory_pages=4)
+        twice = external_sort(once, key=lambda r: r[0], memory_pages=4)
+        assert list(once.scan()) == list(twice.scan())
+
+    @given(records_strategy, st.integers(3, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_no_page_leaks(self, records, memory_pages):
+        """After sorting, only source + output (extent-granular) remain."""
+        disk = fresh_disk()
+        heap = HeapFile.bulk_load(disk, SCHEMA, records)
+        baseline = disk.allocated_pages
+        out = external_sort(heap, key=lambda r: r[0], memory_pages=memory_pages)
+        assert disk.allocated_pages <= baseline + out.num_pages + 256

@@ -1,0 +1,99 @@
+"""Property-based tests for the DDL parser and the leaf store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acetree.storage import LeafStoreWriter
+from repro.core import Field, Schema
+from repro.storage import CostModel, SimulatedDisk
+from repro.view import CreateSampleView, SampleSelect, parse
+
+_SQL_KEYWORDS = {"and", "between", "sample", "select", "from", "where",
+                 "create", "materialized", "view", "as", "index", "on"}
+identifier = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.lower() not in _SQL_KEYWORDS
+)
+number = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 4))
+
+
+class TestDdlRoundtrip:
+    @given(identifier, identifier, st.lists(identifier, min_size=1, max_size=3,
+                                            unique=True))
+    def test_create_roundtrip(self, view, table, columns):
+        sql = (
+            f"CREATE MATERIALIZED SAMPLE VIEW {view} AS SELECT * FROM {table} "
+            f"INDEX ON {', '.join(columns)}"
+        )
+        got = parse(sql)
+        assert isinstance(got, CreateSampleView)
+        assert got.view_name == view
+        assert got.table_name == table
+        assert got.index_on == tuple(columns)
+
+    @given(
+        identifier,
+        st.lists(
+            st.tuples(identifier, number, number), min_size=1, max_size=3
+        ),
+        st.one_of(st.none(), st.integers(0, 10**6)),
+    )
+    def test_select_roundtrip(self, view, predicates, sample_size):
+        clauses = []
+        expected = []
+        for column, a, b in predicates:
+            lo, hi = min(a, b), max(a, b)
+            clauses.append(f"{column} BETWEEN {lo} AND {hi}")
+            expected.append((column, lo, hi))
+        sql = f"SELECT * FROM {view} WHERE {' AND '.join(clauses)}"
+        if sample_size is not None:
+            sql += f" SAMPLE {sample_size}"
+        got = parse(sql)
+        assert isinstance(got, SampleSelect)
+        assert got.view_name == view
+        assert got.sample_size == sample_size
+        assert len(got.predicates) == len(expected)
+        for (col, lo, hi), (ecol, elo, ehi) in zip(got.predicates, expected):
+            assert col == ecol
+            assert lo == float(elo)
+            assert hi == float(ehi)
+
+
+SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
+
+leaf_sections = st.lists(  # one leaf: h=3 sections of records
+    st.lists(st.tuples(st.integers(-100, 100), st.floats(allow_nan=False,
+                                                         width=32)),
+             max_size=12),
+    min_size=3, max_size=3,
+)
+
+
+class TestLeafStoreRoundtrip:
+    @given(st.lists(leaf_sections, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_leaves_roundtrip(self, leaves):
+        disk = SimulatedDisk(page_size=256, cost=CostModel.scaled(256))
+        writer = LeafStoreWriter(disk, SCHEMA, height=3, num_leaves=len(leaves))
+        for index, sections in enumerate(leaves):
+            writer.append_leaf(index, [list(s) for s in sections])
+        store = writer.finish()
+        for index, sections in enumerate(leaves):
+            leaf = store.read_leaf(index)
+            for s in range(3):
+                assert list(leaf.section(s + 1)) == sections[s]
+
+    @given(st.lists(leaf_sections, min_size=1, max_size=4),
+           st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_leaves(self, leaves, gap):
+        """Writers may skip leaf indexes; gaps read back as empty leaves."""
+        disk = SimulatedDisk(page_size=256, cost=CostModel.scaled(256))
+        total = len(leaves) + gap
+        writer = LeafStoreWriter(disk, SCHEMA, height=3, num_leaves=total)
+        for offset, sections in enumerate(leaves):
+            writer.append_leaf(gap + offset, [list(s) for s in sections])
+        store = writer.finish()
+        for index in range(gap):
+            assert store.read_leaf(index).num_records == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the LRU buffer pool and the decoded-page cache."""
+
+import pytest
+
+from repro.core.errors import BufferPoolError
+from repro.storage import BufferPool, CostModel, RecordPageCache, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(
+        page_size=1024, cost=CostModel(seek_time=1e-3, transfer_rate=1024e3)
+    )
+
+
+def _write_pages(disk, count):
+    start = disk.allocate(count)
+    for i in range(count):
+        disk.write_page(start + i, bytes([i % 251]) * 8)
+    disk.reset_clock()
+    return start
+
+
+class TestBufferPool:
+    def test_capacity_validation(self, disk):
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, 0)
+
+    def test_hit_and_miss_counting(self, disk):
+        start = _write_pages(disk, 3)
+        pool = BufferPool(disk, 2)
+        pool.read(start)
+        pool.read(start)
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.hit_rate == 0.5
+
+    def test_miss_charges_io_hit_charges_cpu(self, disk):
+        start = _write_pages(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.read(start)
+        io_clock = disk.clock
+        assert io_clock >= disk.cost.seek_time
+        pool.read(start)
+        assert disk.clock - io_clock == pytest.approx(disk.cost.cpu_per_page)
+
+    def test_lru_eviction_order(self, disk):
+        start = _write_pages(disk, 3)
+        pool = BufferPool(disk, 2)
+        pool.read(start)      # cache: [0]
+        pool.read(start + 1)  # cache: [0, 1]
+        pool.read(start)      # touch 0: LRU is now 1
+        pool.read(start + 2)  # evicts 1
+        assert start in pool
+        assert (start + 1) not in pool
+        assert (start + 2) in pool
+        assert pool.evictions == 1
+
+    def test_capacity_never_exceeded(self, disk):
+        start = _write_pages(disk, 10)
+        pool = BufferPool(disk, 3)
+        for i in range(10):
+            pool.read(start + i)
+            assert len(pool) <= 3
+
+    def test_write_through(self, disk):
+        start = _write_pages(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.write(start, b"updated")
+        # Cached copy matches disk and is padded.
+        assert pool.read(start)[:7] == b"updated"
+        assert disk.read_page(start)[:7] == b"updated"
+        assert pool.hits == 1  # the read came from cache
+
+    def test_invalidate(self, disk):
+        start = _write_pages(disk, 1)
+        pool = BufferPool(disk, 2)
+        pool.read(start)
+        pool.invalidate(start)
+        assert start not in pool
+        pool.read(start)
+        assert pool.misses == 2
+
+    def test_clear(self, disk):
+        start = _write_pages(disk, 2)
+        pool = BufferPool(disk, 2)
+        pool.read(start)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.hits == 0 and pool.misses == 0
+
+    def test_hit_rate_empty(self, disk):
+        assert BufferPool(disk, 1).hit_rate == 0.0
+
+
+class TestRecordPageCache:
+    def test_decode_called_once_per_miss(self, disk):
+        start = _write_pages(disk, 2)
+        calls = []
+
+        def decode(data):
+            calls.append(1)
+            return data[:4]
+
+        cache = RecordPageCache(disk, 2, decode)
+        cache.read(start)
+        cache.read(start)
+        cache.read(start + 1)
+        assert len(calls) == 2
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_returns_decoded_value(self, disk):
+        start = _write_pages(disk, 1)
+        cache = RecordPageCache(disk, 1, lambda data: ("decoded", data[0]))
+        assert cache.read(start)[0] == "decoded"
+
+    def test_eviction(self, disk):
+        start = _write_pages(disk, 3)
+        cache = RecordPageCache(disk, 2, lambda data: data[0])
+        for i in range(3):
+            cache.read(start + i)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert start not in cache
+
+    def test_hit_charges_page_cpu_only(self, disk):
+        start = _write_pages(disk, 1)
+        cache = RecordPageCache(disk, 1, lambda data: data)
+        cache.read(start)
+        before = disk.clock
+        cache.read(start)
+        assert disk.clock - before == pytest.approx(disk.cost.cpu_per_page)
+
+    def test_capacity_validation(self, disk):
+        with pytest.raises(BufferPoolError):
+            RecordPageCache(disk, 0, lambda d: d)
+
+    def test_clear(self, disk):
+        start = _write_pages(disk, 1)
+        cache = RecordPageCache(disk, 1, lambda d: d)
+        cache.read(start)
+        cache.clear()
+        assert len(cache) == 0
+        cache.read(start)
+        assert cache.misses == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.storage import CostModel
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        model = CostModel()
+        assert model.seek_time > 0
+        assert model.transfer_rate > 0
+
+    def test_transfer_time(self):
+        model = CostModel(transfer_rate=100e6)
+        assert model.transfer_time(100e6) == pytest.approx(1.0)
+        assert model.transfer_time(4096) == pytest.approx(4096 / 100e6)
+
+    def test_random_vs_sequential(self):
+        model = CostModel(seek_time=5e-3, transfer_rate=100e6)
+        seq = model.sequential_io_time(8192)
+        rand = model.random_io_time(8192)
+        assert rand == pytest.approx(seq + 5e-3)
+        assert rand > 10 * seq  # the asymmetry the paper's figures rely on
+
+    def test_scan_time(self):
+        model = CostModel(seek_time=1e-3, transfer_rate=1e6)
+        assert model.scan_time(2_000_000) == pytest.approx(1e-3 + 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(seek_time=-1)
+        with pytest.raises(ValueError):
+            CostModel(transfer_rate=0)
+        with pytest.raises(ValueError):
+            CostModel(cpu_per_record=-1e-9)
+        with pytest.raises(ValueError):
+            CostModel(cpu_per_page=-1e-9)
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.seek_time = 1.0
+
+
+class TestScaled:
+    def test_ratio_preserved(self):
+        for page_size in (2048, 4096, 65536):
+            model = CostModel.scaled(page_size, seek_to_transfer=10.0)
+            ratio = model.random_io_time(page_size) / model.sequential_io_time(
+                page_size
+            )
+            assert ratio == pytest.approx(11.0)  # seek (10x) + the transfer itself
+
+    def test_custom_ratio(self):
+        model = CostModel.scaled(4096, seek_to_transfer=6.0)
+        assert model.seek_time == pytest.approx(6.0 * 4096 / 100e6)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.scaled(4096, seek_to_transfer=-1.0)

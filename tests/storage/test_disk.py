@@ -1,0 +1,153 @@
+"""Unit tests for the simulated disk: allocation, timing, statistics."""
+
+import pytest
+
+from repro.core.errors import PageError
+from repro.storage import CostModel, SimulatedDisk
+
+
+@pytest.fixture
+def small_disk():
+    return SimulatedDisk(
+        page_size=1024, cost=CostModel(seek_time=1e-3, transfer_rate=1024e3)
+    )
+
+
+class TestAllocation:
+    def test_contiguous(self, small_disk):
+        start = small_disk.allocate(10)
+        start2 = small_disk.allocate(5)
+        assert start2 == start + 10
+        assert small_disk.allocated_pages == 15
+
+    def test_free_and_reuse_exact_fit(self, small_disk):
+        start = small_disk.allocate(4)
+        small_disk.free(start, 4)
+        assert small_disk.allocated_pages == 0
+        again = small_disk.allocate(4)
+        assert again == start  # exact-fit extent reused
+
+    def test_free_unallocated_rejected(self, small_disk):
+        with pytest.raises(PageError):
+            small_disk.free(99)
+
+    def test_double_free_rejected(self, small_disk):
+        pid = small_disk.allocate()
+        small_disk.free(pid)
+        with pytest.raises(PageError):
+            small_disk.free(pid)
+
+    def test_zero_allocation_rejected(self, small_disk):
+        with pytest.raises(PageError):
+            small_disk.allocate(0)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(page_size=0)
+
+
+class TestPageIO:
+    def test_write_read_roundtrip(self, small_disk):
+        pid = small_disk.allocate()
+        small_disk.write_page(pid, b"hello")
+        data = small_disk.read_page(pid)
+        assert data[:5] == b"hello"
+        assert len(data) == 1024  # padded to page size
+
+    def test_unwritten_page_reads_zeros(self, small_disk):
+        pid = small_disk.allocate()
+        assert small_disk.read_page(pid) == bytes(1024)
+
+    def test_read_unallocated_rejected(self, small_disk):
+        with pytest.raises(PageError):
+            small_disk.read_page(1234)
+
+    def test_write_unallocated_rejected(self, small_disk):
+        with pytest.raises(PageError):
+            small_disk.write_page(1234, b"x")
+
+    def test_oversized_write_rejected(self, small_disk):
+        pid = small_disk.allocate()
+        with pytest.raises(PageError):
+            small_disk.write_page(pid, bytes(1025))
+
+    def test_freed_page_data_dropped(self, small_disk):
+        pid = small_disk.allocate()
+        small_disk.write_page(pid, b"data")
+        small_disk.free(pid)
+        again = small_disk.allocate()
+        assert again == pid
+        assert small_disk.read_page(again) == bytes(1024)
+
+
+class TestTiming:
+    """Hand-computed clock charges (seek=1ms, transfer=1ms per 1 KB page)."""
+
+    def test_first_access_is_random(self, small_disk):
+        pid = small_disk.allocate()
+        small_disk.read_page(pid)
+        assert small_disk.clock == pytest.approx(2e-3)  # seek + transfer
+        assert small_disk.stats.seeks == 1
+
+    def test_sequential_run_is_cheap(self, small_disk):
+        start = small_disk.allocate(5)
+        for i in range(5):
+            small_disk.read_page(start + i)
+        # 1 seek + 5 transfers.
+        assert small_disk.clock == pytest.approx(1e-3 + 5e-3)
+        assert small_disk.stats.seeks == 1
+        assert small_disk.stats.sequential_accesses == 4
+
+    def test_backward_access_seeks(self, small_disk):
+        start = small_disk.allocate(3)
+        small_disk.read_page(start + 2)
+        small_disk.read_page(start)  # jump back: seek
+        assert small_disk.stats.seeks == 2
+
+    def test_writes_timed_like_reads(self, small_disk):
+        start = small_disk.allocate(2)
+        small_disk.write_page(start, b"")
+        small_disk.write_page(start + 1, b"")
+        assert small_disk.clock == pytest.approx(1e-3 + 2e-3)
+
+    def test_charge_cpu(self, small_disk):
+        small_disk.charge_cpu(0.5)
+        assert small_disk.clock == pytest.approx(0.5)
+        assert small_disk.stats.cpu_time == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            small_disk.charge_cpu(-0.1)
+
+    def test_charge_records(self, small_disk):
+        small_disk.charge_records(1000)
+        assert small_disk.clock == pytest.approx(1000 * small_disk.cost.cpu_per_record)
+
+    def test_reset_clock(self, small_disk):
+        pid = small_disk.allocate()
+        small_disk.read_page(pid)
+        small_disk.reset_clock()
+        assert small_disk.clock == 0.0
+        assert small_disk.stats.page_reads == 0
+        # Head position is reset too: next access seeks again.
+        small_disk.read_page(pid)
+        assert small_disk.stats.seeks == 1
+
+    def test_scan_time_formula(self, small_disk):
+        assert small_disk.scan_time(10) == pytest.approx(1e-3 + 10e-3)
+
+
+class TestStats:
+    def test_byte_counters(self, small_disk):
+        start = small_disk.allocate(2)
+        small_disk.write_page(start, b"x")
+        small_disk.read_page(start)
+        assert small_disk.stats.bytes_written == 1024
+        assert small_disk.stats.bytes_read == 1024
+
+    def test_snapshot_and_subtract(self, small_disk):
+        pid = small_disk.allocate()
+        small_disk.read_page(pid)
+        before = small_disk.stats.snapshot()
+        small_disk.read_page(pid)
+        delta = small_disk.stats - before
+        assert delta.page_reads == 1
+        assert before.page_reads == 1  # snapshot unaffected

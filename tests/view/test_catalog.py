@@ -1,0 +1,110 @@
+"""Tests for the catalog + SQL-ish execution front end."""
+
+import pytest
+
+from repro.core.errors import SchemaError, ViewError
+from repro.storage import HeapFile
+from repro.view import Catalog, MaterializedSampleView
+
+from ..conftest import make_kv_records
+
+
+@pytest.fixture
+def catalog(disk, kv_schema):
+    heap = HeapFile.bulk_load(disk, kv_schema, make_kv_records(1500, seed=37))
+    cat = Catalog()
+    cat.register_table("sale", heap)
+    return cat
+
+
+CREATE = "CREATE MATERIALIZED SAMPLE VIEW mysam AS SELECT * FROM sale INDEX ON k"
+
+
+class TestRegistration:
+    def test_duplicate_table_rejected(self, catalog, disk, kv_schema):
+        heap = HeapFile.bulk_load(disk, kv_schema, make_kv_records(10))
+        with pytest.raises(ViewError):
+            catalog.register_table("sale", heap)
+
+    def test_missing_table(self, catalog):
+        with pytest.raises(ViewError):
+            catalog.table("nope")
+
+    def test_names(self, catalog):
+        assert catalog.table_names == ("sale",)
+        assert catalog.view_names == ()
+
+
+class TestCreate:
+    def test_create_registers_view(self, catalog):
+        view = catalog.execute(CREATE)
+        assert isinstance(view, MaterializedSampleView)
+        assert catalog.view_names == ("mysam",)
+        assert catalog.view("mysam") is view
+
+    def test_create_duplicate_rejected(self, catalog):
+        catalog.execute(CREATE)
+        with pytest.raises(ViewError):
+            catalog.execute(CREATE)
+
+    def test_create_missing_table_rejected(self, catalog):
+        with pytest.raises(ViewError):
+            catalog.execute(
+                "CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM nope INDEX ON k"
+            )
+
+    def test_create_missing_column_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.execute(
+                "CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM sale INDEX ON nope"
+            )
+
+
+class TestSelect:
+    def test_sample_limit(self, catalog):
+        catalog.execute(CREATE)
+        rows = catalog.execute(
+            "SELECT * FROM mysam WHERE k BETWEEN 100000 AND 600000 SAMPLE 40",
+            seed=1,
+        )
+        assert len(rows) == 40
+        assert all(100_000 <= r[0] <= 600_000 for r in rows)
+
+    def test_full_result(self, catalog):
+        view = catalog.execute(CREATE)
+        rows = catalog.execute(
+            "SELECT * FROM mysam WHERE k BETWEEN 100000 AND 600000", seed=1
+        )
+        true = sum(
+            1 for r in catalog.table("sale").scan() if 100_000 <= r[0] <= 600_000
+        )
+        assert len(rows) == true
+
+    def test_select_unknown_view(self, catalog):
+        with pytest.raises(ViewError):
+            catalog.execute("SELECT * FROM nope WHERE k BETWEEN 1 AND 2")
+
+    def test_select_non_indexed_column(self, catalog):
+        catalog.execute(CREATE)
+        with pytest.raises(ViewError):
+            catalog.execute("SELECT * FROM mysam WHERE v BETWEEN 1 AND 2")
+
+    def test_sample_zero(self, catalog):
+        catalog.execute(CREATE)
+        rows = catalog.execute(
+            "SELECT * FROM mysam WHERE k BETWEEN 100000 AND 600000 SAMPLE 0"
+        )
+        assert rows == []
+
+
+class TestDropView:
+    def test_drop(self, catalog, disk):
+        catalog.execute(CREATE)
+        before = disk.allocated_pages
+        catalog.drop_view("mysam")
+        assert catalog.view_names == ()
+        assert disk.allocated_pages < before
+
+    def test_drop_missing(self, catalog):
+        with pytest.raises(ViewError):
+            catalog.drop_view("nope")

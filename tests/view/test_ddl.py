@@ -1,0 +1,96 @@
+"""Tests for the SQL-ish DDL / query parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.view import CreateSampleView, SampleSelect, parse
+
+
+class TestCreate:
+    def test_basic(self):
+        got = parse(
+            "CREATE MATERIALIZED SAMPLE VIEW MySam AS SELECT * FROM SALE "
+            "INDEX ON DAY"
+        )
+        assert isinstance(got, CreateSampleView)
+        assert got.view_name == "MySam"
+        assert got.table_name == "SALE"
+        assert got.index_on == ("DAY",)
+
+    def test_multi_column(self):
+        got = parse(
+            "CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM sale "
+            "INDEX ON day, amount"
+        )
+        assert got.index_on == ("day", "amount")
+
+    def test_case_insensitive(self):
+        got = parse(
+            "create materialized sample view v as select * from t index on c"
+        )
+        assert isinstance(got, CreateSampleView)
+
+    def test_trailing_semicolon(self):
+        got = parse(
+            "CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM t INDEX ON c;"
+        )
+        assert got.view_name == "v"
+
+    def test_multiline(self):
+        got = parse(
+            """CREATE MATERIALIZED SAMPLE VIEW MySam
+               AS SELECT * FROM SALE
+               INDEX ON DAY"""
+        )
+        assert got.view_name == "MySam"
+
+
+class TestSelect:
+    def test_single_predicate(self):
+        got = parse("SELECT * FROM MySam WHERE DAY BETWEEN 10 AND 20")
+        assert isinstance(got, SampleSelect)
+        assert got.view_name == "MySam"
+        assert got.predicates == (("DAY", 10.0, 20.0),)
+        assert got.sample_size is None
+
+    def test_sample_clause(self):
+        got = parse("SELECT * FROM v WHERE c BETWEEN 1 AND 2 SAMPLE 100")
+        assert got.sample_size == 100
+
+    def test_two_predicates(self):
+        got = parse(
+            "SELECT * FROM v WHERE day BETWEEN 1 AND 2 "
+            "AND amount BETWEEN 0.5 AND 0.9"
+        )
+        assert got.predicates == (("day", 1.0, 2.0), ("amount", 0.5, 0.9))
+
+    def test_floats_and_scientific(self):
+        got = parse("SELECT * FROM v WHERE c BETWEEN -1.5e3 AND 2.25")
+        assert got.predicates == (("c", -1500.0, 2.25),)
+
+    def test_dates_like_values_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM v WHERE c BETWEEN '11-28-2004' AND '03-02-2005'")
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM v WHERE c BETWEEN 5 AND 1")
+
+    def test_malformed_where(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM v WHERE c = 5")
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM v WHERE c BETWEEN 1")
+
+
+class TestGarbage:
+    @pytest.mark.parametrize("sql", [
+        "",
+        "DROP TABLE t",
+        "CREATE VIEW v AS SELECT * FROM t",
+        "SELECT a, b FROM v WHERE c BETWEEN 1 AND 2",  # only * supported
+        "INSERT INTO t VALUES (1)",
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)

@@ -1,0 +1,82 @@
+"""Materialized sample views over multi-dimensional keys, end to end."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.storage import HeapFile
+from repro.view import Catalog, create_sample_view
+
+from ..conftest import make_xy_records
+
+
+@pytest.fixture
+def view_2d(disk, xy_schema):
+    records = make_xy_records(2000, seed=61)
+    heap = HeapFile.bulk_load(disk, xy_schema, records)
+    view = create_sample_view("xyview", heap, index_on=("x", "y"), seed=1)
+    return records, heap, view
+
+
+class TestTwoDimensionalView:
+    def test_sampling(self, view_2d):
+        records, _heap, view = view_2d
+        query = view.query((0.2, 0.7), (0.3, 0.8))
+        got = [r for b in view.sample(query, seed=1) for r in b.records]
+        expected = [
+            r for r in records if 0.2 <= r[0] <= 0.7 and 0.3 <= r[1] <= 0.8
+        ]
+        assert Counter(r[2] for r in got) == Counter(r[2] for r in expected)
+
+    def test_delta_interleaving_2d(self, view_2d):
+        records, _heap, view = view_2d
+        fresh = [(0.5, 0.5, -(i + 1)) for i in range(100)]
+        view.insert(fresh)
+        query = view.query((0.4, 0.6), (0.4, 0.6))
+        got = [r for b in view.sample(query, seed=2) for r in b.records]
+        fresh_got = [r for r in got if r[2] < 0]
+        assert len(fresh_got) == 100
+        base_expected = [
+            r for r in records if 0.4 <= r[0] <= 0.6 and 0.4 <= r[1] <= 0.6
+        ]
+        assert len(got) == len(base_expected) + 100
+
+    def test_catalog_2d_sql(self, disk, xy_schema):
+        heap = HeapFile.bulk_load(disk, xy_schema, make_xy_records(1200, seed=3))
+        catalog = Catalog()
+        catalog.register_table("points", heap)
+        catalog.execute(
+            "CREATE MATERIALIZED SAMPLE VIEW pv AS SELECT * FROM points "
+            "INDEX ON x, y"
+        )
+        rows = catalog.execute(
+            "SELECT * FROM pv WHERE x BETWEEN 0.1 AND 0.5 "
+            "AND y BETWEEN 0.2 AND 0.9 SAMPLE 30",
+            seed=4,
+        )
+        assert len(rows) == 30
+        assert all(0.1 <= r[0] <= 0.5 and 0.2 <= r[1] <= 0.9 for r in rows)
+
+    def test_partial_predicate_through_sql(self, disk, xy_schema):
+        """Constraining only one of two indexed columns works (the other
+        dimension is unbounded)."""
+        heap = HeapFile.bulk_load(disk, xy_schema, make_xy_records(800, seed=5))
+        catalog = Catalog()
+        catalog.register_table("points", heap)
+        catalog.execute(
+            "CREATE MATERIALIZED SAMPLE VIEW pv AS SELECT * FROM points "
+            "INDEX ON x, y"
+        )
+        rows = catalog.execute("SELECT * FROM pv WHERE x BETWEEN 0.0 AND 0.3")
+        expected = sum(1 for r in heap.scan() if r[0] <= 0.3)
+        assert len(rows) == expected
+
+    def test_refresh_preserves_dimensionality(self, view_2d):
+        _records, _heap, view = view_2d
+        view.insert([(0.99, 0.99, -7)])
+        view.refresh()
+        assert view.tree.dims == 2
+        query = view.query((0.98, 1.0), (0.98, 1.0))
+        got = [r for b in view.sample(query, seed=1) for r in b.records]
+        assert any(r[2] == -7 for r in got)
