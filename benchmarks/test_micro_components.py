@@ -1,9 +1,12 @@
 """Micro-benchmarks of the individual components (wall-clock, via
 pytest-benchmark's usual statistics).
 
-These measure the Python implementation itself — construction throughput,
-per-leaf query cost, external sort speed — as opposed to the figure
-benchmarks, which measure *simulated* I/O time.
+These measure the Python implementation itself — codec throughput,
+construction throughput, per-leaf query cost, external sort speed — as
+opposed to the figure benchmarks, which measure *simulated* I/O time.  The
+same workloads run outside pytest via ``python -m repro bench --json``
+(:mod:`repro.bench.micro`), whose output is the committed regression
+baseline (``BENCH_PR1.json``).
 """
 
 import random
@@ -36,7 +39,50 @@ def ace_tree(relation):
     return build_ace_tree(relation, AceBuildParams(key_fields=("k",), height=8))
 
 
+# -- codec ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def packed_records():
+    rng = random.Random(1)
+    records = [(rng.randrange(10**9), rng.random(), b"x" * 84) for _ in range(N)]
+    return records, SCHEMA.pack_many(records)
+
+
+def test_codec_pack_many(benchmark, packed_records):
+    records, _payload = packed_records
+    benchmark.pedantic(lambda: SCHEMA.pack_many(records), rounds=5, iterations=1)
+
+
+def test_codec_unpack_many(benchmark, packed_records):
+    _records, payload = packed_records
+    benchmark.pedantic(
+        lambda: SCHEMA.unpack_many(payload, N), rounds=5, iterations=1
+    )
+
+
+def test_codec_unpack_column(benchmark, packed_records):
+    _records, payload = packed_records
+    benchmark.pedantic(
+        lambda: SCHEMA.unpack_column(payload, N, "k"), rounds=5, iterations=1
+    )
+
+
+# -- sort and construction --------------------------------------------------
+
+
 def test_external_sort_throughput(benchmark, relation):
+    # Headline number: the key declared as a schema column, so run
+    # generation reads keys straight off page bytes.
+    def run():
+        out = external_sort(relation, memory_pages=64, key_field="k")
+        out.free()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_external_sort_callable_key_throughput(benchmark, relation):
+    # Generic path: an opaque key callable forces per-record key calls.
     def run():
         out = external_sort(relation, key=lambda r: r[0], memory_pages=64)
         out.free()

@@ -34,6 +34,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..bench.profile import PROFILE
 from ..core.errors import IndexBuildError
 from ..core.intervals import Box
 from ..core.records import Field as SchemaField
@@ -130,41 +131,67 @@ def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
     key_of = source.schema.keys_getter(params.key_fields)
 
     # ---- Phase 1: split keys -------------------------------------------
-    if dims == 1:
-        phase1_sorted = external_sort(
-            source,
-            key=key_of,
-            memory_pages=params.memory_pages,
-            name="ace.phase1",
-        )
-        domain, splits = _splits_by_rank(phase1_sorted, key_of, height, arity)
-        phase2_input = phase1_sorted
-        free_phase2_input = True
-    else:
-        domain, splits = _splits_in_memory(source, key_of, height, dims, arity)
-        phase2_input = source
-        free_phase2_input = False
+    with PROFILE.timer("ace_build.phase1"):
+        if dims == 1:
+            # A scalar sort key orders records identically to the 1-tuple
+            # key ((a,) < (b,) iff a < b); declaring it as ``key_field``
+            # lets the sort pull keys straight from packed pages.
+            scalar_key = source.schema.key_getter(params.key_fields[0])
+            phase1_sorted = external_sort(
+                source,
+                memory_pages=params.memory_pages,
+                name="ace.phase1",
+                key_field=params.key_fields[0],
+            )
+            domain, splits = _splits_by_rank(phase1_sorted, scalar_key, height, arity)
+            phase2_input = phase1_sorted
+            free_phase2_input = True
+        else:
+            domain, splits = _splits_in_memory(source, key_of, height, dims, arity)
+            phase2_input = source
+            free_phase2_input = False
 
     geometry = TreeGeometry(domain, splits, arity=arity)
 
     # ---- Phase 2: random section / leaf assignment + reorganization ----
     num_leaves = geometry.num_leaves
-    cell_counts = [0] * num_leaves
+    cell_counts = [0] * num_leaves  # tallied by per-record decorate
+    cell_hist = np.zeros(num_leaves, dtype=np.int64)  # tallied by decorate_view
     assign_rng = random.Random(int(derive(params.seed, "ace-assign").integers(2**62)))
-    randint = assign_rng.randint
-    randrange = assign_rng.randrange
-    locate_leaf = geometry.locate_leaf
+    getrandbits = assign_rng.getrandbits
+    if dims == 1:
+        # Specialized descent: bare key in, plain comparisons down the tree.
+        locate_scalar = geometry.scalar_leaf_locator()
+        key_index = source.schema.field_index(params.key_fields[0])
+        cell_of = lambda record: locate_scalar(record[key_index])  # noqa: E731
+    else:
+        locate_leaf = geometry.leaf_locator()
+        cell_of = lambda record: locate_leaf(key_of(record))  # noqa: E731
     slots_per_section = [arity ** (height - s) for s in range(height + 1)]
+    # Rejection-sampling bit widths for the two uniform draws below.  The
+    # inlined loops draw exactly the bits Random._randbelow would, so the
+    # random stream — and with it every figure — is unchanged; they only
+    # drop the randint -> randrange -> _randbelow call-frame tower from a
+    # path that runs once per record.
+    section_bits = height.bit_length()
+    slot_bits = [slots.bit_length() for slots in slots_per_section]
 
     def decorate(record: Record) -> Record:
-        point = key_of(record)
-        cell = locate_leaf(point)
+        cell = cell_of(record)
         cell_counts[cell] += 1
-        section = randint(1, height)
+        # section = assign_rng.randint(1, height)
+        r = getrandbits(section_bits)
+        while r >= height:
+            r = getrandbits(section_bits)
+        section = 1 + r
         slots = slots_per_section[section]
         if slots > 1:
-            ancestor = cell // slots
-            leaf = ancestor * slots + randrange(slots)
+            # leaf slot = assign_rng.randrange(slots)
+            bits = slot_bits[section]
+            s = getrandbits(bits)
+            while s >= slots:
+                s = getrandbits(bits)
+            leaf = (cell // slots) * slots + s
         else:
             leaf = cell
         return (leaf, section) + record
@@ -177,32 +204,94 @@ def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
         + list(source.schema.fields)
     )
 
+    # Sort key: (leaf, section) packed into one int.  Sections run 1..height
+    # < height + 1, so ``leaf * (height + 1) + section`` orders identically
+    # to the tuple key while giving the sort machine-word keys.
+    section_span = height + 1
+
+    # Page-batched decorate for the sort's fast path: leaf cells located
+    # for a whole page at once, rows moved as bytes (a decorated row is the
+    # two packed i8 prefixes followed by the original packed record).  The
+    # per-record RNG loop is kept verbatim so the random stream — and every
+    # figure — is unchanged.
+    decorate_view = None
+    if dims == 1:
+        key_kind = source.schema.fields[key_index].kind
+        array_locate = geometry.array_leaf_locator(key_kind)
+        if array_locate is not None:
+            src_dtype = source.schema.numpy_dtype()
+            key_name = params.key_fields[0]
+            rest_dtype = np.dtype(f"V{source.schema.record_size}")
+            dec_dtype = np.dtype(
+                [("leaf", "<i8"), ("section", "<i8"), ("rest", rest_dtype)]
+            )
+
+            def decorate_view(view):
+                nonlocal cell_hist
+                count = view.count
+                keys_col = np.frombuffer(
+                    view.payload, dtype=src_dtype, count=count
+                )[key_name]
+                cells = array_locate(keys_col)
+                cell_hist += np.bincount(cells, minlength=num_leaves)
+                leafs: list[int] = []
+                sections: list[int] = []
+                add_leaf = leafs.append
+                add_section = sections.append
+                for cell in cells.tolist():
+                    r = getrandbits(section_bits)
+                    while r >= height:
+                        r = getrandbits(section_bits)
+                    section = 1 + r
+                    slots = slots_per_section[section]
+                    if slots > 1:
+                        bits = slot_bits[section]
+                        s = getrandbits(bits)
+                        while s >= slots:
+                            s = getrandbits(bits)
+                        add_leaf((cell // slots) * slots + s)
+                    else:
+                        add_leaf(cell)
+                    add_section(section)
+                dec = np.empty(count, dtype=dec_dtype)
+                dec["leaf"] = leafs
+                dec["section"] = sections
+                dec["rest"] = np.frombuffer(
+                    view.payload, dtype=rest_dtype, count=count
+                )
+                return dec.tobytes(), dec["leaf"] * section_span + dec["section"]
+
     def build_leaves(stream: Iterator[Record]) -> LeafStore:
         writer = LeafStoreWriter(disk, source.schema, height, num_leaves)
+        append_leaf = writer.append_leaf
         current = -1
         sections: list[list[Record]] = []
         for decorated in stream:
-            leaf, section = decorated[0], decorated[1]
+            leaf = decorated[0]
             if leaf != current:
                 if current >= 0:
-                    writer.append_leaf(current, sections)
+                    append_leaf(current, sections)
                 current = leaf
                 sections = [[] for _ in range(height)]
-            sections[section - 1].append(decorated[2:])
+            sections[decorated[1] - 1].append(decorated[2:])
         if current >= 0:
-            writer.append_leaf(current, sections)
+            append_leaf(current, sections)
         return writer.finish()
 
-    leaf_store = external_sort_to_sink(
-        phase2_input,
-        key=lambda rec: (rec[0], rec[1]),
-        sink=build_leaves,
-        memory_pages=params.memory_pages,
-        free_source=free_phase2_input,
-        transform=decorate,
-        output_schema=decorated_schema,
+    with PROFILE.timer("ace_build.phase2"):
+        leaf_store = external_sort_to_sink(
+            phase2_input,
+            key=lambda d: d[0] * section_span + d[1],
+            sink=build_leaves,
+            memory_pages=params.memory_pages,
+            free_source=free_phase2_input,
+            transform=decorate,
+            output_schema=decorated_schema,
+            view_transform=decorate_view,
+        )
+    geometry.attach_counts(
+        [c + int(h) for c, h in zip(cell_counts, cell_hist)]
     )
-    geometry.attach_counts(cell_counts)
 
     report = AceBuildReport(
         height=height,
@@ -234,6 +323,8 @@ def _splits_by_rank(
 ) -> tuple[Box, list[list[tuple[float, ...]]]]:
     """Quantile boundaries by rank from a key-sorted file (1-D Phase 1).
 
+    ``key_of`` maps a record to its scalar key value.
+
     The ``i``-th boundary (1-based) of node ``j`` at level ``s`` is the key
     at rank ``(j * arity + i) * n // arity^s`` of the sorted order — the
     equi-depth quantiles of that node's data span (medians for arity 2,
@@ -255,7 +346,7 @@ def _splits_by_rank(
         base = page_index * per_page
         for rank in wanted:
             if base <= rank < base + len(records):
-                keys_at_rank[rank] = key_of(records[rank - base])[0]
+                keys_at_rank[rank] = key_of(records[rank - base])
 
     lo, hi = keys_at_rank[0], keys_at_rank[n - 1]
     domain = Box.closed([lo], [hi])

@@ -32,6 +32,8 @@ import math
 from bisect import bisect_right
 from typing import Sequence
 
+import numpy as np
+
 from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box
 
@@ -231,6 +233,107 @@ class TreeGeometry:
     def locate_leaf(self, point: Sequence[float]) -> int:
         """The leaf cell whose box contains the point."""
         return self.descend(point, self.height - 1)
+
+    def leaf_locator(self):
+        """A specialized ``point -> leaf cell`` callable.
+
+        Bit-identical to :meth:`locate_leaf` (same per-level
+        ``bisect_right`` descent) with the level loop's attribute lookups
+        and range checks hoisted out; construction Phase 2 calls this once
+        per record, so the per-call overhead matters.
+        """
+        splits = self._splits
+        arity = self.arity
+        dims = self.dims
+        if dims == 1:
+            def locate(point, _bisect=bisect_right, _splits=splits, _arity=arity):
+                x = point[0]
+                index = 0
+                for level_splits in _splits:
+                    index = _arity * index + _bisect(level_splits[index], x)
+                return index
+        else:
+            def locate(
+                point, _bisect=bisect_right, _splits=splits, _arity=arity, _dims=dims
+            ):
+                index = 0
+                for level0, level_splits in enumerate(_splits):
+                    index = _arity * index + _bisect(
+                        level_splits[index], point[level0 % _dims]
+                    )
+                return index
+        return locate
+
+    def scalar_leaf_locator(self):
+        """A ``key value -> leaf cell`` callable for 1-D trees.
+
+        Like :meth:`leaf_locator` but takes the bare key instead of a
+        1-tuple point, and replaces the binary tree's one-boundary
+        ``bisect_right`` with a plain comparison (``bisect_right((b,), x)``
+        is ``1`` exactly when ``x >= b``), so the descent is pure integer
+        arithmetic.  Identical results to :meth:`locate_leaf` on ``(x,)``.
+        """
+        if self.dims != 1:
+            raise QueryError("scalar_leaf_locator needs a 1-D tree")
+        if self.arity == 2:
+            bounds = [[node[0] for node in level] for level in self._splits]
+
+            def locate(x, _bounds=bounds):
+                index = 0
+                for level_bounds in _bounds:
+                    index = index + index + (x >= level_bounds[index])
+                return index
+
+            return locate
+        point_locate = self.leaf_locator()
+        return lambda x, _locate=point_locate: _locate((x,))
+
+    def array_leaf_locator(self, key_kind: str):
+        """A vectorized ``key array -> leaf cell array`` callable, or None.
+
+        Only the binary 1-D tree qualifies.  ``key_kind`` names the column
+        kind of the keys the caller will pass (``"f8"`` for float64 arrays,
+        ``"i8"`` for int64): float keys compare against the stored float
+        boundaries directly, while int keys compare against exact integer
+        thresholds (``x >= b`` is ``x >= ceil(b)`` for every integer
+        ``x``), because Python's int-vs-float ``>=`` is exact where
+        numpy's would round the int to float64.  Each level then costs one
+        gather and one compare over the whole key array instead of a
+        per-record descent; results match :meth:`locate_leaf` element for
+        element, or None is returned and callers must descend per record.
+        """
+        if self.dims != 1 or self.arity != 2:
+            return None
+        levels = []
+        for level in self._splits:
+            vals = [node[0] for node in level]
+            if key_kind == "f8":
+                levels.append(np.array(vals, dtype=np.float64))
+            elif key_kind == "i8":
+                thresholds = []
+                for b in vals:
+                    if not math.isfinite(b):
+                        if b == float("-inf"):
+                            thresholds.append(-2**63)  # always x >= b
+                            continue
+                        return None  # +inf / nan: no int threshold
+                    t = math.ceil(b)
+                    if not -2**63 <= t < 2**63:
+                        return None
+                    thresholds.append(t)
+                levels.append(np.array(thresholds, dtype=np.int64))
+            else:
+                return None
+
+        def locate(keys, _levels=levels):
+            index = np.zeros(len(keys), dtype=np.intp)
+            for level_bounds in _levels:
+                bounds = level_bounds[index]
+                index += index
+                index += keys >= bounds
+            return index
+
+        return locate
 
     def overlapping_nodes(self, level: int, query: Box) -> list[int]:
         """Indexes of level-``level`` nodes whose boxes overlap the query.

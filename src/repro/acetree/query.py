@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
+from ..bench.profile import PROFILE
 from ..core.errors import QueryError
 from ..core.intervals import Box
 from ..core.records import Record
@@ -110,6 +111,7 @@ class SampleStream:
         self._store = tree.leaf_store
         self._height = geometry.height
         self._key_of = tree.schema.keys_getter(tree.key_fields)
+        self._filter = self._make_filter(tree, query)
         self._rng = random.Random(int(derive(seed, "ace-stream").integers(2**62)))
 
         # Required intervals per section level: the level-s node indexes
@@ -128,6 +130,22 @@ class SampleStream:
         # Degenerate query: no overlap with the domain at all.
         self._exhausted = not geometry.domain.overlaps(query)
 
+    @staticmethod
+    def _make_filter(tree: "AceTree", query: Box):
+        """A ``records -> matching list`` predicate specialized per query.
+
+        Same semantics as filtering each record's key point through
+        ``query.contains_point`` (every interval is half-open), with the
+        per-record call tower flattened for the 1-D common case.
+        """
+        if len(tree.key_fields) == 1:
+            get = tree.schema.key_getter(tree.key_fields[0])
+            lo, hi = query.sides[0].lo, query.sides[0].hi
+            return lambda records: [r for r in records if lo <= get(r) < hi]
+        key_of = tree.schema.keys_getter(tree.key_fields)
+        contains = query.contains_point
+        return lambda records: [r for r in records if contains(key_of(r))]
+
     # -- iteration -----------------------------------------------------------
 
     def __iter__(self) -> Iterator[SampleBatch]:
@@ -138,10 +156,12 @@ class SampleStream:
             raise StopIteration
         if (1, 0) in self._done:
             return self._final_flush()
-        leaf_index = self._stab()
-        leaf = self._store.read_leaf(leaf_index)
-        self.stats.leaves_read += 1
-        emitted = self._process_leaf(leaf_index, leaf)
+        with PROFILE.timer("ace_query.stab"):
+            leaf_index = self._stab()
+            leaf = self._store.read_leaf(leaf_index)
+            self.stats.leaves_read += 1
+            emitted = self._process_leaf(leaf_index, leaf)
+        PROFILE.count("ace_query.leaves_read")
         self._rng.shuffle(emitted)
         self.stats.records_emitted += len(emitted)
         if (1, 0) in self._done and self.stats.buffered_records == 0:
@@ -237,16 +257,11 @@ class SampleStream:
     def _process_leaf(self, leaf_index: int, leaf) -> list[Record]:
         """File the leaf's sections into buckets and emit what combines."""
         self._mark_done(leaf_index)
-        query = self.query
-        key_of = self._key_of
+        matching = self._filter
         emitted: list[Record] = []
         for s in range(1, self._height + 1):
             ancestor = leaf_index // self._arity ** (self._height - s)
-            cell = [
-                record
-                for record in leaf.sections[s - 1]
-                if query.contains_point(key_of(record))
-            ]
+            cell = matching(leaf.sections[s - 1])
             bucket = self._buckets[s - 1]
             bucket.setdefault(ancestor, []).append(cell)
             self.stats.buffered_records += len(cell)

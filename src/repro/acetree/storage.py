@@ -24,6 +24,7 @@ from typing import Iterator
 
 from ..core.errors import SerializationError, StorageError
 from ..core.records import Record, Schema
+from ..storage.buffer import DecodeMemo
 from ..storage.disk import SimulatedDisk
 from .nodes import LeafNode
 
@@ -35,6 +36,11 @@ _DIR_ENTRY = struct.Struct("<Q")
 
 #: Pages per allocation extent while streaming leaves out.
 _EXTENT_PAGES = 256
+
+#: Decoded leaves memoized per store.  Shuttle stabs revisit the same hot
+#: leaves across queries; memoizing the (immutable) LeafNode skips the
+#: struct decode while the I/O is still charged in full.
+_LEAF_MEMO_LEAVES = 4096
 
 
 def _serialize_leaf(schema: Schema, leaf_index: int, sections: list[list[Record]]) -> bytes:
@@ -170,6 +176,7 @@ class LeafStore:
         self._dir_page_ids = dir_page_ids
         self._offsets = offsets
         self._extents = extents
+        self._memo = DecodeMemo(_LEAF_MEMO_LEAVES)
 
     @property
     def num_leaves(self) -> int:
@@ -204,18 +211,34 @@ class LeafStore:
         return first, last - first + 1
 
     def read_leaf(self, leaf_index: int) -> LeafNode:
-        """Fetch one leaf from disk (random I/O + sequential spill pages)."""
+        """Fetch one leaf from disk (random I/O + sequential spill pages).
+
+        Decoded leaves are memoized.  A memo hit performs the identical
+        timed page reads and per-record CPU charge as a cold read — the
+        simulated cost never depends on the memo — and only skips the
+        struct decoding (LeafNode is immutable, so sharing is safe).
+        """
         self._check_leaf(leaf_index)
         start = self._offsets[leaf_index]
         end = self._offsets[leaf_index + 1]
         first, span = self.leaf_page_span(leaf_index)
         page_size = self.disk.page_size
+        cached = self._memo.get(leaf_index)
+        if cached is not None:
+            for i in range(span):
+                self.disk.read_page(self._data_page_ids[first + i])
+            self.disk.charge_records(
+                sum(len(section) for section in cached.sections)
+            )
+            return cached
         chunks = [
             self.disk.read_page(self._data_page_ids[first + i]) for i in range(span)
         ]
         blob = b"".join(chunks)
         local = start - first * page_size
-        return self._parse_leaf(blob[local:local + (end - start)], leaf_index)
+        leaf = self._parse_leaf(blob[local:local + (end - start)], leaf_index)
+        self._memo.put(leaf_index, leaf)
+        return leaf
 
     def iter_leaves(self) -> Iterator[LeafNode]:
         """All leaves in index order (sequential full-store read)."""
@@ -259,6 +282,7 @@ class LeafStore:
         self._dir_page_ids = []
         self._offsets = [0]
         self._extents = None
+        self._memo.clear()
 
     def _check_leaf(self, leaf_index: int) -> None:
         if not 0 <= leaf_index < self.num_leaves:

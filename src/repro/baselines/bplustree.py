@@ -88,7 +88,11 @@ def build_bplus_tree(
         return heap
 
     leaves = external_sort_to_sink(
-        source, key=key_of, sink=load_leaves, memory_pages=memory_pages
+        source,
+        key=key_of,
+        sink=load_leaves,
+        memory_pages=memory_pages,
+        key_field=key_field,
     )
     return RankedBPlusTree._build_internal(
         leaves, key_field, leaf_stats, leaf_cache_pages

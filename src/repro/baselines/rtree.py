@@ -80,6 +80,7 @@ def build_rtree(
         key=lambda record: key_of(record)[0],
         memory_pages=memory_pages,
         name=f"{name}.sort0",
+        key_field=key_fields[0],
     )
 
     per_page = by_first.records_per_page

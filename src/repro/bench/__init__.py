@@ -1,44 +1,82 @@
-"""Benchmark harness: sampling races, per-figure experiments, reporting."""
+"""Benchmark harness: sampling races, per-figure experiments, reporting.
 
-from .figures import (
-    ACE,
-    BPLUS,
-    FIGURES,
-    PERMUTED,
-    RTREE,
-    SCALES,
-    ExperimentContext,
-    FigureResult,
-    FigureSpec,
-    Scale,
-    clear_context_cache,
-    get_context,
-    run_figure,
-)
-from .model import ExperimentModel
-from .race import AveragedCurve, RaceCurve, average_curves, make_grid, run_race
-from .report import format_figure, format_summary
+Submodules are imported lazily (PEP 562) so that low layers can import
+``repro.bench.profile`` — a dependency-free wall-clock registry — without
+dragging in the figure harness (which itself imports the whole library and
+would create an import cycle).
+"""
 
-__all__ = [
+from typing import TYPE_CHECKING
+
+_FIGURE_EXPORTS = {
     "ACE",
-    "AveragedCurve",
     "BPLUS",
-    "ExperimentContext",
-    "ExperimentModel",
     "FIGURES",
-    "FigureResult",
-    "FigureSpec",
     "PERMUTED",
     "RTREE",
-    "RaceCurve",
     "SCALES",
+    "ExperimentContext",
+    "FigureResult",
+    "FigureSpec",
     "Scale",
-    "average_curves",
     "clear_context_cache",
-    "format_figure",
-    "format_summary",
     "get_context",
-    "make_grid",
     "run_figure",
-    "run_race",
-]
+}
+_MODEL_EXPORTS = {"ExperimentModel"}
+_RACE_EXPORTS = {"AveragedCurve", "RaceCurve", "average_curves", "make_grid", "run_race"}
+_REPORT_EXPORTS = {"format_figure", "format_summary"}
+_PROFILE_EXPORTS = {"Profiler", "PROFILE"}
+
+__all__ = sorted(
+    _FIGURE_EXPORTS
+    | _MODEL_EXPORTS
+    | _RACE_EXPORTS
+    | _REPORT_EXPORTS
+    | _PROFILE_EXPORTS
+)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .figures import (  # noqa: F401
+        ACE,
+        BPLUS,
+        FIGURES,
+        PERMUTED,
+        RTREE,
+        SCALES,
+        ExperimentContext,
+        FigureResult,
+        FigureSpec,
+        Scale,
+        clear_context_cache,
+        get_context,
+        run_figure,
+    )
+    from .model import ExperimentModel  # noqa: F401
+    from .profile import PROFILE, Profiler  # noqa: F401
+    from .race import (  # noqa: F401
+        AveragedCurve,
+        RaceCurve,
+        average_curves,
+        make_grid,
+        run_race,
+    )
+    from .report import format_figure, format_summary  # noqa: F401
+
+
+def __getattr__(name: str):
+    if name in _FIGURE_EXPORTS:
+        from . import figures as module
+    elif name in _MODEL_EXPORTS:
+        from . import model as module
+    elif name in _RACE_EXPORTS:
+        from . import race as module
+    elif name in _REPORT_EXPORTS:
+        from . import report as module
+    elif name in _PROFILE_EXPORTS:
+        from . import profile as module
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value

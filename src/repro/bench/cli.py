@@ -6,14 +6,19 @@ Usage::
     python -m repro figures fig12 fig13     # a subset
     python -m repro figures --scale small   # quick smoke run
     python -m repro list                    # show the figure inventory
+    python -m repro bench --json            # wall-clock micro-benchmarks
 
 Each figure's series is printed and, with ``--out DIR``, written to
-``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).
+``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).  ``bench`` runs
+the :mod:`repro.bench.micro` suite and emits throughput numbers — as JSON
+with ``--json`` (the format committed as ``BENCH_PR1.json``), else as a
+short table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -61,11 +66,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list the figure inventory")
+
+    bench = sub.add_parser(
+        "bench", help="run wall-clock micro-benchmarks of the implementation"
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as JSON on stdout (else a short table)",
+    )
+    bench.add_argument(
+        "--out", type=Path, default=None, help="also write the JSON to a file"
+    )
+    bench.add_argument(
+        "--n", type=int, default=20_000, help="relation size (default 20000)"
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        help="timing runs per benchmark; the best is reported (default 5)",
+    )
     return parser
+
+
+def _run_bench(args) -> int:
+    from .micro import run_micro
+
+    if args.n <= 0 or args.repeat <= 0:
+        print("bench: --n and --repeat must be positive", file=sys.stderr)
+        return 2
+    results = run_micro(n=args.n, repeat=args.repeat)
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    if args.json:
+        print(text)
+    else:
+        codec = results["codec"]
+        sort = results["external_sort"]
+        build = results["ace_build"]
+        print(f"codec   pack {codec['pack_many_mb_per_s']:8.1f} MB/s   "
+              f"unpack {codec['unpack_many_mb_per_s']:8.1f} MB/s   "
+              f"column {codec['unpack_column_keys_per_s'] / 1e6:6.2f} Mkeys/s")
+        print(f"sort    key_field {sort['key_field_records_per_s'] / 1e3:8.1f} krec/s   "
+              f"callable {sort['callable_records_per_s'] / 1e3:8.1f} krec/s")
+        print(f"build   ace {build['records_per_s'] / 1e3:8.1f} krec/s")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.command == "list":
         for name, spec in FIGURES.items():

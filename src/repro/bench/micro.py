@@ -1,0 +1,146 @@
+"""Wall-clock micro-benchmarks of the implementation itself.
+
+Unlike the figure experiments, which report *simulated* I/O seconds, this
+suite measures what the Python implementation costs in real seconds: codec
+throughput (pack/unpack MB/s), external-sort and index-construction record
+throughput, and a sampling path.  ``python -m repro bench --json`` emits the
+results as JSON so optimization PRs can commit before/after baselines (see
+``BENCH_PR1.json``); ``benchmarks/test_micro_components.py`` runs the same
+workloads under pytest-benchmark.
+
+Every timing is the best of ``repeat`` runs — on a shared machine the
+minimum is the observation least polluted by scheduler noise — and each run
+rebuilds its inputs so caches and allocator state are comparable across
+runs.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from typing import Callable
+
+from ..acetree import AceBuildParams, build_ace_tree
+from ..core import Field, Schema
+from ..storage import CostModel, HeapFile, SimulatedDisk, external_sort
+from .profile import PROFILE
+
+__all__ = ["MICRO_SCHEMA", "run_micro"]
+
+#: The relation layout every micro-benchmark uses: an indexed int key, a
+#: float payload, and padding up to a 100-byte record (the paper's scale
+#: experiments use records of roughly this size).
+MICRO_SCHEMA = Schema(
+    [Field("k", "i8"), Field("v", "f8"), Field("pad", "bytes", 84)]
+)
+
+
+def _fresh_relation(n: int) -> HeapFile:
+    disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
+    rng = random.Random(0)
+    records = ((rng.randrange(10**9), rng.random(), b"") for _ in range(n))
+    return HeapFile.bulk_load(disk, MICRO_SCHEMA, records, name="bench")
+
+
+def _best_of(repeat: int, setup: Callable, run: Callable) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        state = setup()
+        started = time.perf_counter()
+        run(state)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _codec_benchmarks(n: int, repeat: int) -> dict:
+    """pack_many / unpack_many / single-column throughput."""
+    rng = random.Random(1)
+    records = [
+        (rng.randrange(10**9), rng.random(), b"x" * 84) for _ in range(n)
+    ]
+    payload = MICRO_SCHEMA.pack_many(records)
+    size = MICRO_SCHEMA.record_size
+    mb = n * size / 1e6
+
+    pack_s = _best_of(
+        repeat, lambda: None, lambda _: MICRO_SCHEMA.pack_many(records)
+    )
+    unpack_s = _best_of(
+        repeat, lambda: None, lambda _: MICRO_SCHEMA.unpack_many(payload, n)
+    )
+    column_s = _best_of(
+        repeat, lambda: None, lambda _: MICRO_SCHEMA.unpack_column(payload, n, "k")
+    )
+    return {
+        "record_size_bytes": size,
+        "pack_many_mb_per_s": mb / pack_s,
+        "unpack_many_mb_per_s": mb / unpack_s,
+        "unpack_column_keys_per_s": n / column_s,
+    }
+
+
+def _sort_benchmarks(n: int, repeat: int) -> dict:
+    """External sort throughput: declared key column vs opaque callable."""
+    key_field_s = _best_of(
+        repeat,
+        lambda: _fresh_relation(n),
+        lambda rel: external_sort(rel, memory_pages=64, key_field="k").free(),
+    )
+    callable_s = _best_of(
+        repeat,
+        lambda: _fresh_relation(n),
+        lambda rel: external_sort(
+            rel, key=lambda r: r[0], memory_pages=64
+        ).free(),
+    )
+    return {
+        "key_field_records_per_s": n / key_field_s,
+        "key_field_seconds": key_field_s,
+        "callable_records_per_s": n / callable_s,
+        "callable_seconds": callable_s,
+    }
+
+
+def _build_benchmarks(n: int, repeat: int) -> dict:
+    """ACE-Tree bulk construction throughput, with a phase breakdown."""
+    params = AceBuildParams(key_fields=("k",), height=8, seed=3)
+    best = float("inf")
+    breakdown: dict = {}
+    for _ in range(repeat):
+        rel = _fresh_relation(n)
+        PROFILE.reset()
+        started = time.perf_counter()
+        build_ace_tree(rel, params)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            breakdown = {
+                name: PROFILE.seconds(name)
+                for name in (
+                    "ace_build.phase1",
+                    "ace_build.phase2",
+                    "external_sort.run_generation",
+                    "external_sort.merge",
+                )
+            }
+    return {
+        "records_per_s": n / best,
+        "seconds": best,
+        "best_run_profile_seconds": breakdown,
+    }
+
+
+def run_micro(n: int = 20_000, repeat: int = 5) -> dict:
+    """Run the whole micro suite; returns a JSON-ready dictionary."""
+    return {
+        "meta": {
+            "n_records": n,
+            "repeat": repeat,
+            "timing": "best of repeat, perf_counter",
+            "python": sys.version.split()[0],
+        },
+        "codec": _codec_benchmarks(n, repeat),
+        "external_sort": _sort_benchmarks(n, repeat),
+        "ace_build": _build_benchmarks(n, repeat),
+    }

@@ -8,17 +8,28 @@ fixed-length byte-string fields) and packs/unpacks records to ``bytes`` with
 
 Records themselves are plain tuples — cheap, hashable and directly usable as
 dictionary keys, which the samplers rely on for without-replacement checks.
+
+Serialization is *batched*: ``pack_many``/``unpack_many`` move whole pages
+of records through one precompiled multi-record :class:`struct.Struct`
+(packing) or :meth:`struct.Struct.iter_unpack` (unpacking), so the per-record
+work happens in C rather than in a Python loop.  :class:`PageView` goes one
+step further and defers decoding entirely, letting consumers that only need
+one column (:meth:`Schema.unpack_column`) or a handful of rows skip the full
+decode.  The byte format is identical to packing records one at a time —
+``tests/property/test_prop_codec.py`` pins that equivalence.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from itertools import chain
+from operator import itemgetter
+from typing import Iterable, Iterator, Sequence
 
 from .errors import SchemaError, SerializationError
 
-__all__ = ["Field", "Schema", "Record"]
+__all__ = ["Field", "Schema", "Record", "PageView"]
 
 #: A record is a plain tuple of field values matching its schema.
 Record = tuple
@@ -27,6 +38,13 @@ _STRUCT_CODES = {
     "i8": "q",  # signed 64-bit integer
     "f8": "d",  # IEEE-754 double
 }
+
+#: Largest record count for which a dedicated multi-record Struct is
+#: compiled and cached; bigger batches are packed in chunks of this size.
+#: Covers a whole page of the smallest (8-byte) records at 8 KB pages.
+_PACK_CHUNK = 1024
+
+_first = itemgetter(0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +77,13 @@ class Field:
             return f"{self.size}s"
         return _STRUCT_CODES[self.kind]
 
+    @property
+    def byte_size(self) -> int:
+        """Width of this field in the packed record."""
+        if self.kind == "bytes":
+            return self.size
+        return 8
+
 
 class Schema:
     """An ordered collection of fields with fixed-size binary layout.
@@ -84,7 +109,16 @@ class Schema:
             raise SchemaError(f"duplicate field names in {names}")
         self._fields = tuple(fields)
         self._index = {f.name: i for i, f in enumerate(fields)}
-        self._struct = struct.Struct("<" + "".join(f.struct_code for f in fields))
+        self._fmt_body = "".join(f.struct_code for f in fields)
+        self._struct = struct.Struct("<" + self._fmt_body)
+        # count -> Struct packing `count` records back to back; compiled on
+        # demand so common batch sizes (a page's worth) pay the format parse
+        # once instead of one struct call per record.
+        self._batch_structs: dict[int, struct.Struct] = {1: self._struct}
+        # field index -> Struct extracting just that column from one record
+        # (pad bytes skip the rest), for lazy column decodes.
+        self._column_structs: dict[int, struct.Struct] = {}
+        self._numpy_dtype = None
 
     # -- introspection -----------------------------------------------------
 
@@ -147,6 +181,14 @@ class Schema:
 
     # -- serialization -----------------------------------------------------
 
+    def _batch_struct(self, count: int) -> struct.Struct:
+        try:
+            return self._batch_structs[count]
+        except KeyError:
+            compiled = struct.Struct("<" + self._fmt_body * count)
+            self._batch_structs[count] = compiled
+            return compiled
+
     def pack(self, record: Record) -> bytes:
         """Serialize a record to its fixed-size binary form."""
         try:
@@ -164,30 +206,173 @@ class Schema:
             ) from exc
 
     def pack_many(self, records: Iterable[Record]) -> bytes:
-        """Serialize records back to back into one buffer."""
-        return b"".join(self._struct.pack(*r) for r in records)
+        """Serialize records back to back into one buffer.
+
+        Packs whole chunks through one multi-record Struct; the output is
+        byte-identical to concatenating :meth:`pack` of each record.
+        """
+        if not isinstance(records, (list, tuple)):
+            records = list(records)
+        count = len(records)
+        if count == 0:
+            return b""
+        try:
+            if count <= _PACK_CHUNK:
+                return self._batch_struct(count).pack(*chain.from_iterable(records))
+            parts = []
+            for start in range(0, count, _PACK_CHUNK):
+                chunk = records[start:start + _PACK_CHUNK]
+                parts.append(
+                    self._batch_struct(len(chunk)).pack(*chain.from_iterable(chunk))
+                )
+            return b"".join(parts)
+        except (struct.error, TypeError):
+            # Re-pack record by record to blame the precise offender (a
+            # wrong-arity tuple misaligns the whole flattened batch).
+            for record in records:
+                if len(record) != len(self._fields):
+                    raise SerializationError(
+                        f"cannot pack {record!r}: record has {len(record)} "
+                        f"values, schema has {len(self._fields)}"
+                    ) from None
+                self.pack(record)
+            raise SerializationError(
+                f"cannot pack batch of {count} records as {self!r}"
+            ) from None
+
+    def pack_many_into(
+        self, buffer: bytearray | memoryview, offset: int, records: Sequence[Record]
+    ) -> int:
+        """Like :meth:`pack_many`, but into an existing buffer.
+
+        Returns the number of bytes written.  Lets page writers reuse one
+        page-sized buffer instead of allocating a fresh blob per page.
+        """
+        count = len(records)
+        if count == 0:
+            return 0
+        size = self._struct.size
+        try:
+            pos = offset
+            for start in range(0, count, _PACK_CHUNK):
+                chunk = records[start:start + _PACK_CHUNK]
+                self._batch_struct(len(chunk)).pack_into(
+                    buffer, pos, *chain.from_iterable(chunk)
+                )
+                pos += len(chunk) * size
+            return pos - offset
+        except (struct.error, TypeError):
+            self.pack_many(records)  # raises with the precise offender
+            raise SerializationError(
+                f"cannot pack {count} records into buffer of "
+                f"{len(buffer)} bytes at offset {offset}"
+            ) from None
 
     def unpack_many(self, blob: bytes | memoryview, count: int) -> list[Record]:
         """Deserialize ``count`` records packed back to back."""
         size = self._struct.size
-        if len(blob) < count * size:
+        need = count * size
+        if len(blob) < need:
             raise SerializationError(
-                f"need {count * size} bytes for {count} records, have {len(blob)}"
+                f"need {need} bytes for {count} records, have {len(blob)}"
             )
-        view = memoryview(blob)
-        return [self._struct.unpack(view[i * size:(i + 1) * size]) for i in range(count)]
+        if count == 0:
+            return []
+        view = blob if len(blob) == need else memoryview(blob)[:need]
+        try:
+            return list(self._struct.iter_unpack(view))
+        except struct.error as exc:  # pragma: no cover - length checked above
+            raise SerializationError(
+                f"cannot unpack {count} records as {self!r}: {exc}"
+            ) from exc
+
+    # -- lazy / columnar decoding ------------------------------------------
+
+    def _column_struct(self, index: int) -> struct.Struct:
+        try:
+            return self._column_structs[index]
+        except KeyError:
+            before = sum(f.byte_size for f in self._fields[:index])
+            after = self.record_size - before - self._fields[index].byte_size
+            fmt = "<"
+            if before:
+                fmt += f"{before}x"
+            fmt += self._fields[index].struct_code
+            if after:
+                fmt += f"{after}x"
+            compiled = struct.Struct(fmt)
+            self._column_structs[index] = compiled
+            return compiled
+
+    def unpack_column(
+        self, blob: bytes | memoryview, count: int, name: str
+    ) -> list:
+        """Decode one column of ``count`` packed records, skipping the rest.
+
+        Roughly a ``record_size / field_size`` cheaper than a full
+        :meth:`unpack_many` when only a key attribute is needed (predicate
+        evaluation, sort-key extraction).
+        """
+        size = self._struct.size
+        need = count * size
+        if len(blob) < need:
+            raise SerializationError(
+                f"need {need} bytes for {count} records, have {len(blob)}"
+            )
+        if count == 0:
+            return []
+        view = blob if len(blob) == need else memoryview(blob)[:need]
+        column = self._column_struct(self.field_index(name))
+        return list(map(_first, column.iter_unpack(view)))
+
+    def page_view(self, blob: bytes | memoryview, count: int) -> "PageView":
+        """A lazily-decoded view over ``count`` packed records."""
+        return PageView(self, blob, count)
+
+    def numpy_dtype(self):
+        """A numpy structured dtype matching the packed record layout.
+
+        Field-for-field identical to the struct format (little-endian,
+        no padding), so ``np.frombuffer(page_payload, dtype)`` reads packed
+        records zero-copy.  Lets the sort fast path extract key columns
+        without decoding records into tuples.
+        """
+        if self._numpy_dtype is None:
+            import numpy as np
+
+            np_codes = {"i8": "<i8", "f8": "<f8"}
+            self._numpy_dtype = np.dtype(
+                [
+                    (
+                        f.name,
+                        f"S{f.size}" if f.kind == "bytes" else np_codes[f.kind],
+                    )
+                    for f in self._fields
+                ]
+            )
+        return self._numpy_dtype
 
     # -- accessors ---------------------------------------------------------
 
     def key_getter(self, name: str):
-        """Return a fast ``record -> value`` accessor for the named field."""
-        idx = self.field_index(name)
-        return lambda record: record[idx]
+        """A fast ``record -> value`` accessor for the named field.
+
+        The result is an :func:`operator.itemgetter`, so repeated calls (sort
+        keys, predicate filters) stay in C.
+        """
+        return itemgetter(self.field_index(name))
 
     def keys_getter(self, names: Sequence[str]):
-        """Return a ``record -> tuple of values`` accessor for several fields."""
+        """A ``record -> tuple of values`` accessor for several fields.
+
+        Always returns a tuple, even for a single name (a 1-field key is a
+        1-tuple point, as the geometry code expects).
+        """
         idxs = tuple(self.field_index(n) for n in names)
-        return lambda record: tuple(record[i] for i in idxs)
+        if len(idxs) == 1:
+            single = itemgetter(idxs[0])
+            return lambda record: (single(record),)
+        return itemgetter(*idxs)
 
     def fresh_field_name(self, stem: str) -> str:
         """A field name derived from ``stem`` that does not collide.
@@ -203,3 +388,67 @@ class Schema:
             suffix += 1
             name = f"{stem}{suffix}"
         return name
+
+
+class PageView:
+    """A lazily-decoded view of ``count`` records packed back to back.
+
+    Full decoding is deferred until :attr:`records` is first touched (then
+    cached); :meth:`column` decodes a single field for every row and
+    :meth:`record` decodes a single row — both without materializing the
+    rest.  Consumers that filter on a key column and keep few rows (the
+    permuted-file scan sampler at low selectivity) skip most of the decode
+    work entirely.
+
+    The view holds a reference to the underlying buffer; like a pinned page
+    frame, treat its decoded contents as immutable.
+    """
+
+    __slots__ = ("schema", "count", "_view", "_records")
+
+    def __init__(self, schema: Schema, blob: bytes | memoryview, count: int) -> None:
+        need = count * schema.record_size
+        if len(blob) < need:
+            raise SerializationError(
+                f"need {need} bytes for {count} records, have {len(blob)}"
+            )
+        self.schema = schema
+        self.count = count
+        self._view = blob if len(blob) == need else memoryview(blob)[:need]
+        self._records: list[Record] | None = None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    @property
+    def payload(self) -> bytes | memoryview:
+        """The raw packed bytes backing this view (count * record_size)."""
+        return self._view
+
+    @property
+    def records(self) -> list[Record]:
+        """All records, decoded once and cached."""
+        if self._records is None:
+            self._records = self.schema.unpack_many(self._view, self.count)
+        return self._records
+
+    def record(self, index: int) -> Record:
+        """Decode one row by position (no caching)."""
+        if self._records is not None:
+            return self._records[index]
+        if not 0 <= index < self.count:
+            raise SerializationError(
+                f"record index {index} out of range 0..{self.count - 1}"
+            )
+        size = self.schema.record_size
+        view = self._view if isinstance(self._view, memoryview) else memoryview(self._view)
+        return self.schema.unpack(view[index * size:(index + 1) * size])
+
+    def column(self, name: str) -> list:
+        """Decode one field of every row, skipping the other columns."""
+        if self._records is not None:
+            return list(map(self.schema.key_getter(name), self._records))
+        return self.schema.unpack_column(self._view, self.count, name)

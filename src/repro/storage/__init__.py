@@ -1,16 +1,18 @@
 """Simulated storage substrate: disk, buffer pool, heap files, external sort."""
 
-from .buffer import BufferPool, RecordPageCache
+from .buffer import BufferPool, DecodeMemo, RecordPageCache
 from .cost import CostModel
 from .disk import DiskStats, SimulatedDisk
 from .external_sort import external_sort, external_sort_to_sink, merge_runs
-from .heapfile import HeapFile
+from .heapfile import PAGE_HEADER_SIZE, HeapFile
 
 __all__ = [
     "BufferPool",
     "CostModel",
+    "DecodeMemo",
     "DiskStats",
     "HeapFile",
+    "PAGE_HEADER_SIZE",
     "RecordPageCache",
     "SimulatedDisk",
     "external_sort",

@@ -18,7 +18,7 @@ from collections import OrderedDict
 from ..core.errors import BufferPoolError
 from .disk import SimulatedDisk
 
-__all__ = ["BufferPool", "RecordPageCache"]
+__all__ = ["BufferPool", "DecodeMemo", "RecordPageCache"]
 
 
 class BufferPool:
@@ -140,6 +140,70 @@ class RecordPageCache:
             self.evictions += 1
         self._frames[pid] = value
         return value
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class DecodeMemo:
+    """A *cost-transparent* LRU memo of decoded page contents.
+
+    :class:`RecordPageCache` models a real buffer pool: a hit changes what
+    the simulated disk is charged (page-hit CPU instead of an I/O).  This
+    memo is the opposite: it never changes the charged cost.  The caller is
+    expected to perform **exactly the same timed disk accesses and CPU
+    charges** on a hit as on a miss — same ``read_page`` calls in the same
+    order, same ``charge_records`` — and use the memo only to skip the
+    Python-level struct decoding of bytes it has already decoded.  The
+    simulated clock, head position, and stats are therefore bit-identical
+    with the memo on or off; only real wall-clock time improves.
+
+    Decoded values are shared between callers, so only memoize immutable
+    objects (tuples, frozen dataclasses like ``LeafNode``).
+    """
+
+    __slots__ = ("capacity", "_frames", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise BufferPoolError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._frames: OrderedDict[object, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(self, key: object):
+        """The memoized value for ``key``, or ``None``; charges nothing."""
+        frames = self._frames
+        value = frames.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        frames.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        """Memoize ``value``, evicting the least recently used entry if full."""
+        frames = self._frames
+        if key in frames:
+            frames.move_to_end(key)
+            frames[key] = value
+            return
+        while len(frames) >= self.capacity:
+            frames.popitem(last=False)
+            self.evictions += 1
+        frames[key] = value
 
     def clear(self) -> None:
         self._frames.clear()
