@@ -18,8 +18,6 @@ one and measures the damage (or the trade-off):
   argument for why it fails at 25% selectivity.
 """
 
-import pytest
-
 from repro.acetree import AceBuildParams, build_ace_tree
 from repro.baselines import build_bplus_tree, build_permuted_file
 from repro.bench import run_race

@@ -103,7 +103,7 @@ def test_block_sampling_tradeoff(benchmark):
         return out
 
     got = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(f"\nblock-sampling trade-off (AVG of a key-correlated value):")
+    print("\nblock-sampling trade-off (AVG of a key-correlated value):")
     print(f"  records in a 1%-of-scan budget: block={got['block_rate']}, "
           f"record={got['record_rate']} "
           f"({got['block_rate'] / max(got['record_rate'], 1):.0f}x faster raw)")

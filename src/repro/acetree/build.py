@@ -28,18 +28,17 @@ instead of a single median.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..bench.profile import PROFILE
 from ..core.errors import IndexBuildError
 from ..core.intervals import Box
+from ..core.profile import PROFILE
 from ..core.records import Field as SchemaField
 from ..core.records import Record, Schema
-from ..core.rng import derive
+from ..core.rng import derive_random
 from ..storage.disk import DiskStats
 from ..storage.external_sort import external_sort, external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -157,7 +156,7 @@ def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
     num_leaves = geometry.num_leaves
     cell_counts = [0] * num_leaves  # tallied by per-record decorate
     cell_hist = np.zeros(num_leaves, dtype=np.int64)  # tallied by decorate_view
-    assign_rng = random.Random(int(derive(params.seed, "ace-assign").integers(2**62)))
+    assign_rng = derive_random(params.seed, "ace-assign")
     getrandbits = assign_rng.getrandbits
     if dims == 1:
         # Specialized descent: bare key in, plain comparisons down the tree.

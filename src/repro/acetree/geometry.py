@@ -313,8 +313,8 @@ class TreeGeometry:
                 thresholds = []
                 for b in vals:
                     if not math.isfinite(b):
-                        if b == float("-inf"):
-                            thresholds.append(-2**63)  # always x >= b
+                        if b < 0:  # -inf boundary: every int key is >= it
+                            thresholds.append(-2**63)
                             continue
                         return None  # +inf / nan: no int threshold
                     t = math.ceil(b)

@@ -28,15 +28,14 @@ Figure 15 measurement).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from ..bench.profile import PROFILE
 from ..core.errors import QueryError
 from ..core.intervals import Box
+from ..core.profile import PROFILE
 from ..core.records import Record
-from ..core.rng import derive
+from ..core.rng import derive_random
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tree import AceTree
@@ -112,7 +111,7 @@ class SampleStream:
         self._height = geometry.height
         self._key_of = tree.schema.keys_getter(tree.key_fields)
         self._filter = self._make_filter(tree, query)
-        self._rng = random.Random(int(derive(seed, "ace-stream").integers(2**62)))
+        self._rng = derive_random(seed, "ace-stream")
 
         # Required intervals per section level: the level-s node indexes
         # whose boxes overlap the query (Combine's covering sets).

@@ -23,6 +23,7 @@ import struct
 from typing import Iterator
 
 from ..core.errors import SerializationError, StorageError
+from ..core.profile import PROFILE
 from ..core.records import Record, Schema
 from ..storage.buffer import DecodeMemo
 from ..storage.disk import SimulatedDisk
@@ -223,6 +224,9 @@ class LeafStore:
         end = self._offsets[leaf_index + 1]
         first, span = self.leaf_page_span(leaf_index)
         page_size = self.disk.page_size
+        # Every simulated page read below is attributed to this counter;
+        # check_sample verifies the attribution balances (cost conservation).
+        PROFILE.count("leaf_store.pages_read", span)
         cached = self._memo.get(leaf_index)
         if cached is not None:
             for i in range(span):

@@ -1,0 +1,38 @@
+"""Static analysis and runtime sanitizers for the repro codebase.
+
+Two halves guard the invariants the paper's claims rest on:
+
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — an AST lint
+  pass (``python -m repro lint``) enforcing the RNG-derivation discipline,
+  simulated-clock integrity, float-comparison hygiene on index keys, and
+  package layering.
+* :mod:`repro.analysis.invariants` — runtime checkers for ACE-Tree
+  structure (:func:`check_tree`), sample uniformity and cost conservation
+  (:func:`check_sample`), and live stream state (:func:`check_stream`).
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and extension guide.
+"""
+
+from .invariants import SampleCheckReport, check_sample, check_stream, check_tree
+from .lint import (
+    RULES,
+    Finding,
+    findings_to_json,
+    format_findings,
+    lint_file,
+    lint_paths,
+)
+from . import rules as _rules  # noqa: F401  (registers the project rules)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "SampleCheckReport",
+    "check_sample",
+    "check_stream",
+    "check_tree",
+    "findings_to_json",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+]

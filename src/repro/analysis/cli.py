@@ -1,0 +1,33 @@
+"""``python -m repro lint`` — run the static analysis pass.
+
+Exit status is 0 when every linted file is clean and 1 when any finding
+survives suppression, so the command slots directly into CI.  ``--json``
+emits the findings as a JSON array for tooling.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .lint import findings_to_json, format_findings, lint_paths
+
+__all__ = ["run_lint"]
+
+#: Linted when no paths are given: the library itself.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def run_lint(paths: list[str] | None, as_json: bool = False) -> int:
+    """Lint the given files/directories; returns a process exit code."""
+    targets = [Path(p) for p in (paths or DEFAULT_PATHS)]
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(targets)
+    if as_json:
+        print(findings_to_json(findings))
+    else:
+        print(format_findings(findings))
+    return 1 if findings else 0

@@ -1,0 +1,300 @@
+"""AST lint framework for the repro codebase.
+
+The library's correctness rests on global invariants that no single module
+can see — every random draw must descend from :func:`repro.core.rng.derive`,
+every I/O and timing operation must route through the simulated-clock disk
+layer, and the package layering must stay acyclic.  This module provides
+the *mechanism* for enforcing such invariants statically:
+
+* a :class:`Rule` registry (``@register`` adds a rule; the project's rules
+  live in :mod:`repro.analysis.rules`);
+* a :class:`LintContext` handed to every rule: the parsed ``ast`` tree, the
+  module's position inside the ``repro`` package (so rules can exempt the
+  sanctioned modules), and an import-alias map for canonicalizing dotted
+  names (``np.random.default_rng`` -> ``numpy.random.default_rng``);
+* per-line suppression via ``# repro: allow[RULE]`` comments (several IDs
+  may be listed, comma separated; the rest of the comment should say *why*);
+* human-readable (``path:line:col: RULE message``) and JSON output.
+
+Run it as ``python -m repro lint [--json] [paths...]``; see
+``docs/ANALYSIS.md`` for the rule catalogue and how to add a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "RULES",
+    "register",
+    "canonical_name",
+    "dotted_name",
+    "lint_file",
+    "lint_paths",
+    "format_findings",
+    "findings_to_json",
+]
+
+#: Rule ID for files that cannot be parsed at all.
+SYNTAX_RULE = "AST000"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: Path
+    #: Dotted module path relative to the ``repro`` package root
+    #: (``"core.rng"`` for ``src/repro/core/rng.py``) or ``None`` when the
+    #: file does not live under a directory named ``repro``.
+    module: str | None
+    tree: ast.Module
+    lines: list[str]
+    #: Maps a locally bound name to the canonical dotted name it imports
+    #: (``np -> numpy``, ``Random -> random.Random``).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: an ID, a summary, and a checker."""
+
+    id: str
+    summary: str
+    check: Callable[[LintContext], Iterable[Finding]]
+
+
+#: Registry of all known rules, keyed by rule ID.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_id: str, summary: str):
+    """Decorator registering ``check(ctx) -> Iterable[Finding]`` as a rule."""
+
+    def wrap(check: Callable[[LintContext], Iterable[Finding]]) -> Rule:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        rule = Rule(id=rule_id, summary=summary, check=check)
+        RULES[rule_id] = rule
+        return rule
+
+    return wrap
+
+
+# ---------------------------------------------------------------------------
+# Name canonicalization helpers (shared by the rules)
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The literal dotted name of an expression (``a.b.c``), if it is one."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def canonical_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The import-resolved dotted name of an expression.
+
+    ``np.random.default_rng`` becomes ``numpy.random.default_rng`` under
+    ``import numpy as np``; a bare ``Random`` becomes ``random.Random``
+    under ``from random import Random``.
+    """
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return name
+    return f"{target}.{rest}" if rest else target
+
+
+def _collect_aliases(tree: ast.Module, module: str | None) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a``; the bound name already
+                    # matches its canonical prefix, record it as itself.
+                    head = alias.name.split(".", 1)[0]
+                    aliases.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(node, module)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def resolve_import_base(node: ast.ImportFrom, module: str | None) -> str | None:
+    """Absolute dotted module an ``ImportFrom`` pulls from, if resolvable.
+
+    Relative imports are resolved against the file's repro-relative module
+    path (so ``from ..core.rng import derive`` inside ``acetree/build.py``
+    resolves to ``repro.core.rng``); they stay unresolved (``None``) for
+    files outside the package.
+    """
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    full = ("repro." + module).split(".")
+    # Level 1 strips the module's own name, each extra level one package.
+    base = full[: len(full) - node.level]
+    if not base:
+        return None
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def module_path_of(path: Path) -> str | None:
+    """Dotted module path relative to the innermost ``repro`` directory."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    rel = parts[idx + 1:]
+    if not rel:
+        return None
+    rel[-1] = rel[-1].removesuffix(".py")
+    return ".".join(rel)
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+
+def _suppressed_rules(line: str) -> set[str]:
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+def lint_file(path: Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Run every (or the given) rule over one Python file."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=SYNTAX_RULE,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = module_path_of(path)
+    ctx = LintContext(
+        path=path,
+        module=module,
+        tree=tree,
+        lines=lines,
+        aliases=_collect_aliases(tree, module),
+    )
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else RULES.values():
+        for finding in rule.check(ctx):
+            line_text = (
+                lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+            )
+            if finding.rule in _suppressed_rules(line_text):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files beneath them, sorted."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint every Python file under the given files/directories."""
+    # Import for side effect: registers the project rule set exactly once.
+    from . import rules as _project_rules  # noqa: F401
+
+    findings: list[Finding] = []
+    for file in iter_python_files(Path(p) for p in paths):
+        findings.extend(lint_file(file, rules))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Output
+# ---------------------------------------------------------------------------
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    if not findings:
+        return "lint: clean"
+    lines = [finding.render() for finding in findings]
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = ", ".join(f"{rule} x{n}" for rule, n in sorted(by_rule.items()))
+    lines.append(f"lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """The findings as a JSON array (stable field order)."""
+    return json.dumps([asdict(finding) for finding in findings], indent=2)

@@ -1,0 +1,352 @@
+"""Project-specific lint rules for the repro codebase.
+
+Each rule encodes one of the global invariants the paper reproduction
+depends on (see ``docs/ANALYSIS.md`` for the full catalogue and rationale):
+
+=======  ==================================================================
+RNG001   all randomness flows through ``core/rng.py`` (``derive`` /
+         ``derive_random`` / ``make_rng``); no direct RNG construction.
+CLK001   no wall-clock / real-I/O access outside the sanctioned modules
+         (``storage/disk.py`` owns the simulated clock, ``core/profile.py``
+         is the wall-clock profiling layer).
+FLT001   no ``==`` / ``!=`` on key or split-bound floats in ``acetree/``.
+LAY001   package layering is respected (``core`` < ``storage`` <
+         ``acetree``/``workloads`` < ``baselines``/``apps`` < ``view`` <
+         ``analysis`` < ``bench``).
+MUT001   no mutable default arguments.
+EXC001   no bare / overbroad ``except`` clauses.
+=======  ==================================================================
+
+Rules only see one module at a time; whole-program invariants (sample
+uniformity, cost conservation) live in :mod:`repro.analysis.invariants`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .lint import (
+    Finding,
+    LintContext,
+    canonical_name,
+    register,
+    resolve_import_base,
+)
+
+__all__ = ["LAYER_RANKS"]
+
+
+# ---------------------------------------------------------------------------
+# RNG001 — randomness discipline
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to construct generators directly.
+_RNG_SANCTIONED = {"core.rng"}
+
+#: Canonical callables that construct or reseed a generator.
+_RNG_BANNED = {
+    "numpy.random.default_rng",
+    "numpy.random.seed",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "random.Random",
+    "random.seed",
+    "random.SystemRandom",
+}
+
+
+@register("RNG001", "direct RNG construction outside core/rng.py")
+def check_rng(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.module in _RNG_SANCTIONED:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = canonical_name(node.func, ctx.aliases)
+        if name in _RNG_BANNED:
+            yield ctx.finding(
+                "RNG001",
+                node,
+                f"direct call to {name}(); derive the stream via "
+                "repro.core.rng.derive()/derive_random() instead",
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLK001 — clock and I/O integrity
+# ---------------------------------------------------------------------------
+
+#: ``storage/disk.py`` owns the simulated clock; ``core/profile.py`` is the
+#: sanctioned wall-clock layer (the profiler measures the implementation
+#: itself, never the modeled hardware).
+_CLK_SANCTIONED = {"storage.disk", "core.profile"}
+
+#: Modules whose import alone gives access to wall time / raw I/O.  The
+#: import is the choke point: one finding per module instead of one per
+#: call keeps suppressions readable.
+_CLK_BANNED_MODULES = {"time", "mmap"}
+
+#: Direct file / device access callables (no import needed for ``open``).
+_CLK_BANNED_CALLS = {
+    "open",
+    "os.open",
+    "os.read",
+    "os.write",
+    "os.pread",
+    "os.pwrite",
+    "os.fdopen",
+    "io.open",
+    "mmap.mmap",
+}
+
+
+@register("CLK001", "wall clock / raw I/O outside the simulated disk layer")
+def check_clock(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.module in _CLK_SANCTIONED:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in _CLK_BANNED_MODULES:
+                    yield ctx.finding(
+                        "CLK001",
+                        node,
+                        f"import of {root!r}: timing must flow through the "
+                        "simulated clock (storage/disk.py) or the profiler "
+                        "(core/profile.py)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(node, ctx.module)
+            if base and base.split(".", 1)[0] in _CLK_BANNED_MODULES:
+                yield ctx.finding(
+                    "CLK001",
+                    node,
+                    f"import from {base!r}: timing must flow through the "
+                    "simulated clock (storage/disk.py) or the profiler "
+                    "(core/profile.py)",
+                )
+        elif isinstance(node, ast.Call):
+            name = canonical_name(node.func, ctx.aliases)
+            if name in _CLK_BANNED_CALLS:
+                yield ctx.finding(
+                    "CLK001",
+                    node,
+                    f"direct call to {name}(); all I/O must route through "
+                    "the simulated disk layer",
+                )
+
+
+# ---------------------------------------------------------------------------
+# FLT001 — float equality on keys / split bounds in acetree/
+# ---------------------------------------------------------------------------
+
+_FLT_NAME_RE = re.compile(r"key|split|bound|boundar|quantile", re.IGNORECASE)
+
+
+def _is_float_valued(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+def _is_suspect_name(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_FLT_NAME_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_FLT_NAME_RE.search(node.attr))
+    return False
+
+
+def _is_non_numeric_const(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (str, bytes, bool, type(None))
+    )
+
+
+@register("FLT001", "float equality on keys / split bounds in acetree/")
+def check_float_eq(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.module is None or not ctx.module.startswith("acetree"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(_is_float_valued(op) for op in operands):
+            yield ctx.finding(
+                "FLT001",
+                node,
+                "== / != against a float value; split bounds and keys must "
+                "be compared with ordering predicates or math.isinf/isnan",
+            )
+        elif any(_is_suspect_name(op) for op in operands) and not any(
+            _is_non_numeric_const(op) for op in operands
+        ):
+            yield ctx.finding(
+                "FLT001",
+                node,
+                "== / != on a key/split-bound value; use ordering "
+                "predicates (floats make equality fragile)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# LAY001 — import layering
+# ---------------------------------------------------------------------------
+
+#: A package may import from packages of rank <= its own.  Top-level
+#: modules (``__init__``, ``__main__``) may import anything.
+LAYER_RANKS = {
+    "core": 0,
+    "storage": 1,
+    "workloads": 2,
+    "acetree": 2,
+    "baselines": 3,
+    "apps": 3,
+    "view": 4,
+    "analysis": 5,
+    "bench": 6,
+}
+
+
+def _repro_target(base: str) -> str | None:
+    """The repro subpackage an absolute dotted import refers to, if any."""
+    parts = base.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+@register("LAY001", "import-layering violation between repro subpackages")
+def check_layering(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.module is None or "." not in ctx.module:
+        return  # top-level modules sit above the layering
+    own_pkg = ctx.module.split(".", 1)[0]
+    own_rank = LAYER_RANKS.get(own_pkg)
+    if own_rank is None:
+        return
+    for node in ast.walk(ctx.tree):
+        targets: list[tuple[ast.AST, str]] = []
+        if isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(node, ctx.module)
+            if base:
+                targets.append((node, base))
+        elif isinstance(node, ast.Import):
+            targets.extend((node, alias.name) for alias in node.names)
+        for at, base in targets:
+            pkg = _repro_target(base)
+            if pkg is None:
+                continue
+            rank = LAYER_RANKS.get(pkg)
+            if rank is not None and rank > own_rank:
+                yield ctx.finding(
+                    "LAY001",
+                    at,
+                    f"{own_pkg}/ (layer {own_rank}) imports repro.{pkg} "
+                    f"(layer {rank}); lower layers must not depend on "
+                    "higher ones",
+                )
+
+
+# ---------------------------------------------------------------------------
+# MUT001 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUT_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUT_FACTORIES
+    ):
+        return True
+    return False
+
+
+@register("MUT001", "mutable default argument")
+def check_mutable_defaults(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield ctx.finding(
+                    "MUT001",
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+
+# ---------------------------------------------------------------------------
+# EXC001 — bare / overbroad except clauses
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _names_in_handler_type(node: ast.AST | None) -> Iterator[str]:
+    if node is None:
+        return
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _names_in_handler_type(element)
+    else:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None:
+            yield name
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(stmt, ast.Raise) and stmt.exc is None for stmt in handler.body
+    )
+
+
+@register("EXC001", "bare or overbroad except clause")
+def check_excepts(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield ctx.finding(
+                "EXC001",
+                node,
+                "bare except catches SystemExit/KeyboardInterrupt too; "
+                "name the exceptions you expect",
+            )
+            continue
+        broad = [
+            name
+            for name in _names_in_handler_type(node.type)
+            if name in _BROAD_EXCEPTIONS
+        ]
+        if broad and not _reraises(node):
+            yield ctx.finding(
+                "EXC001",
+                node,
+                f"overbroad except {broad[0]} without re-raise; narrow it "
+                "to the exceptions this site expects",
+            )

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.errors import EstimatorError
 from ..core.records import Record
+from ..core.rng import derive
 
 __all__ = ["StreamingKMeans", "KMeansReport"]
 
@@ -58,7 +59,7 @@ class StreamingKMeans:
             raise EstimatorError(f"k must be >= 1, got {k}")
         self.k = k
         self._point_of = point_of
-        self._rng = np.random.default_rng(seed)
+        self._rng = derive(seed, "kmeans")
         self.centers: np.ndarray | None = None
         self._counts: np.ndarray | None = None
 

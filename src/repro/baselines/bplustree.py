@@ -16,7 +16,6 @@ internal levels are packed bottom-up.
 
 from __future__ import annotations
 
-import random
 import struct
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
@@ -25,7 +24,7 @@ from typing import Iterator
 from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box
 from ..core.records import Record
-from ..core.rng import derive
+from ..core.rng import derive_random
 from ..storage.buffer import RecordPageCache
 from ..storage.external_sort import external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -269,7 +268,7 @@ class RankedBPlusTree:
         r1, r2 = self.range_rank_interval(query)
         if r1 >= r2:
             return
-        rng = random.Random(int(derive(seed, "bplus-sample").integers(2**62)))
+        rng = derive_random(seed, "bplus-sample")
         disk = self.leaves.disk
         used: set[int] = set()
         total = r2 - r1
@@ -306,7 +305,7 @@ class RankedBPlusTree:
         first_page = r1 // per_page
         last_page = (r2 - 1) // per_page
         pages = list(range(first_page, last_page + 1))
-        rng = random.Random(int(derive(seed, "bplus-blocks").integers(2**62)))
+        rng = derive_random(seed, "bplus-blocks")
         rng.shuffle(pages)
         disk = self.leaves.disk
         side = query.sides[0]

@@ -15,13 +15,12 @@ methods on every workload in the paper, and the test suite checks that.
 
 from __future__ import annotations
 
-import random
 from typing import Iterator
 
 from ..core.errors import QueryError
 from ..core.intervals import Box
 from ..core.records import Record
-from ..core.rng import derive
+from ..core.rng import derive_random
 from ..storage.buffer import RecordPageCache
 from ..storage.heapfile import HeapFile
 from .base import Batch
@@ -79,7 +78,7 @@ class HeapRandomSampler:
         total = self.heap.num_records
         if total == 0:
             return
-        rng = random.Random(int(derive(seed, "heap-sample").integers(2**62)))
+        rng = derive_random(seed, "heap-sample")
         disk = self.heap.disk
         used: set[int] = set()
         while len(used) < total:

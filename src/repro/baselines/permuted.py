@@ -15,14 +15,13 @@ query's selectivity.
 
 from __future__ import annotations
 
-import random
 from operator import itemgetter
 from typing import Iterator
 
 from ..core.errors import QueryError
 from ..core.intervals import Box
 from ..core.records import Field, Record, Schema
-from ..core.rng import derive
+from ..core.rng import derive_random
 from ..storage.external_sort import external_sort_to_sink
 from ..storage.heapfile import HeapFile
 from .base import Batch
@@ -43,7 +42,7 @@ def build_permuted_file(
     are not used for the permutation itself, only remembered so that
     :meth:`PermutedFile.sample` can evaluate predicates).
     """
-    shuffle_rng = random.Random(int(derive(seed, "permute").integers(2**62)))
+    shuffle_rng = derive_random(seed, "permute")
     decorated_schema = Schema(
         [Field(source.schema.fresh_field_name("rand_"), "i8")]
         + list(source.schema.fields)

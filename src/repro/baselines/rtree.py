@@ -17,7 +17,6 @@ probability ``1/N``, so accepted records are uniform over the matching set.
 from __future__ import annotations
 
 import math
-import random
 import struct
 from bisect import bisect_right
 from dataclasses import dataclass
@@ -26,7 +25,7 @@ from typing import Iterator, Sequence
 from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box, Interval
 from ..core.records import Field, Record, Schema
-from ..core.rng import derive
+from ..core.rng import derive_random
 from ..storage.buffer import RecordPageCache
 from ..storage.external_sort import external_sort, external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -343,7 +342,7 @@ class RTree:
         candidates = running
         if candidates == 0:
             return
-        rng = random.Random(int(derive(seed, "rtree-sample").integers(2**62)))
+        rng = derive_random(seed, "rtree-sample")
         disk = self.leaves.disk
         used: set[int] = set()
         while len(used) < candidates:
@@ -378,7 +377,7 @@ class RTree:
         total = self.count(query)
         if total == 0:
             return
-        rng = random.Random(int(derive(seed, "rtree-sample").integers(2**62)))
+        rng = derive_random(seed, "rtree-sample")
         disk = self.leaves.disk
         used: set[tuple[int, int]] = set()
         emitted = 0

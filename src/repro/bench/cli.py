@@ -5,8 +5,10 @@ Usage::
     python -m repro figures                 # all figures at medium scale
     python -m repro figures fig12 fig13     # a subset
     python -m repro figures --scale small   # quick smoke run
+    python -m repro figures --sanitize ...  # invariant checks first
     python -m repro list                    # show the figure inventory
     python -m repro bench --json            # wall-clock micro-benchmarks
+    python -m repro lint [--json] [PATH...] # static analysis pass
 
 Each figure's series is printed and, with ``--out DIR``, written to
 ``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).  ``bench`` runs
@@ -20,7 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
+import time  # repro: allow[CLK001] reports real wall seconds per figure run
 from pathlib import Path
 
 from .figures import FIGURES, SCALES, run_figure
@@ -64,8 +66,29 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--seed", type=int, default=0, help="experiment seed (default 0)"
     )
+    figures.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the ACE-Tree invariant sanitizers (check_tree/check_sample "
+        "on a small SALE build) before the figures; fail fast on violation",
+    )
 
     sub.add_parser("list", help="list the figure inventory")
+
+    lint = sub.add_parser(
+        "lint", help="run the repro static analysis pass (see docs/ANALYSIS.md)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array instead of text",
+    )
 
     bench = sub.add_parser(
         "bench", help="run wall-clock micro-benchmarks of the implementation"
@@ -115,11 +138,44 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_sanitize(seed: int) -> int:
+    """Build a small SALE tree and run the runtime invariant checkers."""
+    from ..acetree import AceBuildParams, build_ace_tree
+    from ..analysis.invariants import check_sample, check_tree
+    from ..core.errors import InvariantViolation
+    from ..storage.cost import CostModel
+    from ..storage.disk import SimulatedDisk
+    from ..workloads import generate_sale_1d, queries_1d
+
+    disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
+    sale = generate_sale_1d(disk, num_records=8000, seed=seed)
+    tree = build_ace_tree(sale, AceBuildParams(key_fields=("day",), seed=seed))
+    try:
+        check_tree(tree)
+        for query in queries_1d(0.025, 3, seed=seed):
+            report = check_sample(tree, query, seed=seed)
+            print(
+                f"sanitize: query ok (population={report.population_size}, "
+                f"chi2={report.chi2:.2f}, p={report.p_value:.3f}, "
+                f"pages={report.pages_read})"
+            )
+    except InvariantViolation as exc:
+        print(f"sanitize: INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    print("sanitize: all invariants hold")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "bench":
         return _run_bench(args)
+
+    if args.command == "lint":
+        from ..analysis.cli import run_lint
+
+        return run_lint(args.paths, as_json=args.json)
 
     if args.command == "list":
         for name, spec in FIGURES.items():
@@ -135,6 +191,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+    if args.sanitize:
+        status = _run_sanitize(args.seed)
+        if status != 0:
+            return status
 
     for name in names:
         started = time.time()

@@ -16,15 +16,15 @@ runs.
 
 from __future__ import annotations
 
-import random
 import sys
-import time
+import time  # repro: allow[CLK001] micro-benchmarks measure real wall-clock seconds
 from typing import Callable
 
 from ..acetree import AceBuildParams, build_ace_tree
 from ..core import Field, Schema
+from ..core.profile import PROFILE
+from ..core.rng import derive_random
 from ..storage import CostModel, HeapFile, SimulatedDisk, external_sort
-from .profile import PROFILE
 
 __all__ = ["MICRO_SCHEMA", "run_micro"]
 
@@ -38,7 +38,7 @@ MICRO_SCHEMA = Schema(
 
 def _fresh_relation(n: int) -> HeapFile:
     disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
-    rng = random.Random(0)
+    rng = derive_random(0, "micro-relation")
     records = ((rng.randrange(10**9), rng.random(), b"") for _ in range(n))
     return HeapFile.bulk_load(disk, MICRO_SCHEMA, records, name="bench")
 
@@ -55,7 +55,7 @@ def _best_of(repeat: int, setup: Callable, run: Callable) -> float:
 
 def _codec_benchmarks(n: int, repeat: int) -> dict:
     """pack_many / unpack_many / single-column throughput."""
-    rng = random.Random(1)
+    rng = derive_random(1, "micro-codec")
     records = [
         (rng.randrange(10**9), rng.random(), b"x" * 84) for _ in range(n)
     ]

@@ -1,10 +1,11 @@
-"""Core primitives: errors, RNG discipline, interval geometry, record schemas."""
+"""Core primitives: errors, RNG discipline, intervals, schemas, profiling."""
 
 from .errors import (
     BufferPoolError,
     EstimatorError,
     HeapFileError,
     IndexBuildError,
+    InvariantViolation,
     PageError,
     ParseError,
     QueryError,
@@ -16,8 +17,9 @@ from .errors import (
     ViewError,
 )
 from .intervals import Box, Interval
+from .profile import PROFILE, Profiler
 from .records import Field, Record, Schema
-from .rng import derive, make_rng, spawn
+from .rng import derive, derive_random, make_rng, spawn
 
 __all__ = [
     "Box",
@@ -27,8 +29,11 @@ __all__ = [
     "HeapFileError",
     "IndexBuildError",
     "Interval",
+    "InvariantViolation",
+    "PROFILE",
     "PageError",
     "ParseError",
+    "Profiler",
     "QueryError",
     "Record",
     "ReproError",
@@ -39,6 +44,7 @@ __all__ = [
     "StorageError",
     "ViewError",
     "derive",
+    "derive_random",
     "make_rng",
     "spawn",
 ]

@@ -66,3 +66,11 @@ class ParseError(ViewError):
 
 class EstimatorError(ReproError):
     """An online estimator was asked for output it cannot provide yet."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime sanitizer found a broken structural/statistical invariant.
+
+    Raised by :mod:`repro.analysis.invariants` (``check_tree``,
+    ``check_sample``, ``check_stream``); never raised by normal operation.
+    """

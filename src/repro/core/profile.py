@@ -1,0 +1,141 @@
+"""Wall-clock profiling registry for build and query paths.
+
+The simulated clock answers "what would this cost on the modeled hardware";
+this module answers "what does it cost *us*, right now, in real seconds".
+A :class:`Profiler` is a process-wide registry of named wall-clock timers
+and event counters that the storage substrate and the ACE-Tree build/query
+paths report into, giving every optimization PR a before/after trace:
+
+    with PROFILE.timer("external_sort.run_generation"):
+        ...
+    PROFILE.count("external_sort.runs", len(runs))
+
+    print(PROFILE.report())
+
+Timers nest and re-enter freely (each ``with`` adds its own elapsed time),
+and the module deliberately imports nothing from the rest of the package so
+any layer — including the rest of ``core`` and ``storage`` — can report
+into it without import cycles.  It lives in ``core`` (not ``bench``) for
+exactly that reason: profiling is reported *from* every layer, so the
+registry must sit at the bottom of the layering (lint rule LAY001).  It is
+also one of the two modules sanctioned to touch the wall clock (lint rule
+CLK001): the profiler measures the implementation itself, never the modeled
+hardware, so it must bypass the simulated clock by design.
+
+Profiling is on by default: one ``perf_counter`` pair per *phase* (not per
+record or page) is far below measurement noise.  Use
+:meth:`Profiler.disable` to freeze the registry, e.g. while taking
+micro-benchmark timings that should not include bookkeeping.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+__all__ = ["Profiler", "PROFILE"]
+
+
+class Profiler:
+    """Named wall-clock timers and counters, accumulated per name."""
+
+    __slots__ = ("_seconds", "_calls", "_counters", "_enabled")
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        self._counters: dict[str, int] = {}
+        self._enabled = True
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the ``with`` body under ``name``."""
+        if not self._enabled:
+            yield
+            return
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate an externally measured duration under ``name``."""
+        if not self._enabled:
+            return
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name``."""
+        if not self._enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    # -- control -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop every accumulated timer and counter."""
+        self._seconds.clear()
+        self._calls.clear()
+        self._counters.clear()
+
+    # -- reading -----------------------------------------------------------
+
+    def seconds(self, name: str) -> float:
+        """Total accumulated wall-clock seconds for ``name`` (0.0 if unseen)."""
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Number of completed timer entries for ``name``."""
+        return self._calls.get(name, 0)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if unseen)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """All timers and counters as a JSON-ready dictionary."""
+        return {
+            "timers": {
+                name: {"seconds": self._seconds[name], "calls": self._calls[name]}
+                for name in sorted(self._seconds)
+            },
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+        }
+
+    def report(self) -> str:
+        """A human-readable table of timers (by time, descending) and counters."""
+        lines = []
+        if self._seconds:
+            lines.append(f"{'timer':<44} {'seconds':>10} {'calls':>8}")
+            for name in sorted(self._seconds, key=self._seconds.get, reverse=True):
+                lines.append(
+                    f"{name:<44} {self._seconds[name]:>10.4f} {self._calls[name]:>8}"
+                )
+        if self._counters:
+            if lines:
+                lines.append("")
+            lines.append(f"{'counter':<44} {'value':>10}")
+            for name in sorted(self._counters):
+                lines.append(f"{name:<44} {self._counters[name]:>10}")
+        return "\n".join(lines) if lines else "(profiler is empty)"
+
+
+#: Process-wide profiler that the library's build and query paths report into.
+PROFILE = Profiler()

@@ -13,7 +13,9 @@ real system.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..core.errors import PageError
 from .cost import CostModel
@@ -170,6 +172,25 @@ class SimulatedDisk:
         self.clock = 0.0
         self.stats = DiskStats()
         self._head = None
+
+    @contextmanager
+    def unmetered(self) -> Iterator[None]:
+        """Suspend cost accounting for the duration of the ``with`` body.
+
+        Inside the block the disk serves reads against a fresh clock and a
+        fresh :class:`DiskStats` (so the body can still *measure* its own
+        I/O); on exit the clock, counters, and head position are restored
+        exactly.  Used by the runtime sanitizers
+        (:mod:`repro.analysis.invariants`), which must read the whole tree
+        without disturbing the simulated time of the experiment they guard.
+        """
+        saved_clock, saved_stats, saved_head = self.clock, self.stats, self._head
+        self.clock = 0.0
+        self.stats = DiskStats()
+        try:
+            yield
+        finally:
+            self.clock, self.stats, self._head = saved_clock, saved_stats, saved_head
 
     def scan_time(self, pages: int) -> float:
         """Simulated seconds to scan ``pages`` sequentially (one seek)."""

@@ -55,7 +55,7 @@ from typing import Callable, Iterator, TypeVar
 
 import numpy as np
 
-from ..bench.profile import PROFILE
+from ..core.profile import PROFILE
 from ..core.errors import SortError
 from ..core.records import Record, Schema
 from .heapfile import PAGE_HEADER_SIZE, HeapFile, _packed_page_images
@@ -531,6 +531,8 @@ def _int64_keys(keys: list) -> np.ndarray | None:
     try:
         return np.array(keys, dtype=np.int64)
     except OverflowError:
+        # Expected for ints outside the 64-bit range (numpy refuses the
+        # conversion); such keys keep the exact Python index sort.
         return None
 
 

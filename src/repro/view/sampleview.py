@@ -12,7 +12,6 @@ stream remains a uniform sample of the updated view.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -20,7 +19,7 @@ from ..acetree import AceBuildParams, AceTree, build_ace_tree
 from ..baselines.base import Batch
 from ..core.intervals import Box
 from ..core.records import Record
-from ..core.rng import derive
+from ..core.rng import derive_random
 from ..storage.heapfile import HeapFile
 
 __all__ = ["MaterializedSampleView", "create_sample_view"]
@@ -136,7 +135,7 @@ class MaterializedSampleView:
         yield from self._sample_with_delta(query, seed)
 
     def _sample_with_delta(self, query: Box, seed: int) -> Iterator[Batch]:
-        rng = random.Random(int(derive(seed, "view-delta").integers(2**62)))
+        rng = derive_random(seed, "view-delta")
         key_of = self.tree.schema.keys_getter(self.key_fields)
         disk = self.tree.disk
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.acetree.storage import LeafStore, LeafStoreWriter
+from repro.acetree.storage import LeafStoreWriter
 from repro.core import Field, Schema
 from repro.core.errors import SerializationError, StorageError
 from repro.storage import CostModel, SimulatedDisk

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.acetree import AceBuildParams, build_ace_tree
-from repro.core import Field, Schema
-from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.storage import HeapFile
 
 from ..conftest import make_kv_records
 

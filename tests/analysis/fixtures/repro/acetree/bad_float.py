@@ -1,0 +1,11 @@
+"""Known-bad fixture: FLT001 triggers inside acetree/ (lines pinned)."""
+
+
+def descend(split_key, x, boundary):
+    if split_key == 0.5:                     # line 5: float literal equality
+        return 0
+    if x != float("inf"):                    # line 7: float() call equality
+        return 1
+    if boundary == x:                        # line 9: split-bound name equality
+        return 2
+    return 3

@@ -1,0 +1,15 @@
+"""Known-bad fixture: every RNG001 trigger (tests pin the line numbers)."""
+
+import random
+from random import Random
+
+import numpy as np
+
+
+def make_generators(seed):
+    a = np.random.default_rng(seed)          # line 10: aliased numpy call
+    b = random.Random(seed)                  # line 11: module attribute call
+    c = Random(seed)                         # line 12: from-imported name
+    random.seed(seed)                        # line 13: global reseed
+    d = np.random.RandomState(seed)          # line 14: legacy constructor
+    return a, b, c, d

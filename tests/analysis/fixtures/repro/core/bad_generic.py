@@ -1,0 +1,27 @@
+"""Known-bad fixture: MUT001 and EXC001 triggers (lines pinned)."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def swallow(thunk):
+    try:
+        return thunk()
+    except:  # noqa: E722
+        return None
+
+
+def too_broad(thunk):
+    try:
+        return thunk()
+    except Exception:
+        return None
+
+
+def broad_but_reraised(thunk):
+    try:
+        return thunk()
+    except Exception:
+        raise

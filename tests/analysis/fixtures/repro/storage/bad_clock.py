@@ -1,0 +1,13 @@
+"""Known-bad fixture: CLK001 and LAY001 triggers (tests pin line numbers)."""
+
+import time
+
+from ..bench.profile import PROFILE
+
+
+def slurp(path):
+    started = time.time()
+    with open(path) as fh:
+        data = fh.read()
+    PROFILE.add_time("slurp", time.time() - started)
+    return data

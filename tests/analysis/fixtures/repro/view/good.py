@@ -1,0 +1,17 @@
+"""Known-good fixture: sanctioned patterns and suppressions lint clean."""
+
+import time  # repro: allow[CLK001] fixture demonstrating a justified suppression
+
+from ..core.rng import derive, derive_random
+from ..storage.heapfile import HeapFile  # lower layer: fine from view/
+
+
+def sample(seed, out=None):
+    rng = derive_random(seed, "fixture")
+    gen = derive(seed, "fixture-numpy")
+    out = [] if out is None else out
+    try:
+        out.append(rng.random())
+    except ValueError:
+        pass
+    return gen, out, HeapFile, time

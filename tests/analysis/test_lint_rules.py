@@ -1,0 +1,194 @@
+"""Fixture-driven tests for every lint rule: exact IDs and line numbers.
+
+The fixture tree under ``fixtures/repro/`` mirrors the package layout so
+that module-relative rules (sanctioned modules, layering, acetree-only
+float checks) resolve exactly as they do against ``src/repro``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    findings_to_json,
+    format_findings,
+    lint_file,
+    lint_paths,
+)
+from repro.analysis.cli import run_lint
+from repro.analysis.lint import SYNTAX_RULE, module_path_of
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "repro"
+
+
+def lines_by_rule(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f.line)
+    return out
+
+
+class TestRegistry:
+    def test_all_project_rules_registered(self):
+        assert {
+            "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001"
+        } <= set(RULES)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.analysis.lint import register
+
+        with pytest.raises(ValueError):
+            register("RNG001", "duplicate")(lambda ctx: [])
+
+
+class TestModulePathOf:
+    def test_inside_repro(self):
+        assert module_path_of(Path("src/repro/core/rng.py")) == "core.rng"
+
+    def test_fixture_tree_resolves_like_source(self):
+        path = FIXTURES / "apps" / "bad_rng.py"
+        assert module_path_of(path) == "apps.bad_rng"
+
+    def test_outside_repro(self):
+        assert module_path_of(Path("scripts/tool.py")) is None
+
+
+class TestRng001:
+    def test_every_construction_site_flagged(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_rng.py")
+        assert lines_by_rule(findings) == {"RNG001": [10, 11, 12, 13, 14]}
+
+    def test_message_points_at_derive(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_rng.py")
+        assert all("derive" in f.message for f in findings)
+
+    def test_sanctioned_module_exempt(self, tmp_path):
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        path = target / "rng.py"
+        path.write_text("import random\nr = random.Random(0)\n")
+        assert lint_file(path) == []
+
+
+class TestClk001AndLay001:
+    def test_clock_import_and_open_call_flagged(self):
+        findings = lint_file(FIXTURES / "storage" / "bad_clock.py")
+        by_rule = lines_by_rule(findings)
+        assert by_rule["CLK001"] == [3, 10]
+
+    def test_upward_import_flagged(self):
+        findings = lint_file(FIXTURES / "storage" / "bad_clock.py")
+        assert lines_by_rule(findings)["LAY001"] == [5]
+        (lay,) = [f for f in findings if f.rule == "LAY001"]
+        assert "storage" in lay.message and "bench" in lay.message
+
+
+class TestFlt001:
+    def test_float_equality_in_acetree_flagged(self):
+        findings = lint_file(FIXTURES / "acetree" / "bad_float.py")
+        assert lines_by_rule(findings) == {"FLT001": [5, 7, 9]}
+
+    def test_rule_scoped_to_acetree(self, tmp_path):
+        target = tmp_path / "repro" / "apps"
+        target.mkdir(parents=True)
+        path = target / "free.py"
+        path.write_text("def f(x):\n    return x == 0.5\n")
+        assert lint_file(path) == []
+
+
+class TestMut001AndExc001:
+    def test_mutable_default_and_broad_excepts(self):
+        findings = lint_file(FIXTURES / "core" / "bad_generic.py")
+        by_rule = lines_by_rule(findings)
+        assert by_rule == {"MUT001": [4], "EXC001": [12, 19]}
+
+    def test_broad_except_with_reraise_allowed(self):
+        # Line 26 of the fixture is ``except Exception:`` + bare ``raise``.
+        findings = lint_file(FIXTURES / "core" / "bad_generic.py")
+        assert 26 not in [f.line for f in findings]
+
+
+class TestGoodFixture:
+    def test_sanctioned_patterns_lint_clean(self):
+        findings = lint_file(FIXTURES / "view" / "good.py")
+        assert findings == [], format_findings(findings)
+
+
+class TestSuppression:
+    def test_allow_comment_silences_only_named_rule(self, tmp_path):
+        path = tmp_path / "mixed.py"
+        path.write_text(
+            "import time  # repro: allow[CLK001] justified here\n"
+            "import random\n"
+            "r = random.Random(0)\n"
+        )
+        findings = lint_file(path)
+        assert lines_by_rule(findings) == {"RNG001": [3]}
+
+    def test_suppression_is_line_scoped(self, tmp_path):
+        path = tmp_path / "scoped.py"
+        path.write_text(
+            "# repro: allow[CLK001] wrong line, must not apply below\n"
+            "import time\n"
+        )
+        findings = lint_file(path)
+        assert lines_by_rule(findings) == {"CLK001": [2]}
+
+    def test_multiple_ids_in_one_comment(self, tmp_path):
+        path = tmp_path / "multi.py"
+        path.write_text(
+            "import time, random  # repro: allow[CLK001, RNG001] demo\n"
+        )
+        assert lint_file(path) == []
+
+
+class TestOutput:
+    def test_json_fields(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_rng.py")
+        decoded = json.loads(findings_to_json(findings))
+        assert len(decoded) == 5
+        first = decoded[0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+        assert first["rule"] == "RNG001" and first["line"] == 10
+
+    def test_human_report_has_locations_and_summary(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_rng.py")
+        report = format_findings(findings)
+        assert "bad_rng.py:10:" in report
+        assert "lint: 5 finding(s) (RNG001 x5)" in report
+
+    def test_clean_report(self):
+        assert format_findings([]) == "lint: clean"
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        (finding,) = lint_file(path)
+        assert finding.rule == SYNTAX_RULE
+
+    def test_lint_paths_expands_directories(self):
+        findings = lint_paths([FIXTURES])
+        rules_seen = {f.rule for f in findings}
+        assert {
+            "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001"
+        } == rules_seen
+
+
+class TestCli:
+    def test_findings_exit_1(self, capsys):
+        assert run_lint([str(FIXTURES / "apps")]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+    def test_clean_exit_0(self, capsys):
+        assert run_lint([str(FIXTURES / "view" / "good.py")]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_missing_path_exit_2(self, capsys):
+        assert run_lint(["no/such/path.py"]) == 2
+
+    def test_json_mode(self, capsys):
+        assert run_lint([str(FIXTURES / "acetree")], as_json=True) == 1
+        decoded = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in decoded} == {"FLT001"}

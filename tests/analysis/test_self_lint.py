@@ -1,0 +1,42 @@
+"""The library must satisfy its own lint rules.
+
+This is the enforcement test: any reintroduction of a direct RNG
+construction, wall-clock access, layering inversion, etc. anywhere under
+``src/repro`` fails the tier-1 suite, not just the CI lint job.
+"""
+
+from pathlib import Path
+
+from repro.analysis import format_findings, lint_file, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_src_repro_lints_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + format_findings(findings)
+
+
+def test_reverting_kmeans_seed_fix_would_be_caught(tmp_path):
+    """The historical ``random.Random(seed)`` in apps/kmeans.py is exactly
+    what RNG001 exists to catch; pin that a reintroduction fails."""
+    source = (SRC / "apps" / "kmeans.py").read_text(encoding="utf-8")
+    assert 'derive(seed, "kmeans")' in source
+    reverted = source.replace(
+        'self._rng = derive(seed, "kmeans")',
+        "self._rng = random.Random(seed)",
+    ).replace(
+        "from ..core.rng import derive",
+        "import random\nfrom ..core.rng import derive",
+    )
+    assert reverted != source
+    target = tmp_path / "repro" / "apps"
+    target.mkdir(parents=True)
+    path = target / "kmeans.py"
+    path.write_text(reverted, encoding="utf-8")
+    assert any(f.rule == "RNG001" for f in lint_file(path))

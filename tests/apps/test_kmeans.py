@@ -94,6 +94,38 @@ class TestFitting:
         assert np.linalg.norm(model.centers[0] - np.array([0.5, 0.5])) < 0.1
 
 
+class TestSeedDiscipline:
+    """apps/kmeans.py historically built ``random.Random(seed)`` directly,
+    so two models sharing a seed with any other ``random``-seeded component
+    drew correlated streams.  The RNG001 lint rule bans the pattern; these
+    tests pin the fixed behaviour."""
+
+    def test_rng_is_derived_from_the_kmeans_tag(self):
+        from repro.core.rng import derive
+
+        model = StreamingKMeans(3, lambda r: r[:2], seed=42)
+        expected = derive(42, "kmeans").integers(0, 2**62, size=8)
+        got = model._rng.integers(0, 2**62, size=8)
+        assert (got == expected).all()
+
+    def test_same_seed_other_tag_uncorrelated(self):
+        from repro.core.rng import derive
+
+        model = StreamingKMeans(3, lambda r: r[:2], seed=42)
+        other = derive(42, "other-component").integers(0, 2**62, size=8)
+        got = model._rng.integers(0, 2**62, size=8)
+        assert not (got == other).all()
+
+    def test_initialization_reproducible(self):
+        records = cluster_data(100, CENTERS, seed=12)
+        points = np.array([r[:2] for r in records])
+        a = StreamingKMeans(3, lambda r: r[:2], seed=9)
+        b = StreamingKMeans(3, lambda r: r[:2], seed=9)
+        a._partial_fit(points)
+        b._partial_fit(points)
+        assert (a.centers == b.centers).all()
+
+
 class TestPrediction:
     def test_predict_assigns_to_nearest(self):
         records = cluster_data(300, CENTERS, seed=9)

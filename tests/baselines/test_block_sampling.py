@@ -7,8 +7,8 @@ import numpy as np
 import pytest
 
 from repro.baselines import build_bplus_tree
-from repro.core import Box, Field, Interval, Schema
-from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.core import Box, Interval
+from repro.storage import HeapFile
 
 from ..conftest import make_kv_records
 

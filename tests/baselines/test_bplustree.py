@@ -8,7 +8,7 @@ import pytest
 from repro.baselines import build_bplus_tree
 from repro.core import Box, Interval
 from repro.core.errors import IndexBuildError, QueryError
-from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.storage import HeapFile
 
 from ..conftest import make_kv_records
 

@@ -9,7 +9,7 @@ from repro.baselines import build_rtree
 from repro.baselines.rtree import str_slab_layout
 from repro.core import Box, Interval
 from repro.core.errors import IndexBuildError, QueryError
-from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.storage import HeapFile
 
 from ..conftest import make_xy_records
 
@@ -62,7 +62,6 @@ class TestBuild:
         """STR leaf pages should have small MBRs: the average leaf MBR area
         is near the ideal 1/num_pages of the unit square."""
         _records, tree = setup
-        node = tree._node_cache.read(tree._root_pid)
         # Walk to leaf entries and measure their MBR areas.
         areas = []
         stack = [tree._root_pid]

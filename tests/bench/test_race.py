@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.base import Batch
-from repro.bench import RaceCurve, average_curves, make_grid, run_race
+from repro.bench import average_curves, make_grid, run_race
 
 
 def fake_batches(spec):

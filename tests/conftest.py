@@ -91,6 +91,32 @@ def xy_heap(disk, xy_schema) -> HeapFile:
 
 
 # ---------------------------------------------------------------------------
+# Built trees
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def small_ace_tree(kv_schema):
+    """A small built ACE Tree whose structure is sanitized once per session.
+
+    ``check_tree`` runs here so every tier-1 run exercises the runtime
+    invariant checker against a real build.  Tests that tamper with tree
+    state must build their own tree; this one is shared read-only.
+    """
+    from repro.acetree import AceBuildParams, build_ace_tree
+    from repro.analysis import check_tree
+
+    disk = SimulatedDisk(page_size=2048, cost=CostModel.scaled(2048))
+    records = make_kv_records(4000, seed=17)
+    heap = HeapFile.bulk_load(disk, kv_schema, records, name="sanitized")
+    tree = build_ace_tree(
+        heap, AceBuildParams(key_fields=("k",), height=5, seed=3)
+    )
+    check_tree(tree)
+    return records, tree
+
+
+# ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
 

@@ -59,9 +59,6 @@ class TestIntervalProperties:
     @given(intervals())
     def test_contains_value_consistent_with_contains(self, a):
         if not a.is_empty:
-            point = Interval(a.lo, a.lo)
-            # A degenerate interval at lo is empty, so contained trivially;
-            # check the midpoint instead via a tiny interval.
             assert a.contains_value(a.lo)
 
 

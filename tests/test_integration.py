@@ -132,8 +132,8 @@ class TestMiningEndToEnd:
         )
         query = tree.query((0.0, 1.0), (0.0, 1.0))
         model = StreamingKMeans(4, lambda r: (r[0], r[1]), seed=2)
-        report = model.fit_stream(tree.sample(query, seed=3), min_records=500,
-                                  max_records=8000, tolerance=2e-3)
+        model.fit_stream(tree.sample(query, seed=3), min_records=500,
+                         max_records=8000, tolerance=2e-3)
         assert model.centers is not None
         # Uniform square: centers spread out, not collapsed.
         spread = np.linalg.norm(

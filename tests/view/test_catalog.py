@@ -71,7 +71,7 @@ class TestSelect:
         assert all(100_000 <= r[0] <= 600_000 for r in rows)
 
     def test_full_result(self, catalog):
-        view = catalog.execute(CREATE)
+        catalog.execute(CREATE)
         rows = catalog.execute(
             "SELECT * FROM mysam WHERE k BETWEEN 100000 AND 600000", seed=1
         )

@@ -4,7 +4,6 @@ from collections import Counter
 
 import pytest
 
-from repro.core.errors import ViewError
 from repro.storage import HeapFile
 from repro.view import Catalog, create_sample_view
 
