@@ -134,6 +134,63 @@ def test_ace_leaf_read(benchmark, ace_tree):
     benchmark.pedantic(run, rounds=50, iterations=1)
 
 
+def test_ace_sample_traced_overhead(benchmark, ace_tree):
+    """The same sampling workload under a live TraceRecorder."""
+    from repro.obs import MetricsRegistry, TraceRecorder
+
+    query = ace_tree.query((100_000_000, 400_000_000))
+    seeds = iter(range(10**6))
+
+    def run():
+        recorder = TraceRecorder(metrics=MetricsRegistry())
+        with recorder:
+            return ace_tree.sample(query, seed=next(seeds)).take(1000)
+
+    got = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(got) == 1000
+
+
+# -- tracer span overhead ---------------------------------------------------
+
+
+def test_span_overhead_disabled_paths():
+    """Disabled tracing must stay near-free: assert generous absolute bounds.
+
+    ``python -m repro bench`` reports the same numbers; the bound here is
+    deliberately loose (5 µs/span, ~20x what we observe) so the assertion
+    only trips on a real fast-path regression, not scheduler noise.
+    """
+    from repro.bench.micro import _span_overhead_benchmarks
+
+    result = _span_overhead_benchmarks(repeat=3)
+    assert result["noop_ns_per_span"] < 5_000
+    assert result["detail_ns_per_span"] < 5_000
+    # The aggregate-timer tier does two clock reads + a locked dict update;
+    # it is used per *phase*, so a looser bound is fine.
+    assert result.get("timer_ns_per_span", 0.0) < 20_000
+
+
+def test_noop_span_in_tight_loop(benchmark):
+    from repro.core.profile import PROFILE
+    from repro.obs.tracer import TRACER
+
+    assert not TRACER.enabled
+    profile_was = PROFILE.enabled
+    PROFILE.disable()
+
+    def run():
+        span = TRACER.span
+        for _ in range(10_000):
+            with span("bench.noop"):
+                pass
+
+    try:
+        benchmark.pedantic(run, rounds=5, iterations=1)
+    finally:
+        if profile_was:
+            PROFILE.enable()
+
+
 def test_bplus_sample_1000_records(benchmark, relation):
     tree = build_bplus_tree(relation, "k")
     query_box = None

@@ -35,10 +35,10 @@ import numpy as np
 
 from ..core.errors import IndexBuildError
 from ..core.intervals import Box
-from ..core.profile import PROFILE
 from ..core.records import Field as SchemaField
 from ..core.records import Record, Schema
 from ..core.rng import derive_random
+from ..obs.tracer import TRACER
 from ..storage.disk import DiskStats
 from ..storage.external_sort import external_sort, external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -130,7 +130,9 @@ def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
     key_of = source.schema.keys_getter(params.key_fields)
 
     # ---- Phase 1: split keys -------------------------------------------
-    with PROFILE.timer("ace_build.phase1"):
+    with TRACER.span(
+        "ace_build.phase1", disk=disk, records=source.num_records, height=height
+    ):
         if dims == 1:
             # A scalar sort key orders records identically to the 1-tuple
             # key ((a,) < (b,) iff a < b); declaring it as ``key_field``
@@ -142,11 +144,17 @@ def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
                 name="ace.phase1",
                 key_field=params.key_fields[0],
             )
-            domain, splits = _splits_by_rank(phase1_sorted, scalar_key, height, arity)
+            with TRACER.span("ace_build.split_keys", disk=disk):
+                domain, splits = _splits_by_rank(
+                    phase1_sorted, scalar_key, height, arity
+                )
             phase2_input = phase1_sorted
             free_phase2_input = True
         else:
-            domain, splits = _splits_in_memory(source, key_of, height, dims, arity)
+            with TRACER.span("ace_build.split_keys", disk=disk):
+                domain, splits = _splits_in_memory(
+                    source, key_of, height, dims, arity
+                )
             phase2_input = source
             free_phase2_input = False
 
@@ -277,7 +285,10 @@ def build_ace_tree(source: HeapFile, params: AceBuildParams) -> AceTree:
             append_leaf(current, sections)
         return writer.finish()
 
-    with PROFILE.timer("ace_build.phase2"):
+    with TRACER.span(
+        "ace_build.phase2", disk=disk, records=source.num_records,
+        leaves=num_leaves,
+    ):
         leaf_store = external_sort_to_sink(
             phase2_input,
             key=lambda d: d[0] * section_span + d[1],

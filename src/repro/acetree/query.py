@@ -33,14 +33,22 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..core.errors import QueryError
 from ..core.intervals import Box
-from ..core.profile import PROFILE
 from ..core.records import Record
 from ..core.rng import derive_random
+from ..obs.metrics import METRICS
+from ..obs.tracer import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tree import AceTree
 
 __all__ = ["SampleBatch", "SampleStream"]
+
+#: Sample-count threshold for the time-to-first-k histogram (how fast the
+#: stream delivers a usable first sample, on the simulated clock).
+_FIRST_K = 100
+_TTFK_BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                1.0, 2.5, 5.0)
+_STAB_DEPTH_BOUNDS = (1, 2, 3, 4, 6, 8, 12, 16)
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +134,8 @@ class SampleStream:
         self._done: set[tuple[int, int]] = set()
         self._next_child: dict[tuple[int, int], int] = {}
         self.stats = StreamStats()
+        self._start_clock = tree.disk.clock
+        self._first_k_recorded = False
         # Degenerate query: no overlap with the domain at all.
         self._exhausted = not geometry.domain.overlaps(query)
 
@@ -155,14 +165,24 @@ class SampleStream:
             raise StopIteration
         if (1, 0) in self._done:
             return self._final_flush()
-        with PROFILE.timer("ace_query.stab"):
+        with TRACER.span("ace_query.stab", disk=self.tree.disk) as sp:
             leaf_index = self._stab()
             leaf = self._store.read_leaf(leaf_index)
             self.stats.leaves_read += 1
-            emitted = self._process_leaf(leaf_index, leaf)
-        PROFILE.count("ace_query.leaves_read")
+            with TRACER.span("ace_query.combine", detail=True) as combine_sp:
+                emitted = self._process_leaf(leaf_index, leaf)
+                if combine_sp is not None:
+                    combine_sp.attrs["emitted"] = len(emitted)
+                    combine_sp.attrs["buffered"] = self.stats.buffered_records
+            if sp is not None:
+                sp.attrs["leaf"] = leaf_index
+                sp.attrs["emitted"] = len(emitted)
+                sp.attrs["buffered"] = self.stats.buffered_records
+        TRACER.count("ace_query.leaves_read")
         self._rng.shuffle(emitted)
         self.stats.records_emitted += len(emitted)
+        if TRACER.enabled:
+            self._record_query_metrics()
         if (1, 0) in self._done and self.stats.buffered_records == 0:
             self._exhausted = True
         return SampleBatch(
@@ -190,6 +210,15 @@ class SampleStream:
     def exhausted(self) -> bool:
         return self._exhausted
 
+    def _record_query_metrics(self) -> None:
+        """Per-batch metric updates; only called while tracing is enabled."""
+        METRICS.gauge("query.buffered_records").set(self.stats.buffered_records)
+        if not self._first_k_recorded and self.stats.records_emitted >= _FIRST_K:
+            self._first_k_recorded = True
+            METRICS.histogram(
+                f"query.time_to_first_{_FIRST_K}_sim_s", _TTFK_BOUNDS
+            ).observe(self.tree.disk.clock - self._start_clock)
+
     def population_estimate(self) -> float:
         """Estimated matching-record count, from internal-node counts."""
         return self.tree.estimate_count(self.query)
@@ -209,6 +238,7 @@ class SampleStream:
         self.tree.disk.charge_records(self._height)
         geometry = self._geometry
         arity = self._arity
+        tracing = TRACER.enabled
         level, index = 1, 0
         while level < self._height:
             base = arity * index
@@ -225,6 +255,14 @@ class SampleStream:
                 if geometry.node_box(level + 1, base + c).overlaps(self.query)
             ]
             pool = overlapping if overlapping else alive
+            if tracing:
+                branch = "overlap" if overlapping else "drain"
+                METRICS.counter(f"stab.level.{level}.{branch}").inc()
+                pruned = len(alive) - len(overlapping)
+                if overlapping and pruned:
+                    # Children deferred because a query-overlapping sibling
+                    # won the descent: the pruned subtrees of this stab.
+                    METRICS.counter(f"stab.level.{level}.pruned").inc(pruned)
             if len(pool) == 1 or not self.alternate:
                 choice = pool[0]
             else:
@@ -233,6 +271,10 @@ class SampleStream:
                 choice = min(pool, key=lambda c: (c - pointer) % arity)
                 self._next_child[(level, index)] = (choice + 1) % arity
             level, index = level + 1, base + choice
+        if tracing:
+            METRICS.histogram("query.stab_depth", _STAB_DEPTH_BOUNDS).observe(
+                self._height - 1
+            )
         return index
 
     def _mark_done(self, leaf_index: int) -> None:
@@ -281,15 +323,18 @@ class SampleStream:
 
     def _final_flush(self) -> SampleBatch:
         """Drain every remaining bucket once all leaves have been read."""
-        leftovers: list[Record] = []
-        for bucket in self._buckets:
-            for cells in bucket.values():
-                for cell in cells:
-                    leftovers.extend(cell)
-            bucket.clear()
-        self.stats.buffered_records = 0
-        self._rng.shuffle(leftovers)
-        self.stats.records_emitted += len(leftovers)
+        with TRACER.span("ace_query.final_flush", disk=self.tree.disk, detail=True) as sp:
+            leftovers: list[Record] = []
+            for bucket in self._buckets:
+                for cells in bucket.values():
+                    for cell in cells:
+                        leftovers.extend(cell)
+                bucket.clear()
+            self.stats.buffered_records = 0
+            self._rng.shuffle(leftovers)
+            self.stats.records_emitted += len(leftovers)
+            if sp is not None:
+                sp.attrs["emitted"] = len(leftovers)
         self._exhausted = True
         return SampleBatch(
             records=tuple(leftovers),

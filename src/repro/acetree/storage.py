@@ -23,8 +23,8 @@ import struct
 from typing import Iterator
 
 from ..core.errors import SerializationError, StorageError
-from ..core.profile import PROFILE
 from ..core.records import Record, Schema
+from ..obs.tracer import TRACER
 from ..storage.buffer import DecodeMemo
 from ..storage.disk import SimulatedDisk
 from .nodes import LeafNode
@@ -226,23 +226,28 @@ class LeafStore:
         page_size = self.disk.page_size
         # Every simulated page read below is attributed to this counter;
         # check_sample verifies the attribution balances (cost conservation).
-        PROFILE.count("leaf_store.pages_read", span)
-        cached = self._memo.get(leaf_index)
-        if cached is not None:
-            for i in range(span):
+        TRACER.count("leaf_store.pages_read", span)
+        with TRACER.span("leaf_store.read_leaf", disk=self.disk, detail=True) as sp:
+            if sp is not None:
+                sp.attrs["leaf"] = leaf_index
+                sp.attrs["pages"] = span
+            cached = self._memo.get(leaf_index)
+            if cached is not None:
+                for i in range(span):
+                    self.disk.read_page(self._data_page_ids[first + i])
+                self.disk.charge_records(
+                    sum(len(section) for section in cached.sections)
+                )
+                return cached
+            chunks = [
                 self.disk.read_page(self._data_page_ids[first + i])
-            self.disk.charge_records(
-                sum(len(section) for section in cached.sections)
-            )
-            return cached
-        chunks = [
-            self.disk.read_page(self._data_page_ids[first + i]) for i in range(span)
-        ]
-        blob = b"".join(chunks)
-        local = start - first * page_size
-        leaf = self._parse_leaf(blob[local:local + (end - start)], leaf_index)
-        self._memo.put(leaf_index, leaf)
-        return leaf
+                for i in range(span)
+            ]
+            blob = b"".join(chunks)
+            local = start - first * page_size
+            leaf = self._parse_leaf(blob[local:local + (end - start)], leaf_index)
+            self._memo.put(leaf_index, leaf)
+            return leaf
 
     def iter_leaves(self) -> Iterator[LeafNode]:
         """All leaves in index order (sequential full-store read)."""

@@ -78,10 +78,10 @@ def check_rng(ctx: LintContext) -> Iterator[Finding]:
 # CLK001 — clock and I/O integrity
 # ---------------------------------------------------------------------------
 
-#: ``storage/disk.py`` owns the simulated clock; ``core/profile.py`` is the
-#: sanctioned wall-clock layer (the profiler measures the implementation
-#: itself, never the modeled hardware).
-_CLK_SANCTIONED = {"storage.disk", "core.profile"}
+#: ``storage/disk.py`` owns the simulated clock; ``core/profile.py`` and
+#: ``obs/tracer.py`` are the sanctioned wall-clock layers (profiler and
+#: tracer measure the implementation itself, never the modeled hardware).
+_CLK_SANCTIONED = {"storage.disk", "core.profile", "obs.tracer"}
 
 #: Modules whose import alone gives access to wall time / raw I/O.  The
 #: import is the choke point: one finding per module instead of one per
@@ -208,6 +208,7 @@ def check_float_eq(ctx: LintContext) -> Iterator[Finding]:
 #: modules (``__init__``, ``__main__``) may import anything.
 LAYER_RANKS = {
     "core": 0,
+    "obs": 0,
     "storage": 1,
     "workloads": 2,
     "acetree": 2,

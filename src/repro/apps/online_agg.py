@@ -26,6 +26,7 @@ from scipy import stats
 
 from ..core.errors import EstimatorError
 from ..core.records import Record
+from ..obs.tracer import TRACER
 
 __all__ = ["OnlineAggregator", "ProgressPoint", "aggregate_stream"]
 
@@ -156,8 +157,16 @@ def aggregate_stream(
     for batch in batches:
         if not batch.records:
             continue
-        aggregator.update(batch.records)
-        low, high = aggregator.mean_interval()
+        # One estimate tick per batch; the span carries the running error
+        # and closes before the yield (no span across generator suspension).
+        with TRACER.span("online_agg.tick", detail=True) as sp:
+            aggregator.update(batch.records)
+            low, high = aggregator.mean_interval()
+            if sp is not None:
+                sp.attrs["sample_size"] = aggregator.sample_size
+                sp.attrs["mean"] = aggregator.mean
+                sp.attrs["half_width"] = (high - low) / 2
+                sp.attrs["clock"] = batch.clock
         yield ProgressPoint(
             clock=batch.clock,
             sample_size=aggregator.sample_size,

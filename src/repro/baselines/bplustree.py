@@ -25,6 +25,7 @@ from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box
 from ..core.records import Record
 from ..core.rng import derive_random
+from ..obs.tracer import TRACER
 from ..storage.buffer import RecordPageCache
 from ..storage.external_sort import external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -265,11 +266,12 @@ class RankedBPlusTree:
         (previously seen ranks are discarded and redrawn) and fetches each
         record by rank.  One batch per retrieved record.
         """
-        r1, r2 = self.range_rank_interval(query)
+        disk = self.leaves.disk
+        with TRACER.span("bplus.locate", disk=disk):
+            r1, r2 = self.range_rank_interval(query)
         if r1 >= r2:
             return
         rng = derive_random(seed, "bplus-sample")
-        disk = self.leaves.disk
         used: set[int] = set()
         total = r2 - r1
         while len(used) < total:
@@ -278,7 +280,8 @@ class RankedBPlusTree:
             if rank in used:
                 continue
             used.add(rank)
-            record = self.record_at_rank(rank)
+            with TRACER.span("bplus.fetch", disk=disk, detail=True):
+                record = self.record_at_rank(rank)
             yield Batch(records=(record,), clock=disk.clock)
 
     # -- block-based sampling (paper Section II.C) --------------------------------
@@ -298,7 +301,9 @@ class RankedBPlusTree:
         uniformly without replacement; run to exhaustion the stream still
         returns exactly the matching set.
         """
-        r1, r2 = self.range_rank_interval(query)
+        disk = self.leaves.disk
+        with TRACER.span("bplus.locate", disk=disk):
+            r1, r2 = self.range_rank_interval(query)
         if r1 >= r2:
             return
         per_page = self.leaves.records_per_page
@@ -307,15 +312,17 @@ class RankedBPlusTree:
         pages = list(range(first_page, last_page + 1))
         rng = derive_random(seed, "bplus-blocks")
         rng.shuffle(pages)
-        disk = self.leaves.disk
         side = query.sides[0]
         for page_index in pages:
-            records, keys = self._read_leaf(page_index)
-            matching = tuple(
-                record
-                for record, key in zip(records, keys)
-                if side.contains_value(key)
-            )
+            with TRACER.span("bplus.fetch", disk=disk, detail=True) as sp:
+                records, keys = self._read_leaf(page_index)
+                matching = tuple(
+                    record
+                    for record, key in zip(records, keys)
+                    if side.contains_value(key)
+                )
+                if sp is not None:
+                    sp.attrs["matched"] = len(matching)
             yield Batch(records=matching, clock=disk.clock)
 
     # -- lifecycle -------------------------------------------------------------

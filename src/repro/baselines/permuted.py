@@ -22,6 +22,7 @@ from ..core.errors import QueryError
 from ..core.intervals import Box
 from ..core.records import Field, Record, Schema
 from ..core.rng import derive_random
+from ..obs.tracer import TRACER
 from ..storage.external_sort import external_sort_to_sink
 from ..storage.heapfile import HeapFile
 from .base import Batch
@@ -100,26 +101,36 @@ class PermutedFile:
         # only matching rows; at low selectivity most of each page is never
         # unpacked.  Charged cost is identical to a full scan — the useful
         # fraction of each *transfer* is what the cost model punishes.
-        for view in self.heap.scan_page_views():
-            columns = [view.column(name) for name in self.key_fields]
-            if len(columns) == 1:
-                lo, hi = sides[0].lo, sides[0].hi  # Interval is [lo, hi)
-                matching_idx = [
-                    i for i, x in enumerate(columns[0]) if lo <= x < hi
-                ]
-            else:
-                matching_idx = [
-                    i
-                    for i, point in enumerate(zip(*columns))
-                    if all(s.lo <= v < s.hi for s, v in zip(sides, point))
-                ]
-            if not matching_idx:
-                matching: tuple[Record, ...] = ()
-            elif 2 * len(matching_idx) >= view.count:
-                records = view.records  # mostly matching: one batched decode
-                matching = tuple(records[i] for i in matching_idx)
-            else:
-                matching = tuple(view.record(i) for i in matching_idx)
+        # The page read happens when the view generator advances, so the
+        # span must wrap the explicit ``next()`` — and close before the
+        # yield (a span never stays open across a generator suspension).
+        views = iter(self.heap.scan_page_views())
+        while True:
+            with TRACER.span("permuted.page", disk=disk, detail=True) as sp:
+                view = next(views, None)
+                if view is None:
+                    return
+                columns = [view.column(name) for name in self.key_fields]
+                if len(columns) == 1:
+                    lo, hi = sides[0].lo, sides[0].hi  # Interval is [lo, hi)
+                    matching_idx = [
+                        i for i, x in enumerate(columns[0]) if lo <= x < hi
+                    ]
+                else:
+                    matching_idx = [
+                        i
+                        for i, point in enumerate(zip(*columns))
+                        if all(s.lo <= v < s.hi for s, v in zip(sides, point))
+                    ]
+                if not matching_idx:
+                    matching: tuple[Record, ...] = ()
+                elif 2 * len(matching_idx) >= view.count:
+                    records = view.records  # mostly matching: batched decode
+                    matching = tuple(records[i] for i in matching_idx)
+                else:
+                    matching = tuple(view.record(i) for i in matching_idx)
+                if sp is not None:
+                    sp.attrs["matched"] = len(matching)
             yield Batch(records=matching, clock=disk.clock)
 
     def free(self) -> None:

@@ -26,6 +26,7 @@ from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box, Interval
 from ..core.records import Field, Record, Schema
 from ..core.rng import derive_random
+from ..obs.tracer import TRACER
 from ..storage.buffer import RecordPageCache
 from ..storage.external_sort import external_sort, external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -333,7 +334,9 @@ class RTree:
         """
         if query.dims != self.dims:
             raise QueryError(f"query has {query.dims} dims, tree has {self.dims}")
-        entries = self.overlapping_leaf_entries(query)
+        disk = self.leaves.disk
+        with TRACER.span("rtree.locate", disk=disk):
+            entries = self.overlapping_leaf_entries(query)
         cumulative: list[int] = []
         running = 0
         for _page, count in entries:
@@ -343,7 +346,6 @@ class RTree:
         if candidates == 0:
             return
         rng = derive_random(seed, "rtree-sample")
-        disk = self.leaves.disk
         used: set[int] = set()
         while len(used) < candidates:
             rank = rng.randrange(candidates)
@@ -354,7 +356,8 @@ class RTree:
             j = bisect_right(cumulative, rank)
             slot = rank - (cumulative[j - 1] if j else 0)
             page_index = entries[j][0]
-            records = self._leaf_cache.read(self.leaves.page_ids[page_index])
+            with TRACER.span("rtree.fetch", disk=disk, detail=True):
+                records = self._leaf_cache.read(self.leaves.page_ids[page_index])
             record = records[slot]
             if not query.contains_point(self._key_of(record)):
                 continue  # candidate rank outside the predicate: rejected

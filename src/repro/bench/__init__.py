@@ -1,9 +1,10 @@
 """Benchmark harness: sampling races, per-figure experiments, reporting.
 
-Submodules are imported lazily (PEP 562) so that low layers can import
-``repro.bench.profile`` — a dependency-free wall-clock registry — without
-dragging in the figure harness (which itself imports the whole library and
-would create an import cycle).
+Submodules are imported lazily (PEP 562) so that importing ``repro.bench``
+for a single symbol does not drag in the figure harness (which itself
+imports the whole library).  ``PROFILE``/``Profiler`` are re-exported from
+their real home, :mod:`repro.core.profile`; the old ``repro.bench.profile``
+shim still resolves but emits a :class:`DeprecationWarning`.
 """
 
 from typing import TYPE_CHECKING
@@ -52,8 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         get_context,
         run_figure,
     )
+    from ..core.profile import PROFILE, Profiler  # noqa: F401
     from .model import ExperimentModel  # noqa: F401
-    from .profile import PROFILE, Profiler  # noqa: F401
     from .race import (  # noqa: F401
         AveragedCurve,
         RaceCurve,
@@ -74,7 +75,9 @@ def __getattr__(name: str):
     elif name in _REPORT_EXPORTS:
         from . import report as module
     elif name in _PROFILE_EXPORTS:
-        from . import profile as module
+        # Straight from core: routing through the deprecated .profile shim
+        # would raise its DeprecationWarning on every repro.bench.PROFILE use.
+        from ..core import profile as module
     else:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     value = getattr(module, name)

@@ -9,12 +9,17 @@ Usage::
     python -m repro list                    # show the figure inventory
     python -m repro bench --json            # wall-clock micro-benchmarks
     python -m repro lint [--json] [PATH...] # static analysis pass
+    python -m repro trace query             # dual-clock trace + report
 
 Each figure's series is printed and, with ``--out DIR``, written to
 ``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).  ``bench`` runs
 the :mod:`repro.bench.micro` suite and emits throughput numbers — as JSON
 with ``--json`` (the format committed as ``BENCH_PR1.json``), else as a
-short table.
+short table.  ``trace`` runs one operation (a small build, a small query
+workload, or full figure experiments) under the :mod:`repro.obs` tracer and
+writes a JSONL span file plus a Chrome ``trace_event`` file, then prints
+the text report (see docs/OBSERVABILITY.md); ``figures --trace FILE`` does
+the same around a normal figure run.
 """
 
 from __future__ import annotations
@@ -72,8 +77,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the ACE-Tree invariant sanitizers (check_tree/check_sample "
         "on a small SALE build) before the figures; fail fast on violation",
     )
+    figures.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record a dual-clock trace of the whole run to FILE (JSONL; a "
+        "Chrome trace_event file is written next to it) and print the report",
+    )
 
     sub.add_parser("list", help="list the figure inventory")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one operation under the dual-clock tracer and report on it",
+    )
+    trace.add_argument(
+        "operation",
+        choices=("build", "query", "figure"),
+        help="what to trace: a small ACE-Tree build, a query workload over a "
+        "pre-built (untraced) tree, or figure experiments",
+    )
+    trace.add_argument(
+        "names",
+        nargs="*",
+        metavar="FIG",
+        help="figure names for the 'figure' operation (default: fig12)",
+    )
+    trace.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="relation size preset for the 'figure' operation (default: small)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0, help="experiment seed (default 0)"
+    )
+    trace.add_argument(
+        "--out",
+        type=Path,
+        default=Path("trace.jsonl"),
+        help="JSONL span file to write (default: trace.jsonl); the Chrome "
+        "trace goes to the same name with a .chrome.json suffix",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="rows per 'top spans' report table (default 12)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the repro static analysis pass (see docs/ANALYSIS.md)"
@@ -135,6 +187,15 @@ def _run_bench(args) -> int:
         print(f"sort    key_field {sort['key_field_records_per_s'] / 1e3:8.1f} krec/s   "
               f"callable {sort['callable_records_per_s'] / 1e3:8.1f} krec/s")
         print(f"build   ace {build['records_per_s'] / 1e3:8.1f} krec/s")
+        query = results["ace_query"]
+        spans = results["span_overhead"]
+        print(f"query   ace {query['samples_per_s'] / 1e3:8.1f} ksamples/s "
+              f"(first {query['first_k']})")
+        line = (f"span    noop {spans['noop_ns_per_span']:6.1f} ns   "
+                f"detail {spans['detail_ns_per_span']:6.1f} ns")
+        if "timer_ns_per_span" in spans:
+            line += f"   timer {spans['timer_ns_per_span']:6.1f} ns"
+        print(line)
     return 0
 
 
@@ -166,11 +227,91 @@ def _run_sanitize(seed: int) -> int:
     return 0
 
 
+def _export_trace(recorder, out: Path, top: int = 12) -> int:
+    """Write JSONL + Chrome files for a finished recorder, validate, report."""
+    from ..obs import (
+        export_chrome_trace,
+        export_jsonl,
+        render_report,
+        validate_jsonl,
+    )
+
+    chrome = out.with_suffix(".chrome.json")
+    spans = export_jsonl(recorder.spans, out)
+    events = export_chrome_trace(recorder.spans, chrome)
+    errors = validate_jsonl(out)
+    if errors:
+        for error in errors:
+            print(f"trace: INVALID {out}: {error}", file=sys.stderr)
+        return 1
+    print(f"trace: {spans} spans -> {out} (valid JSONL), "
+          f"{events} events -> {chrome}")
+    print()
+    print(render_report(recorder.spans, recorder.metrics, top=top))
+    return 0
+
+
+def _run_trace(args) -> int:
+    """``python -m repro trace <build|query|figure>``: record + report."""
+    from ..acetree import AceBuildParams, build_ace_tree
+    from ..obs import METRICS, TraceRecorder
+    from ..storage.cost import CostModel
+    from ..storage.disk import SimulatedDisk
+    from ..workloads import generate_sale_1d, queries_1d
+
+    if args.operation != "figure" and args.names:
+        print("trace: figure names only apply to the 'figure' operation",
+              file=sys.stderr)
+        return 2
+
+    METRICS.reset()
+    recorder = TraceRecorder(metrics=METRICS)
+
+    if args.operation == "figure":
+        from .figures import clear_context_cache
+
+        names = args.names or ["fig12"]
+        unknown = [name for name in names if name not in FIGURES]
+        if unknown:
+            print(f"unknown figure(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(FIGURES)}", file=sys.stderr)
+            return 2
+        clear_context_cache()  # so the context build is traced too
+        try:
+            with recorder:
+                for name in names:
+                    run_figure(name, scale=args.scale, seed=args.seed)
+        finally:
+            clear_context_cache()
+        return _export_trace(recorder, args.out, top=args.top)
+
+    disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
+    sale = generate_sale_1d(disk, num_records=8000, seed=args.seed)
+    params = AceBuildParams(key_fields=("day",), seed=args.seed)
+    if args.operation == "build":
+        with recorder:
+            build_ace_tree(sale, params)
+        return _export_trace(recorder, args.out, top=args.top)
+
+    # 'query': build untraced so the trace isolates the query path — every
+    # page read then happens under a stab/flush span and the report's
+    # leaf-span attribution covers (essentially) all of them.
+    tree = build_ace_tree(sale, params)
+    disk.reset_clock()
+    with recorder:
+        for query_index, query in enumerate(queries_1d(0.025, 3, seed=args.seed)):
+            tree.sample(query, seed=args.seed + query_index).take(2000)
+    return _export_trace(recorder, args.out, top=args.top)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "bench":
         return _run_bench(args)
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "lint":
         from ..analysis.cli import run_lint
@@ -196,17 +337,30 @@ def main(argv: list[str] | None = None) -> int:
         if status != 0:
             return status
 
-    for name in names:
-        started = time.time()
-        result = run_figure(
-            name, scale=args.scale, num_queries=args.queries, seed=args.seed
-        )
-        text = format_figure(result)
-        print(text)
-        print(f"[{name}: {time.time() - started:.1f}s wall]")
-        print()
-        if args.out is not None:
-            (args.out / f"{name}.txt").write_text(text + "\n")
+    recorder = None
+    if args.trace is not None:
+        from ..obs import METRICS, TraceRecorder
+
+        METRICS.reset()
+        recorder = TraceRecorder(metrics=METRICS)
+        recorder.install()
+    try:
+        for name in names:
+            started = time.time()
+            result = run_figure(
+                name, scale=args.scale, num_queries=args.queries, seed=args.seed
+            )
+            text = format_figure(result)
+            print(text)
+            print(f"[{name}: {time.time() - started:.1f}s wall]")
+            print()
+            if args.out is not None:
+                (args.out / f"{name}.txt").write_text(text + "\n")
+    finally:
+        if recorder is not None:
+            recorder.uninstall()
+    if recorder is not None:
+        return _export_trace(recorder, args.trace)
     return 0
 
 

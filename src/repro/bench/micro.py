@@ -22,8 +22,11 @@ from typing import Callable
 
 from ..acetree import AceBuildParams, build_ace_tree
 from ..core import Field, Schema
+from ..core.intervals import Box, Interval
 from ..core.profile import PROFILE
 from ..core.rng import derive_random
+from ..obs.metrics import METRICS
+from ..obs.tracer import TRACER
 from ..storage import CostModel, HeapFile, SimulatedDisk, external_sort
 
 __all__ = ["MICRO_SCHEMA", "run_micro"]
@@ -131,9 +134,84 @@ def _build_benchmarks(n: int, repeat: int) -> dict:
     }
 
 
+def _query_benchmarks(n: int, repeat: int) -> dict:
+    """Sampling-path throughput: first-k records of an ACE-Tree stream.
+
+    The tree is built once outside the timed region; each run opens a fresh
+    stream (fresh RNG + Shuttle state) over a ~10%-selectivity range.  This
+    is the workload the tracing subsystem must not slow down when disabled
+    (the ``span_overhead`` suite quantifies the per-span cost directly).
+    """
+    relation = _fresh_relation(n)
+    tree = build_ace_tree(
+        relation, AceBuildParams(key_fields=("k",), height=8, seed=3)
+    )
+    query = Box.of(Interval(0.0, 1e8))  # keys ~ U[0, 1e9) => ~10% match
+    first_k = min(1_000, max(1, n // 10))
+    seconds = _best_of(
+        repeat,
+        lambda: None,
+        lambda _: tree.sample(query, seed=7).take(first_k),
+    )
+    return {
+        "first_k": first_k,
+        "seconds": seconds,
+        "samples_per_s": first_k / seconds,
+    }
+
+
+def _span_overhead_benchmarks(repeat: int) -> dict:
+    """Per-span cost of ``TRACER.span`` on its cheap paths, in ns.
+
+    ``noop``: tracing *and* profiling disabled — returns the shared no-op
+    singleton without touching any clock.  ``detail``: tracing disabled,
+    ``detail=True`` — the hot-loop path production query runs take (one
+    call + branch, no clock reads, regardless of the profiler).  ``timer``:
+    tracing disabled, profiler enabled, phase-level span — one
+    ``perf_counter`` pair plus a locked dictionary update.
+    """
+    spans = 50_000
+
+    def loop(_state) -> None:
+        span = TRACER.span
+        for _ in range(spans):
+            with span("micro.noop"):
+                pass
+
+    def loop_detail(_state) -> None:
+        span = TRACER.span
+        for _ in range(spans):
+            with span("micro.noop", detail=True):
+                pass
+
+    tracer_was = TRACER.enabled
+    profile_was = PROFILE.enabled
+    TRACER.disable()
+    try:
+        detail_s = _best_of(repeat, lambda: None, loop_detail)
+        PROFILE.disable()
+        try:
+            noop_s = _best_of(repeat, lambda: None, loop)
+        finally:
+            if profile_was:
+                PROFILE.enable()
+        timer_s = _best_of(repeat, lambda: None, loop) if profile_was else None
+    finally:
+        if tracer_was:
+            TRACER.enable()
+    result = {
+        "spans_per_run": spans,
+        "noop_ns_per_span": noop_s / spans * 1e9,
+        "detail_ns_per_span": detail_s / spans * 1e9,
+    }
+    if timer_s is not None:
+        result["timer_ns_per_span"] = timer_s / spans * 1e9
+    return result
+
+
 def run_micro(n: int = 20_000, repeat: int = 5) -> dict:
     """Run the whole micro suite; returns a JSON-ready dictionary."""
-    return {
+    results = {
         "meta": {
             "n_records": n,
             "repeat": repeat,
@@ -143,4 +221,12 @@ def run_micro(n: int = 20_000, repeat: int = 5) -> dict:
         "codec": _codec_benchmarks(n, repeat),
         "external_sort": _sort_benchmarks(n, repeat),
         "ace_build": _build_benchmarks(n, repeat),
+        "ace_query": _query_benchmarks(n, repeat),
+        "span_overhead": _span_overhead_benchmarks(repeat),
     }
+    # The aggregate profile over the whole suite (the last reset happens in
+    # _build_benchmarks, so timers cover the build/query/span sections).
+    results["profile"] = PROFILE.snapshot()
+    if TRACER.enabled:
+        results["metrics"] = METRICS.snapshot()
+    return results

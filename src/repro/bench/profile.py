@@ -1,12 +1,22 @@
-"""Compatibility shim: the profiler moved to :mod:`repro.core.profile`.
+"""Deprecated compatibility shim: the profiler lives in :mod:`repro.core.profile`.
 
 The wall-clock registry is reported into from every layer (storage,
 acetree, bench), so it belongs at the bottom of the package layering —
 ``storage`` importing ``bench`` was a LAY001 violation.  Importing
-``repro.bench.profile`` keeps working for existing callers and re-exports
-the same process-wide singleton.
+``repro.bench.profile`` still works and re-exports the same process-wide
+singleton, but emits a :class:`DeprecationWarning`; import
+``repro.core.profile`` directly instead.
 """
+
+import warnings
 
 from ..core.profile import PROFILE, Profiler
 
 __all__ = ["Profiler", "PROFILE"]
+
+warnings.warn(
+    "repro.bench.profile is deprecated; import PROFILE/Profiler from "
+    "repro.core.profile instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

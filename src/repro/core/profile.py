@@ -13,24 +13,43 @@ paths report into, giving every optimization PR a before/after trace:
     print(PROFILE.report())
 
 Timers nest and re-enter freely (each ``with`` adds its own elapsed time),
-and the module deliberately imports nothing from the rest of the package so
+and the module deliberately imports nothing above the layering bottom so
 any layer — including the rest of ``core`` and ``storage`` — can report
 into it without import cycles.  It lives in ``core`` (not ``bench``) for
 exactly that reason: profiling is reported *from* every layer, so the
 registry must sit at the bottom of the layering (lint rule LAY001).  It is
-also one of the two modules sanctioned to touch the wall clock (lint rule
+also one of the modules sanctioned to touch the wall clock (lint rule
 CLK001): the profiler measures the implementation itself, never the modeled
 hardware, so it must bypass the simulated clock by design.
+
+Since the tracing subsystem landed, :data:`PROFILE` is the thin *aggregate
+view* over the same event stream :data:`repro.obs.tracer.TRACER` produces:
+library code opens ``TRACER.span(name)`` instead of ``PROFILE.timer(name)``,
+and the tracer folds every measured span's wall time back into this
+registry (see :meth:`repro.obs.tracer.Tracer.attach_profile`, wired at the
+bottom of this module).  ``Profiler.timer`` remains supported for direct
+use and external callers.
 
 Profiling is on by default: one ``perf_counter`` pair per *phase* (not per
 record or page) is far below measurement noise.  Use
 :meth:`Profiler.disable` to freeze the registry, e.g. while taking
 micro-benchmark timings that should not include bookkeeping.
+
+Thread-safety guarantee
+-----------------------
+All mutation (``timer`` completion, ``add_time``, ``count``, ``reset``) and
+all composite reads (``snapshot``, ``report``) are serialized by a single
+internal lock, so concurrent threads can report into one shared profiler
+without losing updates, and a snapshot is internally consistent.  The
+``enabled`` flag is a plain attribute read on the hot path — toggling it
+concurrently with recording is benign (an update is either counted or not)
+but enable/disable themselves are not meant to race with each other.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from threading import Lock
 from time import perf_counter
 from typing import Iterator
 
@@ -38,15 +57,20 @@ __all__ = ["Profiler", "PROFILE"]
 
 
 class Profiler:
-    """Named wall-clock timers and counters, accumulated per name."""
+    """Named wall-clock timers and counters, accumulated per name.
 
-    __slots__ = ("_seconds", "_calls", "_counters", "_enabled")
+    Safe for concurrent use from multiple threads: a single lock guards
+    every mutation and composite read (see the module docstring).
+    """
+
+    __slots__ = ("_seconds", "_calls", "_counters", "_enabled", "_lock")
 
     def __init__(self) -> None:
         self._seconds: dict[str, float] = {}
         self._calls: dict[str, int] = {}
         self._counters: dict[str, int] = {}
         self._enabled = True
+        self._lock = Lock()
 
     # -- recording ---------------------------------------------------------
 
@@ -61,21 +85,24 @@ class Profiler:
             yield
         finally:
             elapsed = perf_counter() - start
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
-            self._calls[name] = self._calls.get(name, 0) + 1
+            with self._lock:
+                self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+                self._calls[name] = self._calls.get(name, 0) + 1
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate an externally measured duration under ``name``."""
         if not self._enabled:
             return
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
-        self._calls[name] = self._calls.get(name, 0) + 1
+        with self._lock:
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._calls[name] = self._calls.get(name, 0) + 1
 
     def count(self, name: str, value: int = 1) -> None:
         """Add ``value`` to the counter ``name``."""
         if not self._enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     # -- control -----------------------------------------------------------
 
@@ -91,9 +118,10 @@ class Profiler:
 
     def reset(self) -> None:
         """Drop every accumulated timer and counter."""
-        self._seconds.clear()
-        self._calls.clear()
-        self._counters.clear()
+        with self._lock:
+            self._seconds.clear()
+            self._calls.clear()
+            self._counters.clear()
 
     # -- reading -----------------------------------------------------------
 
@@ -111,31 +139,47 @@ class Profiler:
 
     def snapshot(self) -> dict:
         """All timers and counters as a JSON-ready dictionary."""
-        return {
-            "timers": {
-                name: {"seconds": self._seconds[name], "calls": self._calls[name]}
-                for name in sorted(self._seconds)
-            },
-            "counters": {name: self._counters[name] for name in sorted(self._counters)},
-        }
+        with self._lock:
+            return {
+                "timers": {
+                    name: {"seconds": self._seconds[name], "calls": self._calls[name]}
+                    for name in sorted(self._seconds)
+                },
+                "counters": {
+                    name: self._counters[name] for name in sorted(self._counters)
+                },
+            }
 
     def report(self) -> str:
         """A human-readable table of timers (by time, descending) and counters."""
+        with self._lock:
+            seconds = dict(self._seconds)
+            calls = dict(self._calls)
+            counters = dict(self._counters)
         lines = []
-        if self._seconds:
+        if seconds:
             lines.append(f"{'timer':<44} {'seconds':>10} {'calls':>8}")
-            for name in sorted(self._seconds, key=self._seconds.get, reverse=True):
+            for name in sorted(seconds, key=seconds.get, reverse=True):
                 lines.append(
-                    f"{name:<44} {self._seconds[name]:>10.4f} {self._calls[name]:>8}"
+                    f"{name:<44} {seconds[name]:>10.4f} {calls[name]:>8}"
                 )
-        if self._counters:
+        if counters:
             if lines:
                 lines.append("")
             lines.append(f"{'counter':<44} {'value':>10}")
-            for name in sorted(self._counters):
-                lines.append(f"{name:<44} {self._counters[name]:>10}")
+            for name in sorted(counters):
+                lines.append(f"{name:<44} {counters[name]:>10}")
         return "\n".join(lines) if lines else "(profiler is empty)"
 
 
 #: Process-wide profiler that the library's build and query paths report into.
 PROFILE = Profiler()
+
+# PROFILE consumes the tracer's span stream: every span measured by
+# repro.obs.tracer.TRACER (live or aggregate-only) folds its wall time into
+# this registry under the span name, and TRACER.count() forwards here.
+# core and obs share rank 0 in the layering, so this import is legal and
+# keeps either module usable without the other at call sites.
+from ..obs.tracer import TRACER  # noqa: E402  (deliberate bottom wiring)
+
+TRACER.attach_profile(PROFILE)

@@ -1,0 +1,68 @@
+"""Dual-clock observability: hierarchical tracing + metrics (``repro.obs``).
+
+The paper's whole evaluation is *time-resolved* — "% of the relation
+returned as a valid sample vs. elapsed time" — so understanding a run means
+knowing **where the time went on both clocks**: real wall-clock seconds
+(what the Python implementation costs us) and simulated-disk seconds (what
+the modeled hardware would charge).  This package provides that view:
+
+* :mod:`repro.obs.tracer` — a hierarchical span tracer.  A *span* wraps one
+  operation (a build phase, a sort run, a Shuttle stab, a leaf read) and
+  records both clocks at entry/exit plus the simulated page-read/write
+  deltas, structured attributes, and its position in the per-operation
+  trace tree.  When tracing is disabled the ``span()`` call degrades to the
+  wall-clock aggregate path (feeding :data:`repro.core.profile.PROFILE`) or
+  to a shared no-op object, so instrumentation can stay in hot paths.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  (records-per-page-read, stab depth, time-to-first-k-samples, ...).
+* :mod:`repro.obs.recorder` — :class:`TraceRecorder` collects finished
+  spans and derives histogram observations from them.
+* :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` exporters
+  (load the latter in ``chrome://tracing`` or Perfetto), plus a schema
+  validator for the JSONL form.
+* :mod:`repro.obs.report` — the text report behind ``python -m repro
+  trace``: top spans by wall and simulated cost, page-read attribution,
+  the per-level stab table, and the sampling-rate timeline.
+
+Layering: ``obs`` sits beside ``core`` at the bottom of the package graph
+(lint rule LAY001) and imports nothing from the rest of the library — every
+layer reports into it, so it must not depend on any of them.  The simulated
+clock is only ever *read* (``disk.clock`` / ``disk.stats`` deltas at span
+boundaries), never charged: a traced run is bit-identical to an untraced
+one on the simulated clock, and golden figure outputs do not move.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and how to read traces.
+"""
+
+from .export import (
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+    to_chrome_trace,
+    validate_jsonl,
+)
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import TraceRecorder
+from .report import page_read_attribution, render_report, span_aggregates
+from .tracer import NOOP_SPAN, TRACER, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SpanRecord",
+    "TRACER",
+    "TraceRecorder",
+    "Tracer",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_jsonl",
+    "page_read_attribution",
+    "render_report",
+    "span_aggregates",
+    "to_chrome_trace",
+    "validate_jsonl",
+]

@@ -1,0 +1,192 @@
+"""Trace serialization: JSONL spans and Chrome ``trace_event`` JSON.
+
+JSONL format — one span object per line, flat (children are reconstructed
+from ``parent_id`` on load).  Required keys and types are pinned by
+:data:`SPAN_SCHEMA`; :func:`validate_jsonl` checks a file against it (the
+CI trace smoke job runs this).
+
+Chrome format — a ``{"traceEvents": [...]}`` object of complete (``"X"``)
+events, loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Each
+span yields up to two events on two synthetic processes:
+
+* ``pid 1`` — the **wall clock** timeline (perf_counter, rebased to the
+  earliest span start);
+* ``pid 2`` — the **simulated disk** timeline (``disk.clock`` seconds),
+  emitted only for spans that had a disk in scope.
+
+Timestamps and durations are microseconds, per the trace_event spec.  Span
+attributes and page-read/write deltas ride along in ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import SpanRecord
+
+__all__ = [
+    "SPAN_SCHEMA",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_jsonl",
+    "to_chrome_trace",
+    "validate_jsonl",
+]
+
+# key -> (required, allowed types); floats accept ints too (JSON round-trip).
+SPAN_SCHEMA: dict = {
+    "name": (True, (str,)),
+    "span_id": (True, (int,)),
+    "parent_id": (True, (int, type(None))),
+    "start_wall": (True, (float, int)),
+    "end_wall": (True, (float, int)),
+    "start_sim": (False, (float, int, type(None))),
+    "end_sim": (False, (float, int, type(None))),
+    "page_reads": (False, (int,)),
+    "page_writes": (False, (int,)),
+    "attrs": (False, (dict,)),
+}
+
+
+def span_to_dict(record: SpanRecord) -> dict:
+    """Flat JSON-serializable view of one span (children omitted)."""
+    out = {
+        "name": record.name,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "start_wall": record.start_wall,
+        "end_wall": record.end_wall,
+    }
+    if record.start_sim is not None:
+        out["start_sim"] = record.start_sim
+        out["end_sim"] = record.end_sim
+        out["page_reads"] = record.page_reads
+        out["page_writes"] = record.page_writes
+    if record.attrs:
+        out["attrs"] = record.attrs
+    return out
+
+
+def export_jsonl(spans, path) -> int:
+    """Write *spans* (flat iterable of records) to *path*; returns the count."""
+    lines = [json.dumps(span_to_dict(span), sort_keys=True) for span in spans]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_jsonl(path) -> list[SpanRecord]:
+    """Rebuild span records (with children re-linked) from a JSONL file."""
+    records: list[SpanRecord] = []
+    by_id: dict[int, SpanRecord] = {}
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        record = SpanRecord(obj["name"], obj.get("attrs") or {})
+        record.span_id = obj["span_id"]
+        record.parent_id = obj.get("parent_id")
+        record.start_wall = obj["start_wall"]
+        record.end_wall = obj["end_wall"]
+        record.start_sim = obj.get("start_sim")
+        record.end_sim = obj.get("end_sim")
+        record.page_reads = obj.get("page_reads", 0)
+        record.page_writes = obj.get("page_writes", 0)
+        records.append(record)
+        by_id[record.span_id] = record
+    for record in records:
+        parent = by_id.get(record.parent_id) if record.parent_id is not None else None
+        if parent is not None:
+            parent.children.append(record)
+    return records
+
+
+def validate_span_dict(obj, line_no: int = 0) -> list[str]:
+    """Schema-check one decoded span object; returns human-readable errors."""
+    where = f"line {line_no}: " if line_no else ""
+    if not isinstance(obj, dict):
+        return [f"{where}span must be a JSON object, got {type(obj).__name__}"]
+    errors = []
+    for key, (required, types) in SPAN_SCHEMA.items():
+        if key not in obj:
+            if required:
+                errors.append(f"{where}missing required key {key!r}")
+            continue
+        value = obj[key]
+        if isinstance(value, bool) or not isinstance(value, types):
+            expected = "/".join(t.__name__ for t in types)
+            errors.append(
+                f"{where}key {key!r} must be {expected}, "
+                f"got {type(value).__name__}"
+            )
+    for key in obj:
+        if key not in SPAN_SCHEMA:
+            errors.append(f"{where}unknown key {key!r}")
+    if not errors and obj["end_wall"] < obj["start_wall"]:
+        errors.append(f"{where}end_wall precedes start_wall")
+    return errors
+
+
+def validate_jsonl(path) -> list[str]:
+    """Validate every line of a JSONL trace file; empty list means valid."""
+    errors: list[str] = []
+    seen_ids: set[int] = set()
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {line_no}: not valid JSON ({exc.msg})")
+            continue
+        errors.extend(validate_span_dict(obj, line_no))
+        if isinstance(obj, dict) and isinstance(obj.get("span_id"), int):
+            if obj["span_id"] in seen_ids:
+                errors.append(f"line {line_no}: duplicate span_id {obj['span_id']}")
+            seen_ids.add(obj["span_id"])
+    return errors
+
+
+def to_chrome_trace(spans) -> dict:
+    """Build the Chrome trace_event object for a flat span iterable."""
+    spans = list(spans)
+    events = [
+        {"ph": "M", "pid": 1, "tid": 1, "name": "process_name",
+         "args": {"name": "wall clock"}},
+        {"ph": "M", "pid": 2, "tid": 1, "name": "process_name",
+         "args": {"name": "simulated disk"}},
+    ]
+    base_wall = min((s.start_wall for s in spans), default=0.0)
+    for span in spans:
+        args = dict(span.attrs)
+        if span.start_sim is not None:
+            args["page_reads"] = span.page_reads
+            args["page_writes"] = span.page_writes
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": (span.start_wall - base_wall) * 1e6,
+            "dur": span.wall_seconds * 1e6,
+            "args": args,
+        })
+        if span.start_sim is not None:
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "pid": 2,
+                "tid": 1,
+                "ts": span.start_sim * 1e6,
+                "dur": span.sim_seconds * 1e6,
+                "args": args,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(spans, path) -> int:
+    """Write the Chrome trace for *spans* to *path*; returns the event count."""
+    trace = to_chrome_trace(spans)
+    Path(path).write_text(json.dumps(trace) + "\n")
+    return len(trace["traceEvents"])

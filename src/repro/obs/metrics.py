@@ -1,0 +1,153 @@
+"""Counters, gauges, and fixed-bucket histograms for traced runs.
+
+The registry is deliberately tiny: a metric is named process-wide state,
+created on first use (``METRICS.counter("buffer.hit")``) and read back as a
+plain-dict :meth:`MetricsRegistry.snapshot`.  Histograms use fixed bucket
+*upper bounds*: ``bounds=(1, 2, 4)`` yields the four buckets
+``(-inf, 1], (1, 2], (2, 4], (4, +inf)`` — the final bucket is the
+overflow.  Bucket placement is ``bisect_left``, so a value equal to a bound
+lands in that bound's own bucket: bounds are *inclusive* upper edges,
+matching the report's ``<= bound`` bucket labels.
+
+Instrumentation that feeds the registry from hot paths guards on
+``TRACER.enabled`` so an untraced run pays nothing.  All mutation is
+lock-protected (the same guarantee :class:`repro.core.profile.Profiler`
+gives), making the registry safe to share across threads.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from threading import Lock
+
+__all__ = ["Counter", "Gauge", "Histogram", "METRICS", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper bounds plus overflow."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: tuple) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        ordered = tuple(bounds)
+        if any(a >= b for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing: {ordered!r}"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics; one shared lock for mutation."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str, bounds: tuple | None = None) -> Histogram:
+        """Fetch histogram *name*, creating it with *bounds* on first use.
+
+        Re-registering with different bounds is a programming error and
+        raises; re-registering with the same (or no) bounds returns the
+        existing histogram.
+        """
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                if bounds is None:
+                    raise ValueError(f"histogram {name!r} not registered; pass bounds")
+                metric = self._histograms[name] = Histogram(name, bounds)
+            elif bounds is not None and tuple(bounds) != metric.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already registered with bounds "
+                    f"{metric.bounds!r}, not {tuple(bounds)!r}"
+                )
+            return metric
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.snapshot() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+METRICS = MetricsRegistry()

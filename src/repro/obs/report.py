@@ -1,0 +1,197 @@
+"""Text report over a recorded trace: where did both clocks go?
+
+:func:`render_report` turns a flat span list (plus an optional metrics
+registry snapshot) into the report printed by ``python -m repro trace``:
+
+1. **Span aggregates** — per span name: call count, cumulative wall and
+   simulated seconds, cumulative and *self* page reads.  Cumulative totals
+   deliberately double-count nested spans (a parent includes its
+   children); the *self* column is the exclusive cost.
+2. **Page-read attribution** — what fraction of all simulated page reads
+   landed inside *leaf* spans (spans with no children).  A healthy
+   instrumentation layer attributes ≳95% of reads to leaves; the rest is
+   unattributed glue.
+3. **Per-level stab table** — from the ``stab.level.*`` counters: how many
+   stab descents took the overlap branch vs. the round-robin drain branch
+   at each tree level, plus pruned (deferred) children.
+4. **Sampling-rate timeline** — from ``ace_query.stab`` spans: cumulative
+   samples emitted vs. the simulated clock, the paper's headline curve.
+5. **Metrics** — counters, gauges, and histogram tables.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = ["page_read_attribution", "render_report", "span_aggregates"]
+
+
+def span_aggregates(spans) -> dict:
+    """Per-name totals: calls, wall/sim seconds, cumulative + self reads."""
+    table: dict[str, dict] = {}
+    for span in spans:
+        row = table.get(span.name)
+        if row is None:
+            row = table[span.name] = {
+                "calls": 0, "wall": 0.0, "sim": 0.0, "reads": 0, "self_reads": 0,
+            }
+        row["calls"] += 1
+        row["wall"] += span.wall_seconds
+        row["sim"] += span.sim_seconds
+        row["reads"] += span.page_reads
+        row["self_reads"] += span.self_page_reads
+    return table
+
+
+def page_read_attribution(spans) -> tuple[int, int]:
+    """``(leaf_reads, total_reads)`` over a flat span list.
+
+    *total* sums the root spans' cumulative page reads; *leaf* sums the
+    reads of childless spans.  Spans never share reads (each simulated
+    read happens inside exactly one innermost span), so leaf ≤ total and
+    the ratio is the fraction of I/O the instrumentation pins to a
+    specific operation.
+    """
+    total = sum(s.page_reads for s in spans if s.parent_id is None)
+    leaf = sum(s.page_reads for s in spans if not s.children)
+    return leaf, total
+
+
+def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) if i else c.ljust(w)
+                               for i, (c, w) in enumerate(zip(row, widths))).rstrip())
+    return "\n".join(lines)
+
+
+def _section_spans(spans, top: int) -> list[str]:
+    table = span_aggregates(spans)
+    headers = ["span", "calls", "wall s", "sim s", "reads", "self reads"]
+
+    def rows(sort_key: str) -> list[list[str]]:
+        ranked = sorted(table.items(), key=lambda kv: -kv[1][sort_key])[:top]
+        return [
+            [name, str(r["calls"]), f"{r['wall']:.4f}", f"{r['sim']:.4f}",
+             str(r["reads"]), str(r["self_reads"])]
+            for name, r in ranked
+        ]
+
+    out = ["== top spans by wall-clock time (cumulative) ==",
+           _fmt_table(headers, rows("wall")), "",
+           "== top spans by simulated time (cumulative) ==",
+           _fmt_table(headers, rows("sim"))]
+    return out
+
+
+def _section_attribution(spans) -> list[str]:
+    leaf, total = page_read_attribution(spans)
+    pct = 100.0 * leaf / total if total else 100.0
+    return [
+        "== simulated page-read attribution ==",
+        f"total page reads (root spans) : {total}",
+        f"attributed to leaf spans      : {leaf}  ({pct:.1f}%)",
+    ]
+
+
+def _section_stab_levels(metrics_snapshot: dict) -> list[str]:
+    counters = metrics_snapshot.get("counters", {})
+    levels: dict[int, dict] = {}
+    for name, value in counters.items():
+        if not name.startswith("stab.level."):
+            continue
+        _, _, rest = name.partition("stab.level.")
+        level_text, _, kind = rest.partition(".")
+        level = int(level_text)
+        levels.setdefault(level, {"overlap": 0, "drain": 0, "pruned": 0})[kind] = value
+    if not levels:
+        return []
+    rows = [
+        [str(level), str(row["overlap"]), str(row["drain"]), str(row["pruned"])]
+        for level, row in sorted(levels.items())
+    ]
+    return [
+        "== per-level stab table ==",
+        _fmt_table(["level", "overlap descents", "drain descents", "pruned children"],
+                   rows),
+    ]
+
+
+def _section_timeline(spans, buckets: int = 10) -> list[str]:
+    stabs = [
+        s for s in spans
+        if s.name == "ace_query.stab" and s.end_sim is not None
+        and "emitted" in s.attrs
+    ]
+    if not stabs:
+        return []
+    stabs.sort(key=lambda s: s.end_sim)
+    start = min(s.start_sim for s in stabs)
+    span_of_time = max(stabs[-1].end_sim - start, 1e-12)
+    total = 0
+    cutoffs = [start + span_of_time * (i + 1) / buckets for i in range(buckets)]
+    rows = []
+    it = iter(stabs)
+    pending = next(it, None)
+    for cutoff in cutoffs:
+        while pending is not None and pending.end_sim <= cutoff:
+            total += pending.attrs["emitted"]
+            pending = next(it, None)
+        elapsed = cutoff - start
+        rate = total / elapsed if elapsed > 0 else 0.0
+        rows.append([f"{cutoff:.4f}", str(total), f"{rate:.0f}"])
+    return [
+        "== sampling-rate timeline (ACE stabs, simulated clock) ==",
+        _fmt_table(["sim t (s)", "cumulative samples", "samples/sim s"], rows),
+    ]
+
+
+def _section_metrics(metrics_snapshot: dict) -> list[str]:
+    out = []
+    counters = metrics_snapshot.get("counters", {})
+    shown = {n: v for n, v in counters.items() if not n.startswith("stab.level.")}
+    if shown:
+        out += ["== counters ==",
+                _fmt_table(["counter", "value"],
+                           [[n, str(v)] for n, v in sorted(shown.items())])]
+    gauges = metrics_snapshot.get("gauges", {})
+    if gauges:
+        out += ["", "== gauges ==",
+                _fmt_table(["gauge", "value"],
+                           [[n, f"{v:g}"] for n, v in sorted(gauges.items())])]
+    for name, hist in sorted(metrics_snapshot.get("histograms", {}).items()):
+        bounds = hist["bounds"]
+        labels = [f"<= {b:g}" for b in bounds] + [f"> {bounds[-1]:g}"]
+        rows = [[label, str(count)]
+                for label, count in zip(labels, hist["counts"]) if count]
+        out += ["", f"== histogram {name} "
+                    f"(n={hist['count']}, mean={hist['mean']:.3f}) ==",
+                _fmt_table(["bucket", "count"], rows)]
+    return out
+
+
+def render_report(spans, metrics: MetricsRegistry | dict | None = None,
+                  top: int = 12) -> str:
+    """Render the full text report for a flat list of :class:`SpanRecord`."""
+    spans = list(spans)
+    if not spans:
+        return "trace report: no spans recorded\n"
+    if isinstance(metrics, MetricsRegistry):
+        snapshot = metrics.snapshot()
+    else:
+        snapshot = metrics or {}
+    sections = _section_spans(spans, top)
+    sections += [""] + _section_attribution(spans)
+    for extra in (_section_stab_levels(snapshot),
+                  _section_timeline(spans),
+                  _section_metrics(snapshot)):
+        if extra:
+            sections += [""] + extra
+    return "\n".join(sections) + "\n"

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..core.errors import BufferPoolError
+from ..obs.metrics import METRICS
+from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
 
 __all__ = ["BufferPool", "DecodeMemo", "RecordPageCache"]
@@ -54,9 +56,13 @@ class BufferPool:
         if pid in self._frames:
             self._frames.move_to_end(pid)
             self.hits += 1
+            if TRACER.enabled:
+                METRICS.counter("buffer.hit").inc()
             self.disk.charge_page_hit()
             return self._frames[pid]
         self.misses += 1
+        if TRACER.enabled:
+            METRICS.counter("buffer.miss").inc()
         data = self.disk.read_page(pid)
         self._admit(pid, data)
         return data
@@ -131,9 +137,13 @@ class RecordPageCache:
         if pid in self._frames:
             self._frames.move_to_end(pid)
             self.hits += 1
+            if TRACER.enabled:
+                METRICS.counter("buffer.hit").inc()
             self.disk.charge_page_hit()
             return self._frames[pid]
         self.misses += 1
+        if TRACER.enabled:
+            METRICS.counter("buffer.miss").inc()
         value = self._decode(self.disk.read_page(pid))
         while len(self._frames) >= self.capacity:
             self._frames.popitem(last=False)

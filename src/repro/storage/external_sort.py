@@ -55,9 +55,9 @@ from typing import Callable, Iterator, TypeVar
 
 import numpy as np
 
-from ..core.profile import PROFILE
 from ..core.errors import SortError
 from ..core.records import Record, Schema
+from ..obs.tracer import TRACER
 from .heapfile import PAGE_HEADER_SIZE, HeapFile, _packed_page_images
 
 __all__ = ["external_sort", "external_sort_to_sink", "merge_runs"]
@@ -75,6 +75,37 @@ USE_FAST_PATH = True
 #: Retain per-run sort state (keys + payload) for the planned merge only
 #: while the sorted payload fits this budget; larger sorts stream.
 _RETAIN_LIMIT_BYTES = 256 << 20
+
+
+class _FillSpan:
+    """Manually managed ``external_sort.run_fill`` span over a read loop.
+
+    Run generation pulls page views from a generator, so the simulated page
+    reads happen at ``next()``; to attribute them, the fill span must be
+    open *around* the pulls and closed before each run cut (so the write
+    span is a sibling, not a child, and both stay leaf spans).  A context
+    manager cannot straddle loop iterations like that, hence the explicit
+    ensure/close pair; ``close`` is idempotent and exception-safe via the
+    caller's ``finally``.
+    """
+
+    __slots__ = ("_disk", "_open")
+
+    def __init__(self, disk) -> None:
+        self._disk = disk
+        self._open = None
+
+    def ensure(self) -> None:
+        if self._open is None:
+            span = TRACER.span("external_sort.run_fill", disk=self._disk, detail=True)
+            span.__enter__()
+            self._open = span
+
+    def close(self) -> None:
+        span = self._open
+        if span is not None:
+            self._open = None
+            span.__exit__(None, None, None)
 
 
 class _RunMeta:
@@ -135,14 +166,14 @@ def external_sort(
     Returns:
         A new :class:`HeapFile` with the records in key order.
     """
-    with PROFILE.timer("external_sort.total"):
+    with TRACER.span("external_sort.total", disk=source.disk):
         runs, schema = _generate_runs(
             source, key, memory_pages, transform, output_schema, free_source,
             key_field, view_transform,
         )
         if not runs:
             return HeapFile.create(source.disk, schema, name)
-        with PROFILE.timer("external_sort.merge"):
+        with TRACER.span("external_sort.merge", disk=source.disk):
             key = _resolve_key(schema, key, key_field)
             fan_in = memory_pages - 1
             while len(runs) > 1:
@@ -173,12 +204,12 @@ def external_sort_to_sink(
     to disk, mirroring how a real bulk loader consumes its last merge pass.
     Returns whatever ``sink`` returns.  The intermediate runs are freed.
     """
-    with PROFILE.timer("external_sort.total"):
+    with TRACER.span("external_sort.total", disk=source.disk):
         runs, schema = _generate_runs(
             source, key, memory_pages, transform, output_schema, free_source,
             key_field, view_transform,
         )
-        with PROFILE.timer("external_sort.merge"):
+        with TRACER.span("external_sort.merge", disk=source.disk):
             key = _resolve_key(schema, key, key_field)
             fan_in = memory_pages - 1
             while len(runs) > fan_in:
@@ -201,7 +232,12 @@ def external_sort_to_sink(
                     ),
                 )
         try:
-            return sink(stream)
+            # The final merge is lazy: its run-page reads happen while the
+            # sink pulls the stream, so the span must enclose the sink.
+            with TRACER.span(
+                "external_sort.final_merge", disk=source.disk, runs=len(runs)
+            ):
+                return sink(stream)
         finally:
             for run in runs:
                 run.free()
@@ -223,19 +259,24 @@ def merge_runs(
         runs[0].name = name
         return runs[0]
 
-    # Charge merge CPU: n records x log2(k) heap comparisons.
     total = sum(run.num_records for run in runs)
-    disk.charge_records(int(total * math.log2(len(runs))))
+    with TRACER.span(
+        "external_sort.merge_runs", disk=disk, runs=len(runs), records=total
+    ):
+        # Charge merge CPU: n records x log2(k) heap comparisons.
+        disk.charge_records(int(total * math.log2(len(runs))))
 
-    metas = [getattr(run, "_sort_meta", None) for run in runs]
-    if all(meta is not None for meta in metas):
-        return _planned_merge_to_file(runs, metas, schema, name, _retain_meta)
+        metas = [getattr(run, "_sort_meta", None) for run in runs]
+        if all(meta is not None for meta in metas):
+            return _planned_merge_to_file(runs, metas, schema, name, _retain_meta)
 
-    merged = heapq.merge(*(_decorated_scan(run, key, i) for i, run in enumerate(runs)))
-    result = HeapFile.bulk_load(disk, schema, map(_undecorate, merged), name=name)
-    for run in runs:
-        run.free()
-    return result
+        merged = heapq.merge(
+            *(_decorated_scan(run, key, i) for i, run in enumerate(runs))
+        )
+        result = HeapFile.bulk_load(disk, schema, map(_undecorate, merged), name=name)
+        for run in runs:
+            run.free()
+        return result
 
 
 def _resolve_key(schema: Schema, key: KeyFunc | None, key_field: str | None):
@@ -287,7 +328,7 @@ def _generate_runs(
         and source.num_records * schema.record_size <= _RETAIN_LIMIT_BYTES
     )
 
-    with PROFILE.timer("external_sort.run_generation"):
+    with TRACER.span("external_sort.run_generation", disk=source.disk):
         raw_mode = (
             USE_FAST_PATH
             and transform is None
@@ -310,7 +351,7 @@ def _generate_runs(
             )
         if free_source:
             source.free()
-    PROFILE.count("external_sort.runs", len(runs))
+    TRACER.count("external_sort.runs", len(runs))
     return runs, schema
 
 
@@ -363,15 +404,26 @@ def _generate_runs_raw(
             )
         )
 
-    for view in source.scan_page_views():
-        payload_buf += view.payload
-        if generic:
-            keys_py.extend(map(key, view.records))
-        buffered += view.count
-        # Cut runs at exactly batch_capacity records (possibly mid-page)
-        # so run boundaries match record-at-a-time accumulation.
-        while buffered >= batch_capacity:
-            cut(batch_capacity)
+    fill = _FillSpan(disk)
+    views = iter(source.scan_page_views())
+    try:
+        while True:
+            fill.ensure()
+            view = next(views, None)
+            if view is None:
+                fill.close()
+                break
+            payload_buf += view.payload
+            if generic:
+                keys_py.extend(map(key, view.records))
+            buffered += view.count
+            # Cut runs at exactly batch_capacity records (possibly mid-page)
+            # so run boundaries match record-at-a-time accumulation.
+            while buffered >= batch_capacity:
+                fill.close()
+                cut(batch_capacity)
+    finally:
+        fill.close()
     if buffered:
         cut(buffered)
     return runs
@@ -383,18 +435,19 @@ def _write_run_raw(
     """Sort one memory load of packed rows and write it out as a run."""
     size = schema.record_size
     n = len(payload) // size
-    # Charge CPU for the in-memory sort: ~n log2 n comparisons.
-    disk.charge_records(int(n * math.log2(max(n, 2))))
-    if isinstance(keys, np.ndarray):
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-    else:
-        order_list = sorted(range(n), key=keys.__getitem__)
-        sorted_keys = [keys[i] for i in order_list]
-        order = np.asarray(order_list, dtype=np.intp)
-    rows = np.frombuffer(payload, dtype=np.uint8).reshape(n, size)
-    sorted_rows = rows[order]
-    run = HeapFile.bulk_load_packed(disk, schema, sorted_rows, n, name=name)
+    with TRACER.span("external_sort.write_run", disk=disk, records=n):
+        # Charge CPU for the in-memory sort: ~n log2 n comparisons.
+        disk.charge_records(int(n * math.log2(max(n, 2))))
+        if isinstance(keys, np.ndarray):
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+        else:
+            order_list = sorted(range(n), key=keys.__getitem__)
+            sorted_keys = [keys[i] for i in order_list]
+            order = np.asarray(order_list, dtype=np.intp)
+        rows = np.frombuffer(payload, dtype=np.uint8).reshape(n, size)
+        sorted_rows = rows[order]
+        run = HeapFile.bulk_load_packed(disk, schema, sorted_rows, n, name=name)
     if retain:
         run._sort_meta = _RunMeta(sorted_keys, sorted_rows, None)
     return run
@@ -438,15 +491,26 @@ def _generate_runs_views(
             )
         )
 
-    for view in source.scan_page_views():
-        payload, keys = view_transform(view)
-        payload_buf += payload
-        key_parts.append(keys)
-        buffered += view.count
-        # Cut runs at exactly batch_capacity records (possibly mid-page)
-        # so run boundaries match record-at-a-time accumulation.
-        while buffered >= batch_capacity:
-            cut(batch_capacity)
+    fill = _FillSpan(disk)
+    views = iter(source.scan_page_views())
+    try:
+        while True:
+            fill.ensure()
+            view = next(views, None)
+            if view is None:
+                fill.close()
+                break
+            payload, keys = view_transform(view)
+            payload_buf += payload
+            key_parts.append(keys)
+            buffered += view.count
+            # Cut runs at exactly batch_capacity records (possibly mid-page)
+            # so run boundaries match record-at-a-time accumulation.
+            while buffered >= batch_capacity:
+                fill.close()
+                cut(batch_capacity)
+    finally:
+        fill.close()
     if buffered:
         cut(buffered)
     return runs
@@ -464,19 +528,30 @@ def _generate_runs_records(
     fast path disabled)."""
     runs: list[HeapFile] = []
     batch: list[Record] = []
-    for page_records in source.scan_pages():
-        if transform is not None:
-            page_records = [transform(record) for record in page_records]
-        batch.extend(page_records)
-        # Cut runs at exactly batch_capacity records (possibly mid-page)
-        # so run boundaries match record-at-a-time accumulation.
-        while len(batch) >= batch_capacity:
-            runs.append(
-                _write_run_records(
-                    batch[:batch_capacity], source, schema, key, len(runs), retain
+    fill = _FillSpan(source.disk)
+    pages = iter(source.scan_pages())
+    try:
+        while True:
+            fill.ensure()
+            page_records = next(pages, None)
+            if page_records is None:
+                fill.close()
+                break
+            if transform is not None:
+                page_records = [transform(record) for record in page_records]
+            batch.extend(page_records)
+            # Cut runs at exactly batch_capacity records (possibly mid-page)
+            # so run boundaries match record-at-a-time accumulation.
+            while len(batch) >= batch_capacity:
+                fill.close()
+                runs.append(
+                    _write_run_records(
+                        batch[:batch_capacity], source, schema, key, len(runs), retain
+                    )
                 )
-            )
-            batch = batch[batch_capacity:]
+                batch = batch[batch_capacity:]
+    finally:
+        fill.close()
     if batch:
         runs.append(
             _write_run_records(batch, source, schema, key, len(runs), retain)
@@ -497,26 +572,27 @@ def _write_run_records(
     Keys are computed once per record; an index sort on them reproduces the
     stable ``sort(key=...)`` permutation without comparing records.
     """
-    # Charge CPU for the in-memory sort: ~n log2 n comparisons.
     n = len(batch)
-    source.disk.charge_records(int(n * math.log2(max(n, 2))))
-    name = f"{source.name}.run{run_no}"
-    if not retain:
-        batch.sort(key=key)
-        return HeapFile.bulk_load(source.disk, schema, batch, name=name)
-    keys = list(map(key, batch))
-    arr = _int64_keys(keys)
-    if arr is not None:
-        np_order = np.argsort(arr, kind="stable")
-        sorted_records = [batch[i] for i in np_order.tolist()]
+    with TRACER.span("external_sort.write_run", disk=source.disk, records=n):
+        # Charge CPU for the in-memory sort: ~n log2 n comparisons.
+        source.disk.charge_records(int(n * math.log2(max(n, 2))))
+        name = f"{source.name}.run{run_no}"
+        if not retain:
+            batch.sort(key=key)
+            return HeapFile.bulk_load(source.disk, schema, batch, name=name)
+        keys = list(map(key, batch))
+        arr = _int64_keys(keys)
+        if arr is not None:
+            np_order = np.argsort(arr, kind="stable")
+            sorted_records = [batch[i] for i in np_order.tolist()]
+            run = HeapFile.bulk_load(source.disk, schema, sorted_records, name=name)
+            run._sort_meta = _RunMeta(arr[np_order], None, sorted_records)
+            return run
+        order = sorted(range(n), key=keys.__getitem__)
+        sorted_records = [batch[i] for i in order]
         run = HeapFile.bulk_load(source.disk, schema, sorted_records, name=name)
-        run._sort_meta = _RunMeta(arr[np_order], None, sorted_records)
+        run._sort_meta = _RunMeta([keys[i] for i in order], None, sorted_records)
         return run
-    order = sorted(range(n), key=keys.__getitem__)
-    sorted_records = [batch[i] for i in order]
-    run = HeapFile.bulk_load(source.disk, schema, sorted_records, name=name)
-    run._sort_meta = _RunMeta([keys[i] for i in order], None, sorted_records)
-    return run
 
 
 def _int64_keys(keys: list) -> np.ndarray | None:

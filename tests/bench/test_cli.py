@@ -45,3 +45,89 @@ class TestFigures:
               "--seed", "2"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestBench:
+    def test_json_output_includes_profile_snapshot(self, capsys):
+        import json
+
+        assert main(["bench", "--json", "--n", "1500", "--repeat", "1"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert "profile" in results
+        timers = results["profile"]["timers"]
+        assert "ace_build.phase1" in timers
+        assert timers["ace_build.phase1"]["calls"] >= 1
+        overhead = results["span_overhead"]
+        assert overhead["noop_ns_per_span"] < 5_000  # near-free when disabled
+        assert overhead["detail_ns_per_span"] < 5_000
+        assert results["ace_query"]["samples_per_s"] > 0
+
+    def test_invalid_args_rejected(self, capsys):
+        assert main(["bench", "--n", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_query_writes_valid_trace_and_report(self, capsys, tmp_path):
+        from repro.obs import validate_jsonl
+        from repro.obs.tracer import TRACER
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "query", "--out", str(out)]) == 0
+        assert not TRACER.enabled  # recorder uninstalled on the way out
+        stdout = capsys.readouterr().out
+        assert "valid JSONL" in stdout
+        assert "== top spans by wall-clock time (cumulative) ==" in stdout
+        assert "== simulated page-read attribution ==" in stdout
+        assert out.exists()
+        assert (tmp_path / "trace.chrome.json").exists()
+        assert validate_jsonl(out) == []
+
+    def test_trace_query_attribution_is_high(self, capsys, tmp_path):
+        import re
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "query", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        match = re.search(r"attributed to leaf spans\s*: \d+  \((\d+\.\d)%\)",
+                          stdout)
+        assert match, stdout
+        assert float(match.group(1)) >= 95.0
+
+    def test_trace_build_produces_build_spans(self, capsys, tmp_path):
+        from repro.obs import load_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "build", "--out", str(out)]) == 0
+        names = {s.name for s in load_jsonl(out)}
+        assert "ace_build.phase1" in names
+        assert "ace_build.phase2" in names
+        assert "external_sort.run_fill" in names
+
+    def test_trace_rejects_names_for_non_figure_ops(self, capsys, tmp_path):
+        code = main(["trace", "query", "fig12",
+                     "--out", str(tmp_path / "t.jsonl")])
+        assert code == 2
+        assert "figure" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_figure(self, capsys, tmp_path):
+        code = main(["trace", "figure", "fig99",
+                     "--out", str(tmp_path / "t.jsonl")])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figures_trace_flag_records_figure_spans(self, capsys, tmp_path):
+        from repro.obs import load_jsonl, validate_jsonl
+
+        out = tmp_path / "fig.jsonl"
+        code = main(["figures", "fig12", "--scale", "small", "--queries", "1",
+                     "--trace", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "% scan time" in stdout  # normal figure output still present
+        assert "valid JSONL" in stdout
+        assert validate_jsonl(out) == []
+        names = {s.name for s in load_jsonl(out)}
+        assert "figure.fig12" in names
+        assert "figure.race" in names
+        assert "ace_query.stab" in names

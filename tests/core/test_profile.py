@@ -1,0 +1,152 @@
+"""Profiler registry: aggregation, thread-safety, tracer integration, shim."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time  # repro: allow[CLK001] tests sleep to widen timer windows
+
+import pytest
+
+from repro.core.profile import PROFILE, Profiler
+
+
+class TestProfiler:
+    def test_timer_accumulates_and_counts_calls(self):
+        p = Profiler()
+        for _ in range(3):
+            with p.timer("phase"):
+                pass
+        assert p.calls("phase") == 3
+        assert p.seconds("phase") >= 0.0
+
+    def test_add_time_and_count(self):
+        p = Profiler()
+        p.add_time("x", 1.5)
+        p.add_time("x", 0.5)
+        p.count("events", 2)
+        p.count("events")
+        assert p.seconds("x") == pytest.approx(2.0)
+        assert p.calls("x") == 2
+        assert p.counter("events") == 3
+
+    def test_disable_freezes_registry(self):
+        p = Profiler()
+        p.disable()
+        with p.timer("ignored"):
+            pass
+        p.add_time("ignored", 1.0)
+        p.count("ignored")
+        assert p.snapshot() == {"timers": {}, "counters": {}}
+        p.enable()
+        p.count("seen")
+        assert p.counter("seen") == 1
+
+    def test_reset_clears_everything(self):
+        p = Profiler()
+        p.add_time("x", 1.0)
+        p.count("c")
+        p.reset()
+        assert p.snapshot() == {"timers": {}, "counters": {}}
+
+    def test_report_mentions_timers_and_counters(self):
+        p = Profiler()
+        p.add_time("build.phase", 0.25)
+        p.count("pages", 10)
+        text = p.report()
+        assert "build.phase" in text
+        assert "pages" in text
+        assert p.report() != "(profiler is empty)"
+
+    def test_unseen_names_read_as_zero(self):
+        p = Profiler()
+        assert p.seconds("never") == 0.0
+        assert p.calls("never") == 0
+        assert p.counter("never") == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_lose_nothing(self):
+        p = Profiler()
+        threads_n, updates = 8, 1000
+
+        def worker():
+            for _ in range(updates):
+                p.add_time("shared", 0.001)
+                p.count("shared.events")
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.calls("shared") == threads_n * updates
+        assert p.counter("shared.events") == threads_n * updates
+        assert p.seconds("shared") == pytest.approx(
+            threads_n * updates * 0.001, rel=1e-6
+        )
+
+    def test_concurrent_timers_count_every_entry(self):
+        p = Profiler()
+
+        def worker():
+            for _ in range(200):
+                with p.timer("t"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.calls("t") == 800
+
+
+class TestTracerIntegration:
+    """PROFILE is a consumer of the tracer's span stream."""
+
+    def test_tracer_span_folds_into_profile(self):
+        from repro.obs.tracer import TRACER
+
+        assert TRACER._profile is PROFILE  # wired at import time
+        before = PROFILE.calls("integration.phase")
+        with TRACER.span("integration.phase"):
+            time.sleep(0.001)
+        assert PROFILE.calls("integration.phase") == before + 1
+        assert PROFILE.seconds("integration.phase") > 0.0
+
+    def test_tracer_count_forwards(self):
+        from repro.obs.tracer import TRACER
+
+        before = PROFILE.counter("integration.counter")
+        TRACER.count("integration.counter", 5)
+        assert PROFILE.counter("integration.counter") == before + 5
+
+    def test_live_span_also_feeds_profile(self):
+        from repro.obs import MetricsRegistry, TraceRecorder
+        from repro.obs.tracer import TRACER
+
+        recorder = TraceRecorder(metrics=MetricsRegistry())
+        before = PROFILE.calls("integration.live")
+        with recorder:
+            with TRACER.span("integration.live"):
+                pass
+        assert PROFILE.calls("integration.live") == before + 1
+
+
+class TestDeprecatedShim:
+    def test_bench_profile_import_warns_and_aliases(self):
+        sys.modules.pop("repro.bench.profile", None)
+        with pytest.warns(DeprecationWarning, match="repro.core.profile"):
+            import repro.bench.profile as shim
+        assert shim.PROFILE is PROFILE
+        assert shim.Profiler is Profiler
+
+    def test_bench_reexport_does_not_warn(self):
+        import warnings
+
+        import repro.bench
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert repro.bench.PROFILE is PROFILE

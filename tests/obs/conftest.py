@@ -1,0 +1,32 @@
+"""Fixtures for the observability tests.
+
+The process tracer (``repro.obs.tracer.TRACER``) is global state; every
+fixture here guarantees it is restored to its pre-test configuration so the
+rest of the tier-1 suite keeps running untraced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.obs.tracer import TRACER
+
+
+@pytest.fixture
+def recorder():
+    """An installed TraceRecorder on a private metrics registry."""
+    rec = TraceRecorder(metrics=MetricsRegistry())
+    rec.install()
+    try:
+        yield rec
+    finally:
+        rec.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _tracer_restored():
+    """Fail loudly if a test leaks the tracer enabled."""
+    enabled_before = TRACER.enabled
+    yield
+    assert TRACER.enabled == enabled_before, "test leaked tracer state"

@@ -1,0 +1,154 @@
+"""Trace serialization: JSONL round-trip, schema validation, Chrome format."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+    to_chrome_trace,
+    validate_jsonl,
+)
+from repro.obs.tracer import SpanRecord
+
+
+def _make_spans():
+    """A tiny hand-built trace: root (with disk) -> child, plus a diskless root."""
+    root = SpanRecord("build", {"records": 100})
+    root.span_id = 1
+    root.start_wall, root.end_wall = 10.0, 10.5
+    root.start_sim, root.end_sim = 0.0, 2.0
+    root.page_reads, root.page_writes = 8, 4
+
+    child = SpanRecord("build.sort")
+    child.span_id = 2
+    child.parent_id = 1
+    child.start_wall, child.end_wall = 10.1, 10.3
+    child.start_sim, child.end_sim = 0.5, 1.5
+    child.page_reads = 6
+    root.children.append(child)
+
+    cpu_only = SpanRecord("tick", {"kind": "cpu"})
+    cpu_only.span_id = 3
+    cpu_only.start_wall, cpu_only.end_wall = 10.6, 10.7
+
+    return [child, root, cpu_only]  # completion order
+
+
+class TestJsonl:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        spans = _make_spans()
+        assert export_jsonl(spans, path) == 3
+
+        loaded = load_jsonl(path)
+        assert [s.name for s in loaded] == ["build.sort", "build", "tick"]
+        by_id = {s.span_id: s for s in loaded}
+        root = by_id[1]
+        assert root.attrs == {"records": 100}
+        assert root.page_reads == 8 and root.page_writes == 4
+        assert root.start_sim == 0.0 and root.end_sim == 2.0
+        assert [c.span_id for c in root.children] == [2]
+        assert by_id[2].parent_id == 1
+        assert by_id[3].start_sim is None  # diskless span stays diskless
+        assert by_id[3].attrs == {"kind": "cpu"}
+
+    def test_exported_file_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(_make_spans(), path)
+        assert validate_jsonl(path) == []
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert export_jsonl([], path) == 0
+        assert load_jsonl(path) == []
+        assert validate_jsonl(path) == []
+
+
+class TestValidation:
+    def test_corrupt_json_line_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = ('{"name": "a", "span_id": 1, "parent_id": null, '
+                '"start_wall": 0.0, "end_wall": 1.0}')
+        path.write_text(good + "\n{not json\n")
+        errors = validate_jsonl(path)
+        assert len(errors) == 1
+        assert errors[0].startswith("line 2:")
+
+    def test_missing_required_key(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "a", "span_id": 1, "parent_id": null, '
+                        '"start_wall": 0.0}\n')
+        errors = validate_jsonl(path)
+        assert any("end_wall" in e for e in errors)
+
+    def test_wrong_type_and_bool_masquerade(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "a", "span_id": true, "parent_id": null, '
+                        '"start_wall": 0.0, "end_wall": 1.0}\n')
+        errors = validate_jsonl(path)
+        assert any("span_id" in e for e in errors)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "a", "span_id": 1, "parent_id": null, '
+                        '"start_wall": 0.0, "end_wall": 1.0, "bogus": 1}\n')
+        assert any("bogus" in e for e in validate_jsonl(path))
+
+    def test_duplicate_span_id_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        line = ('{"name": "a", "span_id": 1, "parent_id": null, '
+                '"start_wall": 0.0, "end_wall": 1.0}\n')
+        path.write_text(line + line)
+        assert any("duplicate span_id" in e for e in validate_jsonl(path))
+
+    def test_backwards_wall_clock_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "a", "span_id": 1, "parent_id": null, '
+                        '"start_wall": 2.0, "end_wall": 1.0}\n')
+        assert any("end_wall precedes" in e for e in validate_jsonl(path))
+
+
+class TestChromeTrace:
+    def test_structure_and_dual_timeline(self, tmp_path):
+        trace = to_chrome_trace(_make_spans())
+        events = trace["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        # one process-name record per clock
+        assert {e["pid"] for e in metadata} == {1, 2}
+        assert {e["args"]["name"] for e in metadata} == {
+            "wall clock", "simulated disk",
+        }
+        # every span gets a wall event; disk spans get a second, sim one
+        assert len(complete) == 3 + 2
+        wall = [e for e in complete if e["pid"] == 1]
+        sim = [e for e in complete if e["pid"] == 2]
+        assert {e["name"] for e in wall} == {"build", "build.sort", "tick"}
+        assert {e["name"] for e in sim} == {"build", "build.sort"}
+
+    def test_wall_timestamps_rebased_to_microseconds(self):
+        trace = to_chrome_trace(_make_spans())
+        wall = {e["name"]: e for e in trace["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == 1}
+        # earliest start (10.0s) becomes ts 0; durations in microseconds
+        assert wall["build"]["ts"] == 0.0
+        assert abs(wall["build"]["dur"] - 0.5e6) < 1.0
+        assert abs(wall["build.sort"]["ts"] - 0.1e6) < 1.0
+
+    def test_args_carry_attrs_and_page_counts(self):
+        trace = to_chrome_trace(_make_spans())
+        wall = {e["name"]: e for e in trace["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == 1}
+        assert wall["build"]["args"]["records"] == 100
+        assert wall["build"]["args"]["page_reads"] == 8
+        assert wall["tick"]["args"] == {"kind": "cpu"}
+
+    def test_export_writes_valid_json(self, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        count = export_chrome_trace(_make_spans(), path)
+        parsed = json.loads(path.read_text())
+        assert len(parsed["traceEvents"]) == count
+        assert parsed["displayTimeUnit"] == "ms"

@@ -1,0 +1,92 @@
+"""Metrics layer: counters, gauges, fixed-bucket histogram math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        h.observe(0.5)   # <= 1
+        h.observe(1)     # <= 1 (inclusive upper edge)
+        h.observe(1.5)   # <= 2
+        h.observe(2)     # <= 2
+        h.observe(4)     # <= 4
+        h.observe(4.001)  # overflow
+        h.observe(100)   # overflow
+        assert h.counts == [2, 2, 1, 2]
+
+    def test_mean_count_total(self):
+        h = Histogram("h", bounds=(10,))
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        h = Histogram("h", bounds=(1, 2))
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_snapshot_is_json_ready(self):
+        h = Histogram("h", bounds=(1, 2))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["counts"] == [0, 1, 0]
+        assert list(snap["bounds"]) == [1, 2]
+
+
+class TestRegistry:
+    def test_counter_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits")
+        c1.inc()
+        c1.inc(2)
+        assert reg.counter("hits") is c1
+        assert reg.counter("hits").value == 3
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(7)
+        reg.gauge("depth").set(3)
+        assert reg.gauge("depth").value == 3
+
+    def test_histogram_requires_bounds_on_first_use(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("lat")
+        h = reg.histogram("lat", bounds=(1, 2))
+        assert reg.histogram("lat") is h  # bounds optional once created
+
+    def test_histogram_conflicting_bounds_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("lat", bounds=(1, 2, 4))
+        reg.histogram("lat", bounds=(1, 2))  # same bounds: fine
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(10,)).observe(3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 5}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        reg.reset()
+        empty = reg.snapshot()
+        assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
