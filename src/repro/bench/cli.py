@@ -8,18 +8,29 @@ Usage::
     python -m repro figures --sanitize ...  # invariant checks first
     python -m repro list                    # show the figure inventory
     python -m repro bench --json            # wall-clock micro-benchmarks
+    python -m repro bench --json --baseline BENCH_PR1.json --compare
     python -m repro lint [--json] [PATH...] # static analysis pass
     python -m repro trace query             # dual-clock trace + report
+    python -m repro trace validate FILE     # schema-check a JSONL trace
 
 Each figure's series is printed and, with ``--out DIR``, written to
 ``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).  ``bench`` runs
 the :mod:`repro.bench.micro` suite and emits throughput numbers — as JSON
-with ``--json`` (the format committed as ``BENCH_PR1.json``), else as a
-short table.  ``trace`` runs one operation (a small build, a small query
-workload, or full figure experiments) under the :mod:`repro.obs` tracer and
-writes a JSONL span file plus a Chrome ``trace_event`` file, then prints
-the text report (see docs/OBSERVABILITY.md); ``figures --trace FILE`` does
-the same around a normal figure run.
+with ``--json`` (the format committed as ``BENCH_PR1.json`` /
+``BENCH_PR4.json``), else as a short table; ``--baseline FILE --compare``
+diffs the results against a committed baseline with
+:mod:`repro.obs.regress` (deterministic simulated-clock metrics compared
+exactly and gating the exit code, wall-clock metrics advisory within a
+relative tolerance).  ``trace`` runs one operation (a small build, a small
+query workload, or full figure experiments) under the :mod:`repro.obs`
+tracer and writes a JSONL span file plus a Chrome ``trace_event`` file,
+then prints the text report (see docs/OBSERVABILITY.md); the ``query`` and
+``figure`` operations additionally attach :mod:`repro.obs.quality`
+monitors to every sample stream, so the report and the JSONL carry
+uniformity/coverage/time-to-accuracy sections.  ``figures --trace FILE``
+does the same around a normal figure run.  ``trace validate FILE``
+re-checks an existing JSONL trace against the schemas and exits non-zero
+on any violation.
 """
 
 from __future__ import annotations
@@ -94,15 +105,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "operation",
-        choices=("build", "query", "figure"),
+        choices=("build", "query", "figure", "validate"),
         help="what to trace: a small ACE-Tree build, a query workload over a "
-        "pre-built (untraced) tree, or figure experiments",
+        "pre-built (untraced) tree, or figure experiments; 'validate' "
+        "instead schema-checks existing JSONL trace file(s) and exits "
+        "non-zero on any violation",
     )
     trace.add_argument(
         "names",
         nargs="*",
-        metavar="FIG",
-        help="figure names for the 'figure' operation (default: fig12)",
+        metavar="FIG|FILE",
+        help="figure names for the 'figure' operation (default: fig12); "
+        "JSONL file paths for 'validate'",
     )
     trace.add_argument(
         "--scale",
@@ -162,7 +176,62 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5,
         help="timing runs per benchmark; the best is reported (default 5)",
     )
+    bench.add_argument(
+        "--figures",
+        action="store_true",
+        help="also run the deterministic figure-curve section (fig12 at "
+        "small scale on the simulated clock; exact-compared by --compare)",
+    )
+    bench.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="a committed bench --json result to compare against",
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="with --baseline: print the regression diff and gate the exit "
+        "code on it (non-zero only for deterministic simulated-clock "
+        "regressions; wall-clock drift is advisory)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative tolerance for wall-clock metrics in --compare "
+        "(default 0.25)",
+    )
+    bench.add_argument(
+        "--verdict",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="with --compare: also write the machine-readable verdict JSON",
+    )
     return parser
+
+
+def _run_compare(args, results: dict) -> int:
+    """``bench --baseline FILE --compare``: diff current results vs FILE."""
+    from ..obs.regress import DEFAULT_TOLERANCE, compare_benchmarks, render_diff
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    report = compare_benchmarks(baseline, results, tolerance=tolerance)
+    print(render_diff(report))
+    if args.verdict is not None:
+        args.verdict.write_text(
+            json.dumps(report.verdict(), indent=2, sort_keys=True) + "\n"
+        )
+    return report.exit_code()
 
 
 def _run_bench(args) -> int:
@@ -171,7 +240,13 @@ def _run_bench(args) -> int:
     if args.n <= 0 or args.repeat <= 0:
         print("bench: --n and --repeat must be positive", file=sys.stderr)
         return 2
-    results = run_micro(n=args.n, repeat=args.repeat)
+    if args.compare and args.baseline is None:
+        print("bench: --compare requires --baseline FILE", file=sys.stderr)
+        return 2
+    if args.tolerance is not None and args.tolerance < 0:
+        print("bench: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    results = run_micro(n=args.n, repeat=args.repeat, figures=args.figures)
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.out is not None:
         args.out.write_text(text + "\n")
@@ -196,6 +271,8 @@ def _run_bench(args) -> int:
         if "timer_ns_per_span" in spans:
             line += f"   timer {spans['timer_ns_per_span']:6.1f} ns"
         print(line)
+    if args.compare:
+        return _run_compare(args, results)
     return 0
 
 
@@ -227,7 +304,7 @@ def _run_sanitize(seed: int) -> int:
     return 0
 
 
-def _export_trace(recorder, out: Path, top: int = 12) -> int:
+def _export_trace(recorder, out: Path, top: int = 12, quality=None) -> int:
     """Write JSONL + Chrome files for a finished recorder, validate, report."""
     from ..obs import (
         export_chrome_trace,
@@ -236,29 +313,57 @@ def _export_trace(recorder, out: Path, top: int = 12) -> int:
         validate_jsonl,
     )
 
+    records = quality.records() if quality is not None else None
     chrome = out.with_suffix(".chrome.json")
-    spans = export_jsonl(recorder.spans, out)
-    events = export_chrome_trace(recorder.spans, chrome)
+    lines = export_jsonl(recorder.spans, out, quality=records)
+    events = export_chrome_trace(recorder.spans, chrome, quality=records)
     errors = validate_jsonl(out)
     if errors:
         for error in errors:
             print(f"trace: INVALID {out}: {error}", file=sys.stderr)
         return 1
-    print(f"trace: {spans} spans -> {out} (valid JSONL), "
+    print(f"trace: {lines} records -> {out} (valid JSONL), "
           f"{events} events -> {chrome}")
     print()
-    print(render_report(recorder.spans, recorder.metrics, top=top))
+    print(render_report(recorder.spans, recorder.metrics, top=top,
+                        quality=records))
     return 0
 
 
+def _run_validate(paths) -> int:
+    """``python -m repro trace validate FILE...``: schema-check JSONL files."""
+    from ..obs import validate_jsonl
+
+    if not paths:
+        print("trace validate: need at least one JSONL file", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in paths:
+        try:
+            errors = validate_jsonl(path)
+        except OSError as exc:
+            print(f"trace: INVALID {path}: {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"trace: INVALID {path}: {error}", file=sys.stderr)
+        else:
+            print(f"trace: {path} valid")
+    return 1 if failed else 0
+
+
 def _run_trace(args) -> int:
-    """``python -m repro trace <build|query|figure>``: record + report."""
+    """``python -m repro trace <build|query|figure|validate>``."""
     from ..acetree import AceBuildParams, build_ace_tree
-    from ..obs import METRICS, TraceRecorder
+    from ..obs import METRICS, QualitySession, TraceRecorder
     from ..storage.cost import CostModel
     from ..storage.disk import SimulatedDisk
     from ..workloads import generate_sale_1d, queries_1d
 
+    if args.operation == "validate":
+        return _run_validate(args.names)
     if args.operation != "figure" and args.names:
         print("trace: figure names only apply to the 'figure' operation",
               file=sys.stderr)
@@ -276,14 +381,17 @@ def _run_trace(args) -> int:
             print(f"unknown figure(s): {', '.join(unknown)}; "
                   f"known: {', '.join(FIGURES)}", file=sys.stderr)
             return 2
+        quality = QualitySession(metrics=METRICS)
         clear_context_cache()  # so the context build is traced too
         try:
             with recorder:
                 for name in names:
-                    run_figure(name, scale=args.scale, seed=args.seed)
+                    run_figure(name, scale=args.scale, seed=args.seed,
+                               quality=quality)
         finally:
             clear_context_cache()
-        return _export_trace(recorder, args.out, top=args.top)
+        quality.finalize()
+        return _export_trace(recorder, args.out, top=args.top, quality=quality)
 
     disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
     sale = generate_sale_1d(disk, num_records=8000, seed=args.seed)
@@ -298,10 +406,30 @@ def _run_trace(args) -> int:
     # leaf-span attribution covers (essentially) all of them.
     tree = build_ace_tree(sale, params)
     disk.reset_clock()
+    quality = QualitySession(metrics=METRICS)
+    key_of = tree.schema.key_getter("day")
     with recorder:
         for query_index, query in enumerate(queries_1d(0.025, 3, seed=args.seed)):
-            tree.sample(query, seed=args.seed + query_index).take(2000)
-    return _export_trace(recorder, args.out, top=args.top)
+            side = query.sides[0]
+            monitor = quality.monitor(
+                f"query{query_index}",
+                key_of=key_of,
+                lo=side.lo,
+                hi=side.hi,
+                group="ACE Tree",
+                population=tree.estimate_count(query),
+            )
+            start = disk.clock
+            stream = tree.sample(query, seed=args.seed + query_index)
+            # Same break condition as SampleStream.take(2000) — the wrap
+            # generator only observes, so the simulated clock is untouched.
+            taken = 0
+            for batch in monitor.wrap(stream, start_sim=start):
+                taken += len(batch.records)
+                if taken >= 2000:
+                    break
+    quality.finalize()
+    return _export_trace(recorder, args.out, top=args.top, quality=quality)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -338,17 +466,20 @@ def main(argv: list[str] | None = None) -> int:
             return status
 
     recorder = None
+    quality = None
     if args.trace is not None:
-        from ..obs import METRICS, TraceRecorder
+        from ..obs import METRICS, QualitySession, TraceRecorder
 
         METRICS.reset()
         recorder = TraceRecorder(metrics=METRICS)
         recorder.install()
+        quality = QualitySession(metrics=METRICS)
     try:
         for name in names:
             started = time.time()
             result = run_figure(
-                name, scale=args.scale, num_queries=args.queries, seed=args.seed
+                name, scale=args.scale, num_queries=args.queries,
+                seed=args.seed, quality=quality,
             )
             text = format_figure(result)
             print(text)
@@ -360,7 +491,9 @@ def main(argv: list[str] | None = None) -> int:
         if recorder is not None:
             recorder.uninstall()
     if recorder is not None:
-        return _export_trace(recorder, args.trace)
+        if quality is not None:
+            quality.finalize()
+        return _export_trace(recorder, args.trace, quality=quality)
     return 0
 
 

@@ -97,11 +97,21 @@ def _sort_benchmarks(n: int, repeat: int) -> dict:
             rel, key=lambda r: r[0], memory_pages=64
         ).free(),
     )
+    # One untimed run for the *simulated* cost — a pure function of the
+    # code and the seed, so bench regression tracking compares it exactly.
+    rel = _fresh_relation(n)
+    disk = rel.disk
+    clock0, stats0 = disk.clock, disk.stats.snapshot()
+    external_sort(rel, memory_pages=64, key_field="k").free()
+    delta = disk.stats - stats0
     return {
         "key_field_records_per_s": n / key_field_s,
         "key_field_seconds": key_field_s,
         "callable_records_per_s": n / callable_s,
         "callable_seconds": callable_s,
+        "sim_seconds": disk.clock - clock0,
+        "page_reads": delta.page_reads,
+        "page_writes": delta.page_writes,
     }
 
 
@@ -127,10 +137,18 @@ def _build_benchmarks(n: int, repeat: int) -> dict:
                     "external_sort.merge",
                 )
             }
+    rel = _fresh_relation(n)
+    disk = rel.disk
+    clock0, stats0 = disk.clock, disk.stats.snapshot()
+    build_ace_tree(rel, params)
+    delta = disk.stats - stats0
     return {
         "records_per_s": n / best,
         "seconds": best,
         "best_run_profile_seconds": breakdown,
+        "sim_seconds": disk.clock - clock0,
+        "page_reads": delta.page_reads,
+        "page_writes": delta.page_writes,
     }
 
 
@@ -153,10 +171,23 @@ def _query_benchmarks(n: int, repeat: int) -> dict:
         lambda: None,
         lambda _: tree.sample(query, seed=7).take(first_k),
     )
+    # Simulated cost to the first k samples: iterate batches exactly as
+    # ``take`` does so the clocks are identical to the timed runs.
+    disk = relation.disk
+    clock0 = disk.clock
+    emitted = 0
+    leaves_read = 0
+    for batch in tree.sample(query, seed=7):
+        emitted += len(batch.records)
+        leaves_read = batch.leaves_read
+        if emitted >= first_k:
+            break
     return {
         "first_k": first_k,
         "seconds": seconds,
         "samples_per_s": first_k / seconds,
+        "sim_seconds_to_first_k": disk.clock - clock0,
+        "leaves_read": leaves_read,
     }
 
 
@@ -209,7 +240,49 @@ def _span_overhead_benchmarks(repeat: int) -> dict:
     return result
 
 
-def run_micro(n: int = 20_000, repeat: int = 5) -> dict:
+def _slug(name: str) -> str:
+    """Sampler display name -> JSON key (``"B+ Tree"`` -> ``"b_tree"``)."""
+    import re
+
+    return re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+
+
+def _figure_benchmarks() -> dict:
+    """Deterministic figure-curve points (``fig12`` at small scale).
+
+    Everything here is on the *simulated* clock — a pure function of the
+    code and the seed — so ``bench --compare`` gates on it exactly: any
+    drift in these numbers is a behavioural change in the sampling engine,
+    not machine noise.
+    """
+    from .figures import clear_context_cache, run_figure
+
+    clear_context_cache()
+    try:
+        result = run_figure("fig12", scale="small", num_queries=1, seed=0)
+        section: dict = {
+            "fig12": {
+                "scan_seconds_sim_s": result.scan_seconds,
+                "samples_emitted": {
+                    _slug(name): curves[0].total
+                    for name, curves in result.raw.items()
+                },
+                "pct_at_2": {
+                    _slug(name): result.percent_at(name, 2.0)
+                    for name in result.curves
+                },
+                "pct_at_4": {
+                    _slug(name): result.percent_at(name, 4.0)
+                    for name in result.curves
+                },
+            }
+        }
+    finally:
+        clear_context_cache()
+    return section
+
+
+def run_micro(n: int = 20_000, repeat: int = 5, figures: bool = False) -> dict:
     """Run the whole micro suite; returns a JSON-ready dictionary."""
     results = {
         "meta": {
@@ -224,6 +297,8 @@ def run_micro(n: int = 20_000, repeat: int = 5) -> dict:
         "ace_query": _query_benchmarks(n, repeat),
         "span_overhead": _span_overhead_benchmarks(repeat),
     }
+    if figures:
+        results["figure_sim"] = _figure_benchmarks()
     # The aggregate profile over the whole suite (the last reset happens in
     # _build_benchmarks, so timers cover the build/query/span sections).
     results["profile"] = PROFILE.snapshot()

@@ -38,12 +38,24 @@ from .export import (
     export_chrome_trace,
     export_jsonl,
     load_jsonl,
+    load_quality_jsonl,
     to_chrome_trace,
     validate_jsonl,
 )
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .quality import (
+    QualityConfig,
+    QualitySession,
+    StreamQualityMonitor,
+)
 from .recorder import TraceRecorder
-from .report import page_read_attribution, render_report, span_aggregates
+from .regress import RegressionReport, compare_benchmarks, render_diff
+from .report import (
+    page_read_attribution,
+    quality_sections,
+    render_report,
+    span_aggregates,
+)
 from .tracer import NOOP_SPAN, TRACER, SpanRecord, Tracer
 
 __all__ = [
@@ -53,14 +65,22 @@ __all__ = [
     "METRICS",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "QualityConfig",
+    "QualitySession",
+    "RegressionReport",
     "SpanRecord",
+    "StreamQualityMonitor",
     "TRACER",
     "TraceRecorder",
     "Tracer",
+    "compare_benchmarks",
     "export_chrome_trace",
     "export_jsonl",
     "load_jsonl",
+    "load_quality_jsonl",
     "page_read_attribution",
+    "quality_sections",
+    "render_diff",
     "render_report",
     "span_aggregates",
     "to_chrome_trace",

@@ -1,9 +1,15 @@
-"""Trace serialization: JSONL spans and Chrome ``trace_event`` JSON.
+"""Trace serialization: JSONL spans + quality records, Chrome JSON.
 
-JSONL format — one span object per line, flat (children are reconstructed
-from ``parent_id`` on load).  Required keys and types are pinned by
-:data:`SPAN_SCHEMA`; :func:`validate_jsonl` checks a file against it (the
-CI trace smoke job runs this).
+JSONL format — one record object per line.  The format is *versioned by
+kind*: a line without a ``"kind"`` key (or with ``"kind": "span"``) is a
+span record under :data:`SPAN_SCHEMA` (children are reconstructed from
+``parent_id`` on load); ``"kind": "quality"`` lines carry the statistical
+quality summaries of :mod:`repro.obs.quality` under
+:data:`QUALITY_SCHEMA`, with their own ``"v"`` record version.  Any other
+``kind`` is a validation error — readers of version-1 files (spans only)
+keep working unchanged.  :func:`validate_jsonl` checks a file against the
+schemas (the CI trace smoke job and ``python -m repro trace validate``
+run this).
 
 Chrome format — a ``{"traceEvents": [...]}`` object of complete (``"X"``)
 events, loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Each
@@ -26,16 +32,19 @@ from pathlib import Path
 from .tracer import SpanRecord
 
 __all__ = [
+    "QUALITY_SCHEMA",
     "SPAN_SCHEMA",
     "export_chrome_trace",
     "export_jsonl",
     "load_jsonl",
+    "load_quality_jsonl",
     "to_chrome_trace",
     "validate_jsonl",
 ]
 
 # key -> (required, allowed types); floats accept ints too (JSON round-trip).
 SPAN_SCHEMA: dict = {
+    "kind": (False, (str,)),
     "name": (True, (str,)),
     "span_id": (True, (int,)),
     "parent_id": (True, (int, type(None))),
@@ -46,6 +55,22 @@ SPAN_SCHEMA: dict = {
     "page_reads": (False, (int,)),
     "page_writes": (False, (int,)),
     "attrs": (False, (dict,)),
+}
+
+#: Schema for ``"kind": "quality"`` lines (record version inside ``"v"``).
+QUALITY_SCHEMA: dict = {
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "label": (True, (str,)),
+    "group": (True, (str,)),
+    "lo": (False, (float, int)),
+    "hi": (False, (float, int)),
+    "batches": (False, (int,)),
+    "start_sim": (False, (float, int, type(None))),
+    "end_sim": (False, (float, int, type(None))),
+    "uniformity": (True, (dict,)),
+    "coverage": (True, (dict,)),
+    "estimator": (True, (dict,)),
 }
 
 
@@ -68,9 +93,16 @@ def span_to_dict(record: SpanRecord) -> dict:
     return out
 
 
-def export_jsonl(spans, path) -> int:
-    """Write *spans* (flat iterable of records) to *path*; returns the count."""
+def export_jsonl(spans, path, quality=None) -> int:
+    """Write *spans* (plus optional quality records) to *path*.
+
+    ``quality`` is an iterable of already-serializable quality record
+    dictionaries (:meth:`~repro.obs.quality.StreamQualityMonitor.summary`);
+    they are appended after the spans.  Returns the total line count.
+    """
     lines = [json.dumps(span_to_dict(span), sort_keys=True) for span in spans]
+    if quality:
+        lines.extend(json.dumps(record, sort_keys=True) for record in quality)
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
     return len(lines)
 
@@ -84,6 +116,8 @@ def load_jsonl(path) -> list[SpanRecord]:
         if not line.strip():
             continue
         obj = json.loads(line)
+        if isinstance(obj, dict) and obj.get("kind", "span") != "span":
+            continue  # quality (or future) records; see load_quality_jsonl
         record = SpanRecord(obj["name"], obj.get("attrs") or {})
         record.span_id = obj["span_id"]
         record.parent_id = obj.get("parent_id")
@@ -102,13 +136,9 @@ def load_jsonl(path) -> list[SpanRecord]:
     return records
 
 
-def validate_span_dict(obj, line_no: int = 0) -> list[str]:
-    """Schema-check one decoded span object; returns human-readable errors."""
-    where = f"line {line_no}: " if line_no else ""
-    if not isinstance(obj, dict):
-        return [f"{where}span must be a JSON object, got {type(obj).__name__}"]
+def _check_schema(obj: dict, schema: dict, where: str) -> list[str]:
     errors = []
-    for key, (required, types) in SPAN_SCHEMA.items():
+    for key, (required, types) in schema.items():
         if key not in obj:
             if required:
                 errors.append(f"{where}missing required key {key!r}")
@@ -121,8 +151,22 @@ def validate_span_dict(obj, line_no: int = 0) -> list[str]:
                 f"got {type(value).__name__}"
             )
     for key in obj:
-        if key not in SPAN_SCHEMA:
+        if key not in schema:
             errors.append(f"{where}unknown key {key!r}")
+    return errors
+
+
+def validate_span_dict(obj, line_no: int = 0) -> list[str]:
+    """Schema-check one decoded JSONL record (span or quality kind)."""
+    where = f"line {line_no}: " if line_no else ""
+    if not isinstance(obj, dict):
+        return [f"{where}record must be a JSON object, got {type(obj).__name__}"]
+    kind = obj.get("kind", "span")
+    if kind == "quality":
+        return _check_schema(obj, QUALITY_SCHEMA, where)
+    if kind != "span":
+        return [f"{where}unknown record kind {kind!r}"]
+    errors = _check_schema(obj, SPAN_SCHEMA, where)
     if not errors and obj["end_wall"] < obj["start_wall"]:
         errors.append(f"{where}end_wall precedes start_wall")
     return errors
@@ -148,8 +192,25 @@ def validate_jsonl(path) -> list[str]:
     return errors
 
 
-def to_chrome_trace(spans) -> dict:
-    """Build the Chrome trace_event object for a flat span iterable."""
+def load_quality_jsonl(path) -> list[dict]:
+    """The ``"kind": "quality"`` records of a JSONL trace file, in order."""
+    records: list[dict] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if isinstance(obj, dict) and obj.get("kind") == "quality":
+            records.append(obj)
+    return records
+
+
+def to_chrome_trace(spans, quality=None) -> dict:
+    """Build the Chrome trace_event object for a flat span iterable.
+
+    Quality records contribute counter (``"C"``) events on the simulated
+    timeline: the running CI half-width of each monitored stream, so the
+    statistical convergence renders alongside the I/O spans in Perfetto.
+    """
     spans = list(spans)
     events = [
         {"ph": "M", "pid": 1, "tid": 1, "name": "process_name",
@@ -182,11 +243,25 @@ def to_chrome_trace(spans) -> dict:
                 "dur": span.sim_seconds * 1e6,
                 "args": args,
             })
+    for record in quality or ():
+        name = f"ci_half_width:{record.get('label', record.get('group', '?'))}"
+        for point in record.get("estimator", {}).get("timeline", ()):
+            half = point.get("half_width")
+            if half is None:
+                continue
+            events.append({
+                "name": name,
+                "ph": "C",
+                "pid": 2,
+                "tid": 1,
+                "ts": point["clock"] * 1e6,
+                "args": {"half_width": half},
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def export_chrome_trace(spans, path) -> int:
+def export_chrome_trace(spans, path, quality=None) -> int:
     """Write the Chrome trace for *spans* to *path*; returns the event count."""
-    trace = to_chrome_trace(spans)
+    trace = to_chrome_trace(spans, quality=quality)
     Path(path).write_text(json.dumps(trace) + "\n")
     return len(trace["traceEvents"])

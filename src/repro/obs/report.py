@@ -16,14 +16,24 @@ registry snapshot) into the report printed by ``python -m repro trace``:
    at each tree level, plus pruned (deferred) children.
 4. **Sampling-rate timeline** — from ``ace_query.stab`` spans: cumulative
    samples emitted vs. the simulated clock, the paper's headline curve.
-5. **Metrics** — counters, gauges, and histogram tables.
+5. **Quality** — when the run carried :mod:`repro.obs.quality` monitors:
+   per-window uniformity verdicts, stratum coverage, the time-to-accuracy
+   table, and the CI-half-width timeline (the statistical twin of the
+   sampling-rate timeline).
+6. **Metrics** — counters, gauges, and histogram tables.
 """
 
 from __future__ import annotations
 
 from .metrics import MetricsRegistry
 
-__all__ = ["page_read_attribution", "render_report", "span_aggregates"]
+__all__ = [
+    "format_table",
+    "page_read_attribution",
+    "quality_sections",
+    "render_report",
+    "span_aggregates",
+]
 
 
 def span_aggregates(spans) -> dict:
@@ -55,6 +65,11 @@ def page_read_attribution(spans) -> tuple[int, int]:
     total = sum(s.page_reads for s in spans if s.parent_id is None)
     leaf = sum(s.page_reads for s in spans if not s.children)
     return leaf, total
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Left-aligned first column, right-aligned numerics, dashed rule."""
+    return _fmt_table(headers, rows)
 
 
 def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -153,6 +168,160 @@ def _section_timeline(spans, buckets: int = 10) -> list[str]:
     ]
 
 
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _group_quality(quality: list[dict]) -> dict[str, list[dict]]:
+    groups: dict[str, list[dict]] = {}
+    for record in quality:
+        groups.setdefault(record.get("group", record.get("label", "?")), []).append(
+            record
+        )
+    return groups
+
+
+def _quality_uniformity(groups: dict[str, list[dict]]) -> list[str]:
+    rows = []
+    window_rows = []
+    total_windows = 0
+    for group, records in groups.items():
+        streams = len(records)
+        samples = sum(r["uniformity"]["samples"] for r in records)
+        windows = sum(len(r["uniformity"]["windows"]) for r in records)
+        failed = sum(r["uniformity"]["windows_failed"] for r in records)
+        out_of_range = sum(r["uniformity"]["out_of_range"] for r in records)
+        min_p = min((r["uniformity"]["min_window_p"] for r in records), default=1.0)
+        ks_d = max((r["uniformity"]["ks_d"] for r in records), default=0.0)
+        verdict = "PASS" if failed == 0 and out_of_range == 0 else "FAIL"
+        rows.append([
+            group, str(streams), str(samples), str(windows), str(failed),
+            f"{min_p:.4f}", f"{ks_d:.4f}", str(out_of_range), verdict,
+        ])
+        total_windows += windows
+        for record in records:
+            for window in record["uniformity"]["windows"]:
+                window_rows.append([
+                    record.get("label", group), str(window["index"]),
+                    str(window["n"]), f"{window['chi2']:.2f}",
+                    f"{window['p_value']:.4f}",
+                    "ok" if window["ok"] else "FAIL",
+                ])
+    out = [
+        "== quality: uniformity (windowed chi-square, binned KS) ==",
+        _fmt_table(
+            ["group", "streams", "samples", "windows", "failed", "min p",
+             "max KS D", "out-of-range", "verdict"],
+            rows,
+        ),
+    ]
+    if 0 < total_windows <= 24:
+        out += ["", _fmt_table(
+            ["stream", "window", "n", "chi2", "p", "verdict"], window_rows
+        )]
+    return out
+
+
+def _quality_coverage(groups: dict[str, list[dict]]) -> list[str]:
+    rows = []
+    for group, records in groups.items():
+        strata = max(r["coverage"]["strata"] for r in records)
+        counts = [0] * strata
+        for record in records:
+            for i, c in enumerate(record["coverage"]["counts"]):
+                counts[i] += c
+        hit = sum(1 for c in counts if c)
+        worst = min(r["coverage"]["coverage"] for r in records)
+        rows.append([
+            group, str(strata), str(hit), f"{100.0 * hit / strata:.0f}%",
+            f"{100.0 * worst:.0f}%",
+            " ".join(str(c) for c in counts),
+        ])
+    return [
+        "== quality: stratum coverage (arrival counts per stratum) ==",
+        _fmt_table(
+            ["group", "strata", "hit", "coverage", "worst stream", "counts"],
+            rows,
+        ),
+    ]
+
+
+def _quality_tta(groups: dict[str, list[dict]]) -> list[str]:
+    rows = []
+    for group, records in groups.items():
+        targets = records[0]["estimator"]["targets"]
+        for epsilon in targets:
+            hits = [
+                tta
+                for record in records
+                for tta in record["estimator"]["tta"]
+                if tta["epsilon"] == epsilon
+            ]
+            if hits:
+                rows.append([
+                    group, f"{epsilon:g}", f"{len(hits)}/{len(records)}",
+                    str(int(_median([t["n"] for t in hits]))),
+                    f"{_median([t['sim_seconds'] for t in hits]):.4f}",
+                    f"{_median([t['wall_seconds'] for t in hits]):.4f}",
+                ])
+            else:
+                rows.append([group, f"{epsilon:g}", f"0/{len(records)}",
+                             "-", "-", "-"])
+    if not rows:
+        return []
+    return [
+        "== quality: time-to-accuracy (CI half-width <= eps * |estimate|) ==",
+        _fmt_table(
+            ["group", "eps", "hit", "median n", "median sim s",
+             "median wall s"],
+            rows,
+        ),
+    ]
+
+
+def _quality_timeline(groups: dict[str, list[dict]], buckets: int = 10) -> list[str]:
+    out: list[str] = []
+    for group, records in list(groups.items())[:6]:
+        timeline = records[0]["estimator"]["timeline"]
+        points = [p for p in timeline if p["half_width"] is not None
+                  and p["n"] >= 2]
+        if len(points) < 2:
+            continue
+        stride = max(1, len(points) // buckets)
+        sampled = points[::stride]
+        if sampled[-1] is not points[-1]:
+            sampled.append(points[-1])
+        rows = [
+            [f"{p['clock']:.4f}", str(p["n"]), f"{p['half_width']:.4f}",
+             f"{p['mean']:.4f}"]
+            for p in sampled
+        ]
+        out += [
+            "" if out else None,
+            f"== quality: CI half-width vs sim time ({group}, "
+            f"{records[0].get('label', group)}) ==",
+            _fmt_table(["sim t (s)", "n", "half-width", "estimate"], rows),
+        ]
+    return [line for line in out if line is not None]
+
+
+def quality_sections(quality: list[dict]) -> list[str]:
+    """Render the quality records' report sections (empty list if none)."""
+    if not quality:
+        return []
+    groups = _group_quality(quality)
+    sections = _quality_uniformity(groups)
+    sections += [""] + _quality_coverage(groups)
+    for extra in (_quality_tta(groups), _quality_timeline(groups)):
+        if extra:
+            sections += [""] + extra
+    return sections
+
+
 def _section_metrics(metrics_snapshot: dict) -> list[str]:
     out = []
     counters = metrics_snapshot.get("counters", {})
@@ -178,8 +347,13 @@ def _section_metrics(metrics_snapshot: dict) -> list[str]:
 
 
 def render_report(spans, metrics: MetricsRegistry | dict | None = None,
-                  top: int = 12) -> str:
-    """Render the full text report for a flat list of :class:`SpanRecord`."""
+                  top: int = 12, quality: list | None = None) -> str:
+    """Render the full text report for a flat list of :class:`SpanRecord`.
+
+    ``quality`` is an optional list of versioned quality records (see
+    :meth:`repro.obs.quality.StreamQualityMonitor.summary`); when present
+    the quality sections render between the timeline and the metrics.
+    """
     spans = list(spans)
     if not spans:
         return "trace report: no spans recorded\n"
@@ -191,6 +365,7 @@ def render_report(spans, metrics: MetricsRegistry | dict | None = None,
     sections += [""] + _section_attribution(spans)
     for extra in (_section_stab_levels(snapshot),
                   _section_timeline(spans),
+                  quality_sections(quality or []),
                   _section_metrics(snapshot)):
         if extra:
             sections += [""] + extra

@@ -66,6 +66,46 @@ class TestBench:
         assert main(["bench", "--n", "0"]) == 2
         assert "positive" in capsys.readouterr().err
 
+    def test_compare_requires_baseline(self, capsys):
+        assert main(["bench", "--compare"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_compare_gates_on_deterministic_regressions(self, capsys, tmp_path):
+        """Self-compare exits 0; an injected exact drift exits non-zero."""
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--json", "--n", "800", "--repeat", "1",
+                     "--out", str(baseline)]) == 0
+        capsys.readouterr()
+        # Same code, same seed: every deterministic metric matches exactly.
+        verdict_path = tmp_path / "verdict.json"
+        code = main(["bench", "--n", "800", "--repeat", "1",
+                     "--baseline", str(baseline), "--compare",
+                     "--verdict", str(verdict_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 deterministic failure(s)" in out
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["status"] in ("ok", "advisory-regression")
+        assert verdict["deterministic_failures"] == []
+        # Injected regression: perturb a simulated-clock metric.
+        tampered = json.loads(baseline.read_text())
+        tampered["external_sort"]["sim_seconds"] += 0.001
+        bad = tmp_path / "tampered.json"
+        bad.write_text(json.dumps(tampered))
+        code = main(["bench", "--n", "800", "--repeat", "1",
+                     "--baseline", str(bad), "--compare"])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_unreadable_baseline(self, capsys, tmp_path):
+        code = main(["bench", "--n", "800", "--repeat", "1",
+                     "--baseline", str(tmp_path / "missing.json"),
+                     "--compare"])
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
 
 class TestTrace:
     def test_trace_query_writes_valid_trace_and_report(self, capsys, tmp_path):
@@ -115,6 +155,45 @@ class TestTrace:
                      "--out", str(tmp_path / "t.jsonl")])
         assert code == 2
         assert "unknown figure" in capsys.readouterr().err
+
+    def test_trace_query_prints_quality_sections(self, capsys, tmp_path):
+        from repro.obs import load_quality_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "query", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "== quality: uniformity" in stdout
+        assert "== quality: time-to-accuracy" in stdout
+        assert "== quality: CI half-width vs sim time" in stdout
+        records = load_quality_jsonl(out)
+        assert len(records) == 3  # one per traced query
+        assert all(r["group"] == "ACE Tree" for r in records)
+        assert all(r["uniformity"]["ok"] for r in records)
+
+    def test_trace_validate_accepts_good_rejects_corrupted(
+        self, capsys, tmp_path
+    ):
+        """The validator must exit non-zero on a schema violation."""
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "build", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", str(out)]) == 0
+        assert "valid" in capsys.readouterr().out
+        # Corrupt one line: drop a required key from the first record.
+        import json
+
+        lines = out.read_text().splitlines()
+        first = json.loads(lines[0])
+        del first["start_wall"]
+        corrupted = tmp_path / "corrupted.jsonl"
+        corrupted.write_text("\n".join([json.dumps(first)] + lines[1:]) + "\n")
+        assert main(["trace", "validate", str(corrupted)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err and "start_wall" in err
+
+    def test_trace_validate_needs_a_file(self, capsys, tmp_path):
+        assert main(["trace", "validate"]) == 2
+        assert main(["trace", "validate", str(tmp_path / "nope.jsonl")]) == 1
 
     def test_figures_trace_flag_records_figure_spans(self, capsys, tmp_path):
         from repro.obs import load_jsonl, validate_jsonl

@@ -108,3 +108,32 @@ class TestRunFigure:
         assert "fig15b" in text
         assert "buffered" in text
         assert "% scan time" in text
+
+
+class TestQualityMonitoring:
+    def test_monitored_run_is_bit_identical_and_populates_session(self):
+        """Golden check: quality monitors never move the simulated clock."""
+        from repro.obs import MetricsRegistry, QualitySession
+
+        clear_context_cache()
+        plain = run_figure("fig12", scale="small", num_queries=1, grid_points=6)
+        clear_context_cache()
+        session = QualitySession(metrics=MetricsRegistry())
+        monitored = run_figure(
+            "fig12", scale="small", num_queries=1, grid_points=6,
+            quality=session,
+        )
+        clear_context_cache()
+        for name, curve in plain.curves.items():
+            assert monitored.curves[name].grid == curve.grid
+            assert monitored.curves[name].mean_counts == curve.mean_counts
+        for name, raws in plain.raw.items():
+            assert [c.times for c in monitored.raw[name]] == [
+                c.times for c in raws
+            ]
+        # One monitor per (sampler, query), grouped by sampler name.
+        assert len(session.monitors) == len(plain.curves)
+        assert set(session.groups()) == set(plain.curves)
+        ace = session.groups()[ACE][0]
+        assert ace.uniformity.samples == plain.raw[ACE][0].total
+        assert ace.uniformity.ok

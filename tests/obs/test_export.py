@@ -5,9 +5,12 @@ from __future__ import annotations
 import json
 
 from repro.obs import (
+    MetricsRegistry,
+    QualitySession,
     export_chrome_trace,
     export_jsonl,
     load_jsonl,
+    load_quality_jsonl,
     to_chrome_trace,
     validate_jsonl,
 )
@@ -109,6 +112,60 @@ class TestValidation:
         path.write_text('{"name": "a", "span_id": 1, "parent_id": null, '
                         '"start_wall": 2.0, "end_wall": 1.0}\n')
         assert any("end_wall precedes" in e for e in validate_jsonl(path))
+
+
+def _make_quality():
+    """One finalized quality record from a synthetic monitored stream."""
+    import random
+
+    session = QualitySession(metrics=MetricsRegistry())
+    monitor = session.monitor("q0", lambda r: r[0], lo=0.0, hi=1.0,
+                              group="ACE Tree")
+    rng = random.Random(2)
+    clock = 0.0
+    for _ in range(4):
+        clock += 0.25
+        monitor.observe_batch([(rng.random(),) for _ in range(100)], clock)
+    session.finalize()
+    return session.records()
+
+
+class TestQualityRecords:
+    def test_mixed_file_round_trips_both_kinds(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        quality = _make_quality()
+        assert export_jsonl(_make_spans(), path, quality=quality) == 4
+        assert validate_jsonl(path) == []
+        # Span readers skip the quality line; quality readers skip spans.
+        assert [s.name for s in load_jsonl(path)] == [
+            "build.sort", "build", "tick",
+        ]
+        (record,) = load_quality_jsonl(path)
+        assert record["kind"] == "quality" and record["v"] == 1
+        assert record["label"] == "q0"
+        assert record["uniformity"]["samples"] == 400
+        assert record["estimator"]["n"] == 400
+
+    def test_unknown_kind_is_a_validation_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery", "v": 1}\n')
+        assert any("unknown record kind" in e for e in validate_jsonl(path))
+
+    def test_quality_line_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        quality = _make_quality()
+        del quality[0]["uniformity"]
+        export_jsonl([], path, quality=quality)
+        assert any("uniformity" in e for e in validate_jsonl(path))
+
+    def test_chrome_trace_gets_ci_counter_events(self):
+        trace = to_chrome_trace(_make_spans(), quality=_make_quality())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters, "expected CI half-width counter events"
+        assert all(e["name"] == "ci_half_width:q0" for e in counters)
+        assert all(e["pid"] == 2 for e in counters)  # simulated timeline
+        widths = [e["args"]["half_width"] for e in counters]
+        assert widths == sorted(widths, reverse=True)  # CI shrinks
 
 
 class TestChromeTrace:
