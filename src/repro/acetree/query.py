@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from ..core.errors import QueryError
+from ..core.errors import QueryError, SerializationError, StorageError
 from ..core.intervals import Box
 from ..core.records import Record
 from ..core.rng import derive_random
@@ -83,6 +83,7 @@ class StreamStats:
     records_emitted: int = 0
     buffered_records: int = 0
     stabs: int = 0
+    lost_leaves: int = 0
 
 
 class SampleStream:
@@ -101,10 +102,16 @@ class SampleStream:
         query: Box,
         seed: int = 0,
         alternate: bool = True,
+        lost_leaf_policy: str = "raise",
     ) -> None:
         if query.dims != tree.dims:
             raise QueryError(
                 f"query has {query.dims} dims, tree indexes {tree.dims}"
+            )
+        if lost_leaf_policy not in ("raise", "skip"):
+            raise QueryError(
+                f"unknown lost_leaf_policy {lost_leaf_policy!r} "
+                "(expected 'raise' or 'skip')"
             )
         self.tree = tree
         self.query = query
@@ -133,6 +140,13 @@ class SampleStream:
         self._arity = geometry.arity
         self._done: set[tuple[int, int]] = set()
         self._next_child: dict[tuple[int, int], int] = {}
+        #: What to do when a leaf read fails after retries: ``"raise"``
+        #: propagates the storage error (the default — correctness first);
+        #: ``"skip"`` marks the leaf done, flags the stream degraded, and
+        #: keeps sampling from the surviving leaves.
+        self.lost_leaf_policy = lost_leaf_policy
+        #: Leaf indexes lost to storage failures (``"skip"`` policy only).
+        self.lost_leaves: list[int] = []
         self.stats = StreamStats()
         self._start_clock = tree.disk.clock
         self._first_k_recorded = False
@@ -165,19 +179,35 @@ class SampleStream:
             raise StopIteration
         if (1, 0) in self._done:
             return self._final_flush()
-        with TRACER.span("ace_query.stab", disk=self.tree.disk) as sp:
-            leaf_index = self._stab()
-            leaf = self._store.read_leaf(leaf_index)
-            self.stats.leaves_read += 1
-            with TRACER.span("ace_query.combine", detail=True) as combine_sp:
-                emitted = self._process_leaf(leaf_index, leaf)
-                if combine_sp is not None:
-                    combine_sp.attrs["emitted"] = len(emitted)
-                    combine_sp.attrs["buffered"] = self.stats.buffered_records
-            if sp is not None:
-                sp.attrs["leaf"] = leaf_index
-                sp.attrs["emitted"] = len(emitted)
-                sp.attrs["buffered"] = self.stats.buffered_records
+        while True:
+            with TRACER.span("ace_query.stab", disk=self.tree.disk) as sp:
+                leaf_index = self._stab()
+                try:
+                    leaf = self._store.read_leaf(leaf_index)
+                except (StorageError, SerializationError):
+                    # Retries are exhausted by the time the error reaches
+                    # the Shuttle, so the leaf is gone for good: either
+                    # crash the query or sample on without it.
+                    if self.lost_leaf_policy != "skip":
+                        raise
+                    self._note_lost_leaf(leaf_index, sp)
+                    leaf = None
+                else:
+                    self.stats.leaves_read += 1
+                    with TRACER.span("ace_query.combine", detail=True) as combine_sp:
+                        emitted = self._process_leaf(leaf_index, leaf)
+                        if combine_sp is not None:
+                            combine_sp.attrs["emitted"] = len(emitted)
+                            combine_sp.attrs["buffered"] = self.stats.buffered_records
+                    if sp is not None:
+                        sp.attrs["leaf"] = leaf_index
+                        sp.attrs["emitted"] = len(emitted)
+                        sp.attrs["buffered"] = self.stats.buffered_records
+            if leaf is not None:
+                break
+            if (1, 0) in self._done:
+                # Every remaining leaf was lost; drain what combined.
+                return self._final_flush()
         TRACER.count("ace_query.leaves_read")
         self._rng.shuffle(emitted)
         self.stats.records_emitted += len(emitted)
@@ -209,6 +239,24 @@ class SampleStream:
     @property
     def exhausted(self) -> bool:
         return self._exhausted
+
+    @property
+    def degraded(self) -> bool:
+        """True once any leaf was lost: the emitted stream can no longer be
+        trusted to be a uniform sample (see :mod:`repro.obs.quality`, which
+        flags monitored degraded streams instead of certifying them)."""
+        return self.stats.lost_leaves > 0
+
+    def _note_lost_leaf(self, leaf_index: int, sp) -> None:
+        """Record a leaf lost to a storage failure and sample on without it."""
+        self._mark_done(leaf_index)
+        self.stats.lost_leaves += 1
+        self.lost_leaves.append(leaf_index)
+        TRACER.count("ace_query.lost_leaves")
+        if TRACER.enabled:
+            METRICS.counter("query.lost_leaves").inc()
+        if sp is not None:
+            sp.attrs["lost_leaf"] = leaf_index
 
     def _record_query_metrics(self) -> None:
         """Per-batch metric updates; only called while tracing is enabled."""

@@ -27,6 +27,7 @@ from ..core.records import Record, Schema
 from ..obs.tracer import TRACER
 from ..storage.buffer import DecodeMemo
 from ..storage.disk import SimulatedDisk
+from ..storage.recovery import read_page_resilient
 from .nodes import LeafNode
 
 __all__ = ["LeafStore", "LeafStoreWriter"]
@@ -234,13 +235,13 @@ class LeafStore:
             cached = self._memo.get(leaf_index)
             if cached is not None:
                 for i in range(span):
-                    self.disk.read_page(self._data_page_ids[first + i])
+                    read_page_resilient(self.disk, self._data_page_ids[first + i])
                 self.disk.charge_records(
                     sum(len(section) for section in cached.sections)
                 )
                 return cached
             chunks = [
-                self.disk.read_page(self._data_page_ids[first + i])
+                read_page_resilient(self.disk, self._data_page_ids[first + i])
                 for i in range(span)
             ]
             blob = b"".join(chunks)

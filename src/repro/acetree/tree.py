@@ -87,7 +87,13 @@ class AceTree:
                 sides.append(Interval.closed(lo, hi))
         return Box(tuple(sides))
 
-    def sample(self, query: Box, seed: int = 0, alternate: bool = True) -> "SampleStream":
+    def sample(
+        self,
+        query: Box,
+        seed: int = 0,
+        alternate: bool = True,
+        lost_leaf_policy: str = "raise",
+    ) -> "SampleStream":
         """Open an online random-sample stream over ``query``.
 
         At every point of the stream's progress, the set of records emitted
@@ -95,11 +101,16 @@ class AceTree:
         records matching the query; run to exhaustion it returns exactly
         the matching set.  ``alternate=False`` disables the Shuttle's
         child-alternation (an ablation knob; correctness is unaffected but
-        early sampling rates collapse).
+        early sampling rates collapse).  ``lost_leaf_policy="skip"`` lets
+        the stream survive persistent leaf-read failures by skipping the
+        lost leaf and flagging itself ``degraded`` instead of raising.
         """
         from .query import SampleStream
 
-        return SampleStream(self, query, seed=seed, alternate=alternate)
+        return SampleStream(
+            self, query, seed=seed, alternate=alternate,
+            lost_leaf_policy=lost_leaf_policy,
+        )
 
     def key_of(self, record: Sequence) -> tuple:
         """Extract the indexed key tuple from a record."""

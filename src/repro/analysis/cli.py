@@ -18,14 +18,36 @@ __all__ = ["run_lint"]
 DEFAULT_PATHS = ("src/repro",)
 
 
-def run_lint(paths: list[str] | None, as_json: bool = False) -> int:
-    """Lint the given files/directories; returns a process exit code."""
+def run_lint(
+    paths: list[str] | None,
+    as_json: bool = False,
+    select: list[str] | None = None,
+) -> int:
+    """Lint the given files/directories; returns a process exit code.
+
+    ``select`` restricts the run to the named rule IDs — used to apply
+    individual rules to paths the full rule set is not meant for (e.g.
+    ``--select TST001`` over ``tests/``, where test code legitimately
+    violates the library-only rules).
+    """
     targets = [Path(p) for p in (paths or DEFAULT_PATHS)]
     missing = [str(p) for p in targets if not p.exists()]
     if missing:
         print(f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
-    findings = lint_paths(targets)
+    rules = None
+    if select:
+        # Import for side effect: the project rules register on import.
+        from . import rules as _project_rules  # noqa: F401
+        from .lint import RULES
+
+        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        if unknown:
+            print(f"lint: unknown rule(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(sorted(RULES))}", file=sys.stderr)
+            return 2
+        rules = [RULES[rule_id] for rule_id in select]
+    findings = lint_paths(targets, rules=rules)
     if as_json:
         print(findings_to_json(findings))
     else:

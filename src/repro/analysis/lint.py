@@ -256,10 +256,21 @@ def lint_file(path: Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    """Expand files/directories into the .py files beneath them, sorted."""
+    """Expand files/directories into the .py files beneath them, sorted.
+
+    ``fixtures/`` subtrees discovered *during* recursion are skipped: they
+    hold deliberately rule-violating lint fixtures (see
+    ``tests/analysis/fixtures/``) that whole-tree runs must not report.
+    Passing a fixture directory or file explicitly still lints it — that
+    is how the rule tests exercise them.
+    """
     for path in paths:
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
+            base_depth = len(path.parts)
+            for file in sorted(path.rglob("*.py")):
+                if "fixtures" in file.parts[base_depth:-1]:
+                    continue
+                yield file
         else:
             yield path
 

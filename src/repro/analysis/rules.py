@@ -12,9 +12,12 @@ CLK001   no wall-clock / real-I/O access outside the sanctioned modules
 FLT001   no ``==`` / ``!=`` on key or split-bound floats in ``acetree/``.
 LAY001   package layering is respected (``core`` < ``storage`` <
          ``acetree``/``workloads`` < ``baselines``/``apps`` < ``view`` <
-         ``analysis`` < ``bench``).
+         ``analysis`` < ``bench``/``testkit``).
 MUT001   no mutable default arguments.
 EXC001   no bare / overbroad ``except`` clauses.
+TST001   test files must not monkeypatch the simulated disk's I/O
+         internals; fault injection goes through
+         :mod:`repro.testkit.faults` so faults are recorded and replayable.
 =======  ==================================================================
 
 Rules only see one module at a time; whole-program invariants (sample
@@ -217,6 +220,7 @@ LAYER_RANKS = {
     "view": 4,
     "analysis": 5,
     "bench": 6,
+    "testkit": 6,
 }
 
 
@@ -351,3 +355,63 @@ def check_excepts(ctx: LintContext) -> Iterator[Finding]:
                 f"overbroad except {broad[0]} without re-raise; narrow it "
                 "to the exceptions this site expects",
             )
+
+
+# ---------------------------------------------------------------------------
+# TST001 — no ad-hoc disk monkeypatching in tests
+# ---------------------------------------------------------------------------
+
+#: Disk internals tests must not stub out directly: patched faults are
+#: unrecorded and unreplayable, and they skip the accounting the real
+#: read/write paths perform.  :class:`repro.testkit.faults.FaultyDisk`
+#: exists precisely so injected failures are deterministic and replayable.
+_TST_PATCH_BANNED = {
+    "read_page", "write_page", "_charge_access", "_pages", "_checksums",
+}
+
+
+def _mentions_banned_attr(value) -> bool:
+    return isinstance(value, str) and (
+        value in _TST_PATCH_BANNED
+        or any(value.endswith("." + attr) for attr in _TST_PATCH_BANNED)
+    )
+
+
+@register("TST001", "test monkeypatches the simulated disk's I/O internals")
+def check_test_disk_patching(ctx: LintContext) -> Iterator[Finding]:
+    if "tests" not in ctx.path.parts:
+        return
+    message = (
+        "{what} replaces the disk's I/O path behind the accounting layer; "
+        "inject failures via repro.testkit.faults.FaultyDisk/FaultPlan so "
+        "they are deterministic and replayable"
+    )
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _TST_PATCH_BANNED
+                ):
+                    yield ctx.finding(
+                        "TST001",
+                        node,
+                        message.format(what=f"assignment to .{target.attr}"),
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_setattr = (
+                isinstance(func, ast.Name) and func.id == "setattr"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "setattr")
+            if not is_setattr:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Constant) and _mentions_banned_attr(
+                    arg.value
+                ):
+                    yield ctx.finding(
+                        "TST001",
+                        node,
+                        message.format(what=f"setattr of {arg.value!r}"),
+                    )
+                    break

@@ -10,8 +10,11 @@ Usage::
     python -m repro bench --json            # wall-clock micro-benchmarks
     python -m repro bench --json --baseline BENCH_PR1.json --compare
     python -m repro lint [--json] [PATH...] # static analysis pass
+    python -m repro lint --select TST001 tests  # one rule over the tests
     python -m repro trace query             # dual-clock trace + report
     python -m repro trace validate FILE     # schema-check a JSONL trace
+    python -m repro testkit fuzz --seed 7   # fault-injection differential fuzz
+    python -m repro testkit replay FILE     # re-run a recorded failing case
 
 Each figure's series is printed and, with ``--out DIR``, written to
 ``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).  ``bench`` runs
@@ -155,6 +158,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit findings as a JSON array instead of text",
     )
+    lint.add_argument(
+        "--select",
+        metavar="RULE",
+        action="append",
+        default=None,
+        help="run only this rule ID (repeatable), e.g. --select TST001 "
+        "to apply the test-hygiene rule to tests/",
+    )
 
     bench = sub.add_parser(
         "bench", help="run wall-clock micro-benchmarks of the implementation"
@@ -211,6 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="with --compare: also write the machine-readable verdict JSON",
     )
+
+    from ..testkit.cli import add_testkit_parser
+
+    add_testkit_parser(sub)
     return parser
 
 
@@ -441,10 +456,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         return _run_trace(args)
 
+    if args.command == "testkit":
+        from ..testkit.cli import run_testkit
+
+        return run_testkit(args)
+
     if args.command == "lint":
         from ..analysis.cli import run_lint
 
-        return run_lint(args.paths, as_json=args.json)
+        return run_lint(args.paths, as_json=args.json, select=args.select)
 
     if args.command == "list":
         for name, spec in FIGURES.items():

@@ -6,6 +6,7 @@ from .errors import (
     HeapFileError,
     IndexBuildError,
     InvariantViolation,
+    PageCorruptionError,
     PageError,
     ParseError,
     QueryError,
@@ -14,6 +15,7 @@ from .errors import (
     SerializationError,
     SortError,
     StorageError,
+    TransientPageError,
     ViewError,
 )
 from .intervals import Box, Interval
@@ -31,6 +33,7 @@ __all__ = [
     "Interval",
     "InvariantViolation",
     "PROFILE",
+    "PageCorruptionError",
     "PageError",
     "ParseError",
     "Profiler",
@@ -42,6 +45,7 @@ __all__ = [
     "SerializationError",
     "SortError",
     "StorageError",
+    "TransientPageError",
     "ViewError",
     "derive",
     "derive_random",

@@ -28,6 +28,27 @@ class PageError(StorageError):
     """A page id is invalid, unallocated, or was accessed incorrectly."""
 
 
+class TransientPageError(PageError):
+    """A page access failed in a way that may succeed when retried.
+
+    Raised by the fault-injection layer (:mod:`repro.testkit.faults`) to
+    model transient media errors.  :func:`repro.storage.recovery.
+    read_page_resilient` retries these with bounded backoff charged to the
+    simulated clock; after the retry budget is exhausted the error
+    propagates as a persistent failure.
+    """
+
+
+class PageCorruptionError(PageError):
+    """A page's content failed its stored checksum on read.
+
+    The simulated disk keeps a per-page checksum (standing in for an
+    in-header page checksum) and verifies it on every read; a mismatch
+    means the stored bytes were corrupted after the write — a bit flip or a
+    torn write.  Corruption is persistent: retrying the read cannot help.
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool was used incorrectly (e.g. unpinning a free frame)."""
 

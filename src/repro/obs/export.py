@@ -68,6 +68,8 @@ QUALITY_SCHEMA: dict = {
     "batches": (False, (int,)),
     "start_sim": (False, (float, int, type(None))),
     "end_sim": (False, (float, int, type(None))),
+    "degraded": (False, (bool,)),
+    "degraded_reason": (False, (str, type(None))),
     "uniformity": (True, (dict,)),
     "coverage": (True, (dict,)),
     "estimator": (True, (dict,)),
@@ -144,7 +146,11 @@ def _check_schema(obj: dict, schema: dict, where: str) -> list[str]:
                 errors.append(f"{where}missing required key {key!r}")
             continue
         value = obj[key]
-        if isinstance(value, bool) or not isinstance(value, types):
+        # bool subclasses int: reject it for numeric keys unless the schema
+        # names bool explicitly.
+        if (isinstance(value, bool) and bool not in types) or not isinstance(
+            value, types
+        ):
             expected = "/".join(t.__name__ for t in types)
             errors.append(
                 f"{where}key {key!r} must be {expected}, "

@@ -543,6 +543,11 @@ class StreamQualityMonitor:
         self._start_wall: float | None = None
         self.batches = 0
         self._finalized = False
+        #: Set when the monitored stream reported itself degraded (e.g. an
+        #: ACE stream that lost a leaf to a storage failure) — the prefix
+        #: is then *known* non-uniform and the verdict must not certify it.
+        self.degraded = False
+        self.degraded_reason: str | None = None
 
     # -- observation ---------------------------------------------------
 
@@ -561,6 +566,15 @@ class StreamQualityMonitor:
                 self.observe_batch(batch.records, batch.clock)
                 yield batch
         finally:
+            # A stream that lost data mid-flight (ACE Tree under storage
+            # faults) exposes ``degraded``; fold it into the verdict so a
+            # fault-injected run is flagged rather than certified uniform.
+            if getattr(batches, "degraded", False):
+                lost = getattr(batches, "lost_leaves", None)
+                self.mark_degraded(
+                    f"stream degraded (lost leaves: {lost})"
+                    if lost else "stream degraded"
+                )
             self.finalize()
 
     def observe_batch(self, records, clock: float) -> None:
@@ -586,6 +600,13 @@ class StreamQualityMonitor:
             sim_elapsed=clock - self.start_sim,
             wall_elapsed=perf_counter() - self._start_wall,
         )
+
+    def mark_degraded(self, reason: str) -> None:
+        """Flag the monitored stream as known non-uniform (data was lost)."""
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = reason
+            self.metrics.counter("quality.degraded_streams").inc()
 
     def finalize(self) -> None:
         """Close the trailing window and publish the ``quality.*`` metrics."""
@@ -632,6 +653,8 @@ class StreamQualityMonitor:
             "batches": self.batches,
             "start_sim": self.start_sim,
             "end_sim": self.end_sim,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
             "uniformity": self.uniformity.summary(),
             "coverage": self.coverage.summary(),
             "estimator": self.estimator.summary(),

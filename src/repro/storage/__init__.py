@@ -5,17 +5,21 @@ from .cost import CostModel
 from .disk import DiskStats, SimulatedDisk
 from .external_sort import external_sort, external_sort_to_sink, merge_runs
 from .heapfile import PAGE_HEADER_SIZE, HeapFile
+from .recovery import DEFAULT_RETRY, RetryPolicy, read_page_resilient
 
 __all__ = [
     "BufferPool",
     "CostModel",
+    "DEFAULT_RETRY",
     "DecodeMemo",
     "DiskStats",
     "HeapFile",
     "PAGE_HEADER_SIZE",
     "RecordPageCache",
+    "RetryPolicy",
     "SimulatedDisk",
     "external_sort",
     "external_sort_to_sink",
     "merge_runs",
+    "read_page_resilient",
 ]

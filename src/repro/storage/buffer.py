@@ -19,6 +19,7 @@ from ..core.errors import BufferPoolError
 from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
+from .recovery import read_page_resilient
 
 __all__ = ["BufferPool", "DecodeMemo", "RecordPageCache"]
 
@@ -63,7 +64,7 @@ class BufferPool:
         self.misses += 1
         if TRACER.enabled:
             METRICS.counter("buffer.miss").inc()
-        data = self.disk.read_page(pid)
+        data = read_page_resilient(self.disk, pid)
         self._admit(pid, data)
         return data
 
@@ -144,7 +145,7 @@ class RecordPageCache:
         self.misses += 1
         if TRACER.enabled:
             METRICS.counter("buffer.miss").inc()
-        value = self._decode(self.disk.read_page(pid))
+        value = self._decode(read_page_resilient(self.disk, pid))
         while len(self._frames) >= self.capacity:
             self._frames.popitem(last=False)
             self.evictions += 1

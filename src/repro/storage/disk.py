@@ -16,8 +16,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+from zlib import crc32
 
-from ..core.errors import PageError
+from ..core.errors import PageCorruptionError, PageError
 from .cost import CostModel
 
 __all__ = ["DiskStats", "SimulatedDisk"]
@@ -62,14 +63,26 @@ class SimulatedDisk:
             relation; the default 8 KB keeps the records-per-page ratio
             comparable at the scaled-down relation sizes used here.
         cost: the :class:`CostModel` used to charge the simulated clock.
+        checksums: verify a per-page CRC on every read.  Models a checksum
+            stored in the page header without perturbing page capacity or
+            the simulated clock; a mismatch (possible only after injected
+            corruption — see :mod:`repro.testkit.faults`) raises
+            :class:`~repro.core.errors.PageCorruptionError`.
     """
 
-    def __init__(self, page_size: int = 8192, cost: CostModel | None = None) -> None:
+    def __init__(
+        self,
+        page_size: int = 8192,
+        cost: CostModel | None = None,
+        checksums: bool = True,
+    ) -> None:
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
         self.page_size = page_size
         self.cost = cost if cost is not None else CostModel()
+        self.checksums = checksums
         self._pages: dict[int, bytes] = {}
+        self._checksums: dict[int, int] = {}
         self._allocated: set[int] = set()
         self._high_water = 0
         self._free_extents: list[_Extent] = []
@@ -105,6 +118,7 @@ class SimulatedDisk:
                 raise PageError(f"freeing unallocated page {pid}")
             self._allocated.discard(pid)
             self._pages.pop(pid, None)
+            self._checksums.pop(pid, None)
         self._free_extents.append(_Extent(start, count))
 
     @property
@@ -114,13 +128,26 @@ class SimulatedDisk:
     # -- timed page I/O ----------------------------------------------------
 
     def read_page(self, pid: int) -> bytes:
-        """Read one page, charging seek + transfer or just transfer."""
+        """Read one page, charging seek + transfer or just transfer.
+
+        With ``checksums`` enabled (the default) the returned bytes are
+        verified against the CRC recorded by the write; a mismatch raises
+        :class:`PageCorruptionError` *after* the access has been charged —
+        the seek and transfer happened, the data is just bad.
+        """
         if pid not in self._allocated:
             raise PageError(f"reading unallocated page {pid}")
         self._charge_access(pid)
         self.stats.page_reads += 1
         self.stats.bytes_read += self.page_size
-        return self._pages.get(pid, bytes(self.page_size))
+        data = self._pages.get(pid, bytes(self.page_size))
+        if self.checksums:
+            stored = self._checksums.get(pid)
+            if stored is not None and crc32(data) != stored:
+                raise PageCorruptionError(
+                    f"page {pid} failed checksum verification on read"
+                )
+        return data
 
     def write_page(self, pid: int, data: bytes) -> None:
         """Write one page (padded to the page size), charging like a read."""
@@ -136,6 +163,10 @@ class SimulatedDisk:
         self.stats.page_writes += 1
         self.stats.bytes_written += self.page_size
         self._pages[pid] = data
+        # The checksum always covers the *intended* bytes: a torn write
+        # injected underneath (repro.testkit.faults) leaves it stale, which
+        # is exactly how the corruption is later detected.
+        self._checksums[pid] = crc32(data)
 
     def _charge_access(self, pid: int) -> None:
         if self._head is not None and pid == self._head + 1:
@@ -156,6 +187,19 @@ class SimulatedDisk:
             raise ValueError(f"cannot charge negative time {seconds}")
         self.clock += seconds
         self.stats.cpu_time += seconds
+
+    def charge_io(self, seconds: float) -> None:
+        """Advance the clock for I/O-side delay outside a page transfer.
+
+        Used for retry backoff (:mod:`repro.storage.recovery`) and injected
+        latency spikes (:mod:`repro.testkit.faults`): the time is I/O time
+        on the device, but no page moved, so the byte/page counters stay
+        untouched.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        self.clock += seconds
+        self.stats.io_time += seconds
 
     def charge_records(self, count: int) -> None:
         """Charge the per-record CPU cost for ``count`` records."""

@@ -59,6 +59,7 @@ from ..core.errors import SortError
 from ..core.records import Record, Schema
 from ..obs.tracer import TRACER
 from .heapfile import PAGE_HEADER_SIZE, HeapFile, _packed_page_images
+from .recovery import read_page_resilient
 
 __all__ = ["external_sort", "external_sort_to_sink", "merge_runs"]
 
@@ -732,7 +733,7 @@ def _planned_merge_to_file(
     per_page = runs[0].records_per_page
     result = HeapFile(disk, schema, name)
     for pid, count in _initial_reads(runs):
-        disk.read_page(pid)
+        read_page_resilient(disk, pid)
         disk.charge_records(count)
     e, num_events = 0, len(events)
     for page_no, lo in enumerate(range(0, total, per_page)):
@@ -740,7 +741,7 @@ def _planned_merge_to_file(
         # Run-page reads triggered by pulls lo..hi-1 precede this write.
         while e < num_events and events[e][0] < hi:
             _, pid, count = events[e]
-            disk.read_page(pid)
+            read_page_resilient(disk, pid)
             disk.charge_records(count)
             e += 1
         if images is not None:
@@ -782,16 +783,15 @@ def _planned_merge_stream(
     initial = _initial_reads(runs)
 
     def stream() -> Iterator[Record]:
-        read_page = disk.read_page
         charge = disk.charge_records
         for pid, count in initial:
-            read_page(pid)
+            read_page_resilient(disk, pid)
             charge(count)
         prev = 0
         for pull, pid, count in events:
             yield from items[prev:pull]
             # The pull of record `pull` advances the drained stream first.
-            read_page(pid)
+            read_page_resilient(disk, pid)
             charge(count)
             prev = pull
         yield from items[prev:]

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.errors import HeapFileError
 from ..core.records import PageView, Record, Schema
 from .disk import SimulatedDisk
+from .recovery import read_page_resilient
 
 __all__ = ["HeapFile", "PAGE_HEADER_SIZE"]
 
@@ -285,7 +286,7 @@ class HeapFile:
         per_page = self.records_per_page
         disk = self.disk
         for pid in self._page_ids:
-            data = disk.read_page(pid)
+            data = read_page_resilient(disk, pid)
             (count,) = _COUNT_HEADER.unpack_from(data)
             if count > per_page:
                 raise HeapFileError(f"corrupt page header: count {count}")
@@ -304,7 +305,7 @@ class HeapFile:
             raise HeapFileError(
                 f"page index {index} out of range 0..{len(self._page_ids) - 1}"
             )
-        data = self.disk.read_page(self._page_ids[index])
+        data = read_page_resilient(self.disk, self._page_ids[index])
         return self.decode_page(data)
 
     def decode_page(self, data: bytes) -> list[Record]:

@@ -1,0 +1,60 @@
+"""Deterministic fault injection + differential-oracle testing (``repro.testkit``).
+
+The paper's central claim — the Shuttle/Combine stream is an always-uniform
+online sample for any range predicate — is a *statistical* invariant, and
+the ROADMAP's north star is a production system that must also survive bad
+hardware.  This package is the machinery that hunts violations of both
+automatically instead of waiting for a bad seed:
+
+* :mod:`repro.testkit.faults` — a seeded, schedule-driven fault-injection
+  layer over :class:`~repro.storage.disk.SimulatedDisk`: transient read
+  errors, torn writes, bit-flip corruption, latency spikes.  Every injected
+  event is recorded in a :class:`~repro.testkit.faults.FaultPlan` that can
+  be serialized and replayed bit-for-bit.
+* :mod:`repro.testkit.generators` — seeded scenario generators (datasets,
+  tree shapes, range queries, fault rates) for the fuzz harness, plus the
+  shrinking-friendly Hypothesis strategies shared by ``tests/property/``.
+* :mod:`repro.testkit.stats` — the one shared tolerance helper for
+  chi-square / KS statistical assertions, so thresholds cannot drift
+  between test files.
+* :mod:`repro.testkit.oracle` — differential checks of any sampler stream
+  against a brute-force in-memory reference: exact result-set containment,
+  duplicate detection, clock monotonicity, and statistical prefix
+  uniformity.
+* :mod:`repro.testkit.harness` — the fuzz loop racing the ACE Tree,
+  B+-Tree, and permuted-file samplers against the oracle under clean and
+  fault-injected runs, with a deliberately-broken-Combine mutant mode for
+  validating the oracle itself.
+* :mod:`repro.testkit.cli` — ``python -m repro testkit fuzz|replay``.
+
+See ``docs/TESTING.md`` for the fault taxonomy, the oracle's equivalence
+criteria, and the replay workflow.
+"""
+
+from .faults import FAULT_KINDS, FaultEvent, FaultPlan, FaultyDisk
+from .harness import FuzzReport, ScenarioVerdict, fuzz, replay, run_scenario
+from .generators import Scenario, generate_scenario, make_records
+from .oracle import DifferentialReport, check_stream, reference_matching
+from .stats import ChiSquareResult, assert_uniform, chi_square, prefix_vs_population
+
+__all__ = [
+    "ChiSquareResult",
+    "DifferentialReport",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyDisk",
+    "FuzzReport",
+    "Scenario",
+    "ScenarioVerdict",
+    "assert_uniform",
+    "check_stream",
+    "chi_square",
+    "fuzz",
+    "generate_scenario",
+    "make_records",
+    "prefix_vs_population",
+    "reference_matching",
+    "replay",
+    "run_scenario",
+]

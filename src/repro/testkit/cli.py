@@ -1,0 +1,129 @@
+"""``python -m repro testkit fuzz|replay`` — the differential fuzz harness.
+
+Exit codes follow the repo convention: ``0`` all checks passed, ``1`` the
+oracle found at least one failure (or a replay did not reproduce), ``2``
+usage/configuration error.  ``fuzz`` writes the first failing case as a
+replay payload (JSON) so the exact fault sequence can be re-run::
+
+    python -m repro testkit fuzz --seed 7 --iterations 40
+    python -m repro testkit fuzz --mutation combine-drop   # oracle self-test
+    python -m repro testkit replay testkit_failure.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from .faults import FaultPlanError
+from .harness import MUTATIONS, fuzz, replay
+
+__all__ = ["add_testkit_parser", "run_testkit"]
+
+
+def add_testkit_parser(sub) -> None:
+    """Register the ``testkit`` subcommand on a subparsers object."""
+    testkit = sub.add_parser(
+        "testkit",
+        help="fault-injection fuzzing of the samplers against a brute-force "
+        "oracle (see docs/TESTING.md)",
+    )
+    mode = testkit.add_subparsers(dest="testkit_command", required=True)
+
+    fuzz_p = mode.add_parser(
+        "fuzz", help="run generated scenarios, clean and fault-injected"
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="fuzz seed (default 0)")
+    fuzz_p.add_argument("--iterations", type=int, default=20,
+                        help="generated scenarios to run (default 20)")
+    fuzz_p.add_argument("--no-faults", action="store_true",
+                        help="clean runs only: skip the fault-injected phase")
+    fuzz_p.add_argument("--mutation", choices=MUTATIONS, default=None,
+                        help="sabotage the sampler under test (oracle "
+                        "self-test: the run must FAIL)")
+    fuzz_p.add_argument("--max-failures", type=int, default=8,
+                        help="stop after this many failing cases (default 8)")
+    fuzz_p.add_argument("--out", type=Path, default=Path("testkit_failure.json"),
+                        help="replay payload file for the first failing case "
+                        "(default testkit_failure.json)")
+
+    replay_p = mode.add_parser(
+        "replay", help="re-run a recorded failing case deterministically"
+    )
+    replay_p.add_argument("payload", type=Path,
+                          help="replay payload written by a failing fuzz run")
+
+
+def _run_fuzz(args) -> int:
+    if args.iterations <= 0 or args.max_failures <= 0:
+        print("testkit fuzz: --iterations and --max-failures must be positive",
+              file=sys.stderr)
+        return 2
+    report = fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        with_faults=not args.no_faults,
+        mutation=args.mutation,
+        max_failures=args.max_failures,
+    )
+    print(f"testkit fuzz: seed={report.seed} scenarios={report.scenarios_run} "
+          f"queries={report.queries_checked} "
+          f"injected_faults={report.injected_events} "
+          f"failures={len(report.failures)}")
+    if report.ok:
+        print("testkit fuzz: all oracle checks passed")
+        return 0
+    first = report.failures[0]
+    for line in first["failures"]:
+        print(f"testkit fuzz: FAIL {line}", file=sys.stderr)
+    args.out.write_text(json.dumps(first, indent=2, sort_keys=True) + "\n")
+    print(f"testkit fuzz: replay payload -> {args.out}", file=sys.stderr)
+    return 1
+
+
+def _run_replay(args) -> int:
+    try:
+        payload = json.loads(args.payload.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"testkit replay: cannot read {args.payload}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        verdict, plan = replay(payload)
+    except (ValueError, FaultPlanError, KeyError) as exc:
+        print(f"testkit replay: malformed payload: {exc}", file=sys.stderr)
+        return 2
+    recorded = payload["plan"].get("events", [])
+    replayed = [event.as_dict() for event in plan.injected]
+    print(f"testkit replay: scenario seed={verdict.scenario.seed} "
+          f"injected={len(replayed)} recorded={len(recorded)}")
+    drift = replayed != recorded
+    expected = payload.get("failures", [])
+    reproduced = verdict.failure_lines == expected
+    if drift:
+        print("testkit replay: FAULT SEQUENCE DRIFT — the workload no longer "
+              "replays access-for-access (code change since recording?)",
+              file=sys.stderr)
+    if not reproduced:
+        print("testkit replay: verdict differs from the recorded run "
+              f"({len(verdict.failure_lines)} vs {len(expected)} failures)",
+              file=sys.stderr)
+    for line in verdict.failure_lines:
+        print(f"testkit replay: FAIL {line}", file=sys.stderr)
+    if verdict.failure_lines or drift or not reproduced:
+        if reproduced and not drift:
+            # Faithfully reproducing a recorded failure still exits
+            # non-zero — the engine under test is failing, like the
+            # original run said.
+            print("testkit replay: reproduced the recorded verdict exactly")
+        return 1
+    print("testkit replay: clean run reproduced (no failures)")
+    return 0
+
+
+def run_testkit(args) -> int:
+    if args.testkit_command == "fuzz":
+        return _run_fuzz(args)
+    return _run_replay(args)

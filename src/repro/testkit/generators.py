@@ -1,0 +1,227 @@
+"""Seeded scenario generators and shared property-test strategies.
+
+Two audiences share this module:
+
+* the **fuzz harness** (:mod:`repro.testkit.harness`) draws whole
+  :class:`Scenario`\\ s — dataset shape, tree shape, queries, fault rates —
+  from a single integer seed, so a failing scenario serializes to a few
+  numbers and replays exactly;
+* the **property tests** under ``tests/property/`` import the Hypothesis
+  strategies and builders from here instead of re-declaring them per file,
+  so dataset shapes (and their shrinking behaviour) stay consistent across
+  suites.
+
+Hypothesis is a test-only dependency, so everything that touches it is
+imported lazily; importing this module (and the rest of ``repro.testkit``)
+works without Hypothesis installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..acetree import AceBuildParams, build_ace_tree
+from ..core.records import Field, Schema
+from ..core.rng import derive_random
+from ..storage.cost import CostModel
+from ..storage.disk import SimulatedDisk
+from ..storage.heapfile import HeapFile
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "KV_SCHEMA",
+    "Scenario",
+    "build_ace",
+    "build_bplus",
+    "generate_scenario",
+    "int_ranges",
+    "key_lists",
+    "kv_records",
+    "make_records",
+    "sql_identifiers",
+    "sql_numbers",
+]
+
+#: The two-column schema every single-key suite builds on.
+KV_SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
+
+#: Key distributions the scenario generator can draw.
+DISTRIBUTIONS: tuple[str, ...] = ("uniform", "skew", "dups", "sorted")
+
+
+# -- fuzz-harness scenarios ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-determined fuzz case: dataset, tree shape, queries, faults.
+
+    Everything downstream (records, fault draws, sampler seeds) derives
+    from :attr:`seed`, so the scenario serializes to this dataclass alone.
+    """
+
+    seed: int
+    n: int
+    key_range: int
+    distribution: str
+    height: int
+    arity: int
+    page_size: int
+    queries: tuple[tuple[int, int], ...]
+    rates: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed, "n": self.n, "key_range": self.key_range,
+            "distribution": self.distribution, "height": self.height,
+            "arity": self.arity, "page_size": self.page_size,
+            "queries": [list(q) for q in self.queries],
+            "rates": dict(self.rates),
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "Scenario":
+        return cls(
+            seed=obj["seed"], n=obj["n"], key_range=obj["key_range"],
+            distribution=obj["distribution"], height=obj["height"],
+            arity=obj["arity"], page_size=obj["page_size"],
+            queries=tuple((q[0], q[1]) for q in obj["queries"]),
+            rates=dict(obj.get("rates", {})),
+        )
+
+
+def generate_scenario(seed: int, with_faults: bool = True) -> Scenario:
+    """Draw one scenario; the same seed always yields the same scenario."""
+    rng = derive_random(seed, "testkit-scenario")
+    n = rng.randrange(40, 400)
+    key_range = rng.choice((1_000, 10_000, 100_000))
+    distribution = rng.choice(DISTRIBUTIONS)
+    height = rng.randrange(2, 6)
+    arity = rng.choice((2, 2, 2, 3))
+    page_size = rng.choice((512, 1024, 2048))
+    queries = []
+    for _ in range(rng.randrange(1, 4)):
+        a = rng.randrange(-key_range // 10, key_range + key_range // 10)
+        b = rng.randrange(-key_range // 10, key_range + key_range // 10)
+        queries.append((min(a, b), max(a, b)))
+    rates: dict[str, float] = {}
+    if with_faults:
+        rates = {
+            "read.transient": rng.choice((0.0, 0.005, 0.02)),
+            "read.corrupt": rng.choice((0.0, 0.0, 0.002)),
+            "read.latency": rng.choice((0.0, 0.01)),
+            "write.torn": rng.choice((0.0, 0.0, 0.002)),
+        }
+        rates = {k: v for k, v in rates.items() if v > 0.0}
+    return Scenario(
+        seed=seed, n=n, key_range=key_range, distribution=distribution,
+        height=height, arity=arity, page_size=page_size,
+        queries=tuple(queries), rates=rates,
+    )
+
+
+def make_records(scenario: Scenario) -> list[tuple]:
+    """The scenario's dataset: ``(key, unique_id)`` records.
+
+    The float second column is a unique identifier, so duplicate keys stay
+    distinguishable and multiset comparisons are exact.
+    """
+    rng = derive_random(scenario.seed, "testkit-records")
+    n, key_range = scenario.n, scenario.key_range
+    if scenario.distribution == "uniform":
+        keys = [rng.randrange(key_range) for _ in range(n)]
+    elif scenario.distribution == "skew":
+        # Cubed uniform: mass piles up near zero, stressing uneven splits.
+        keys = [int(key_range * rng.random() ** 3) for _ in range(n)]
+    elif scenario.distribution == "dups":
+        pool = [rng.randrange(key_range) for _ in range(max(2, n // 20))]
+        keys = [rng.choice(pool) for _ in range(n)]
+    elif scenario.distribution == "sorted":
+        keys = sorted(rng.randrange(key_range) for _ in range(n))
+    else:
+        raise ValueError(f"unknown distribution {scenario.distribution!r}")
+    return [(key, float(i)) for i, key in enumerate(keys)]
+
+
+# -- shared builders (fuzz harness + property tests) -----------------------
+
+
+def kv_records(keys) -> list[tuple]:
+    """``(key, unique_id)`` records from a key list."""
+    return [(key, float(i)) for i, key in enumerate(keys)]
+
+
+def build_ace(keys, height, seed, page_size=1024, arity=2):
+    """Records plus a freshly built ACE Tree over them, on its own disk."""
+    disk = SimulatedDisk(page_size=page_size, cost=CostModel.scaled(page_size))
+    records = kv_records(keys)
+    heap = HeapFile.bulk_load(disk, KV_SCHEMA, records)
+    tree = build_ace_tree(
+        heap,
+        AceBuildParams(key_fields=("k",), height=height, arity=arity, seed=seed),
+    )
+    return records, tree
+
+
+def build_bplus(keys, page_size=512, leaf_cache_pages=16):
+    """Records plus a ranked B+-Tree over them, on its own disk."""
+    from ..baselines import build_bplus_tree
+
+    disk = SimulatedDisk(page_size=page_size, cost=CostModel.scaled(page_size))
+    records = kv_records(keys)
+    heap = HeapFile.bulk_load(disk, KV_SCHEMA, records)
+    return records, build_bplus_tree(heap, "k", leaf_cache_pages=leaf_cache_pages)
+
+
+# -- Hypothesis strategies (lazy: test-only dependency) --------------------
+
+
+def _strategies():
+    try:
+        from hypothesis import strategies as st
+    except ImportError as exc:  # pragma: no cover - hypothesis is installed in CI
+        raise RuntimeError(
+            "repro.testkit.generators strategy helpers require hypothesis"
+        ) from exc
+    return st
+
+
+def key_lists(min_value=0, max_value=10_000, min_size=1, max_size=400):
+    """Lists of integer keys — the canonical dataset strategy."""
+    st = _strategies()
+    return st.lists(
+        st.integers(min_value=min_value, max_value=max_value),
+        min_size=min_size, max_size=max_size,
+    )
+
+
+def int_ranges(min_value=-100, max_value=11_000):
+    """Normalized ``(lo, hi)`` query bounds, slightly wider than the keys."""
+    st = _strategies()
+    return st.tuples(
+        st.integers(min_value=min_value, max_value=max_value),
+        st.integers(min_value=min_value, max_value=max_value),
+    ).map(lambda pair: (min(pair), max(pair)))
+
+
+#: Words the identifier strategy must avoid so generated DDL stays parseable.
+_SQL_KEYWORDS = frozenset({
+    "and", "between", "sample", "select", "from", "where",
+    "create", "materialized", "view", "as", "index", "on",
+})
+
+
+def sql_identifiers():
+    """Identifiers safe to splice into generated view DDL."""
+    st = _strategies()
+    return st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+        lambda s: s.lower() not in _SQL_KEYWORDS
+    )
+
+
+def sql_numbers():
+    """Finite numeric literals that round-trip through the DDL parser."""
+    st = _strategies()
+    return st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(lambda v: round(v, 4))

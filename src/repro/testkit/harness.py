@@ -1,0 +1,275 @@
+"""The fuzz harness: generated scenarios, racing samplers, replayable verdicts.
+
+One *scenario* (see :mod:`repro.testkit.generators`) is run as: build the
+heap file, the ACE Tree, the ranked B+-Tree, and the permuted file on one
+:class:`~repro.testkit.faults.FaultyDisk`; then drain every sampler for
+every query and judge each stream with the differential oracle.  A run is
+performed twice per fuzz iteration — once clean, once under the scenario's
+fault rates — so both the statistical invariants and the recovery paths
+are exercised from the same case.
+
+Any failing case serializes to a small JSON *replay payload* — scenario
+parameters plus the frozen fault event list — that
+``python -m repro testkit replay`` (or :func:`replay` directly) re-runs
+deterministically: same faults at the same access ordinals, same verdict.
+
+The harness can also sabotage itself: ``mutation="combine-drop"`` swaps in
+a :class:`BrokenCombineStream` whose Combine silently discards one
+required interval's cells.  The differential oracle must catch it — this
+is the self-test proving the oracle has teeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..acetree import AceBuildParams, build_ace_tree
+from ..acetree.query import SampleStream
+from ..core.errors import ReproError
+from ..core.rng import derive_random
+from ..storage.cost import CostModel
+from ..storage.heapfile import HeapFile
+from .faults import FaultPlan, FaultyDisk
+from .generators import KV_SCHEMA, Scenario, generate_scenario, make_records
+from .oracle import DifferentialReport, check_stream, reference_matching
+
+__all__ = [
+    "MUTATIONS",
+    "BrokenCombineStream",
+    "FuzzReport",
+    "ScenarioVerdict",
+    "fuzz",
+    "replay",
+    "run_scenario",
+]
+
+#: Known sabotage modes for oracle self-tests.
+MUTATIONS: tuple[str, ...] = ("combine-drop",)
+
+#: Replay payload format version.
+REPLAY_VERSION = 1
+
+
+class BrokenCombineStream(SampleStream):
+    """A deliberately broken Shuttle: Combine drops an interval's cells.
+
+    At every section level ``s >= 2`` the cell belonging to the *first*
+    required interval is popped and discarded instead of emitted.  The
+    stream therefore (a) silently loses matching records — caught by the
+    oracle's exactness check — and (b) biases every emitted prefix against
+    that key region — caught by the statistical-equivalence check.  Used
+    only by the harness's mutation mode; never constructed by product code.
+    """
+
+    def _drain_level(self, s):
+        bucket = self._buckets[s - 1]
+        required = self._required[s - 1]
+        out = []
+        while all(bucket.get(j) for j in required):
+            for i, j in enumerate(required):
+                cell = bucket[j].pop(0)
+                self.stats.buffered_records -= len(cell)
+                if s >= 2 and i == 0:
+                    continue  # the sabotage: this cell vanishes
+                out.extend(cell)
+        return out
+
+
+@dataclass
+class ScenarioVerdict:
+    """The oracle's judgement of one scenario under one fault plan."""
+
+    scenario: Scenario
+    faults_active: bool
+    mutation: str | None = None
+    build_aborted: str | None = None
+    reports: list[DifferentialReport] = field(default_factory=list)
+    injected: int = 0
+
+    @property
+    def failure_lines(self) -> list[str]:
+        lines: list[str] = []
+        if self.build_aborted and not self.faults_active:
+            lines.append(f"build aborted without faults: {self.build_aborted}")
+        for report in self.reports:
+            for message in report.failures:
+                lines.append(f"{report.sampler} {report.query}: {message}")
+        return lines
+
+    @property
+    def ok(self) -> bool:
+        return not self.failure_lines
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.as_dict(),
+            "faults_active": self.faults_active,
+            "mutation": self.mutation,
+            "build_aborted": self.build_aborted,
+            "injected": self.injected,
+            "reports": [r.as_dict() for r in self.reports],
+            "failures": self.failure_lines,
+        }
+
+
+def run_scenario(
+    scenario: Scenario,
+    plan: FaultPlan | None = None,
+    mutation: str | None = None,
+) -> tuple[ScenarioVerdict, FaultPlan]:
+    """Build the scenario on a fault-injected disk and judge every sampler.
+
+    Returns the verdict together with the plan actually used (whose
+    ``injected`` list is the replayable fault record).  A build aborted by
+    an injected fault is a *detected* failure — the engine raised a typed
+    error instead of corrupting silently — and is only a verdict failure
+    when no faults were active.
+    """
+    from ..baselines import build_bplus_tree, build_permuted_file
+
+    if mutation is not None and mutation not in MUTATIONS:
+        raise ValueError(f"unknown mutation {mutation!r}; expected {MUTATIONS}")
+    plan = plan if plan is not None else FaultPlan()
+    verdict = ScenarioVerdict(
+        scenario=scenario, faults_active=plan.active, mutation=mutation
+    )
+    disk = FaultyDisk(
+        page_size=scenario.page_size,
+        cost=CostModel.scaled(scenario.page_size),
+        plan=plan,
+    )
+    records = make_records(scenario)
+    try:
+        heap = HeapFile.bulk_load(disk, KV_SCHEMA, records)
+        tree = build_ace_tree(
+            heap,
+            AceBuildParams(
+                key_fields=("k",), height=scenario.height,
+                arity=scenario.arity, seed=scenario.seed,
+            ),
+        )
+        bplus = build_bplus_tree(heap, "k", leaf_cache_pages=16)
+        permuted = build_permuted_file(heap, ("k",), seed=scenario.seed)
+    except ReproError as exc:
+        verdict.build_aborted = f"{type(exc).__name__}: {exc}"
+        verdict.injected = len(plan.injected)
+        return verdict, plan
+
+    degraded_ok = plan.active
+    for query_index, (lo, hi) in enumerate(scenario.queries):
+        box = tree.query((lo, hi))
+        matching = reference_matching(records, box)
+        seed = scenario.seed + query_index
+        if mutation == "combine-drop":
+            ace_stream = BrokenCombineStream(
+                tree, box, seed=seed,
+                lost_leaf_policy="skip" if degraded_ok else "raise",
+            )
+        else:
+            ace_stream = tree.sample(
+                box, seed=seed,
+                lost_leaf_policy="skip" if degraded_ok else "raise",
+            )
+        streams = [
+            ("ace", ace_stream),
+            ("bplus", bplus.sample(box, seed=seed)),
+            ("permuted", permuted.sample(box, seed=seed)),
+        ]
+        for name, stream in streams:
+            report = check_stream(
+                name, stream, matching, query=(lo, hi), degraded_ok=degraded_ok
+            )
+            if report.aborted is not None and not degraded_ok:
+                report.failures.append(
+                    f"stream aborted without faults: {report.aborted}"
+                )
+            verdict.reports.append(report)
+    verdict.injected = len(plan.injected)
+    return verdict, plan
+
+
+def _replay_payload(scenario, plan, mutation, verdict, fuzz_seed, iteration,
+                    phase) -> dict:
+    return {
+        "v": REPLAY_VERSION,
+        "kind": "testkit-replay",
+        "fuzz_seed": fuzz_seed,
+        "iteration": iteration,
+        "phase": phase,
+        "mutation": mutation,
+        "scenario": scenario.as_dict(),
+        "plan": plan.to_replay().as_dict(),
+        "failures": verdict.failure_lines,
+    }
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    seed: int
+    iterations: int
+    mutation: str | None = None
+    scenarios_run: int = 0
+    queries_checked: int = 0
+    injected_events: int = 0
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz(
+    seed: int = 0,
+    iterations: int = 20,
+    with_faults: bool = True,
+    mutation: str | None = None,
+    max_failures: int = 8,
+) -> FuzzReport:
+    """Run ``iterations`` generated scenarios, clean and (optionally) faulted.
+
+    Each failing run is captured as a replay payload in
+    :attr:`FuzzReport.failures`; the run stops early once ``max_failures``
+    cases are collected (a broken engine would otherwise fail every case).
+    """
+    report = FuzzReport(seed=seed, iterations=iterations, mutation=mutation)
+    case_rng = derive_random(seed, "testkit-fuzz")
+    for iteration in range(iterations):
+        case_seed = case_rng.getrandbits(32)
+        scenario = generate_scenario(case_seed, with_faults=with_faults)
+        phases: list[tuple[str, FaultPlan]] = [("clean", FaultPlan())]
+        if with_faults and scenario.rates:
+            phases.append(
+                ("faulted", FaultPlan(seed=case_seed, rates=scenario.rates))
+            )
+        for phase, plan in phases:
+            verdict, plan = run_scenario(scenario, plan=plan, mutation=mutation)
+            report.scenarios_run += 1
+            report.queries_checked += len(verdict.reports)
+            report.injected_events += len(plan.injected)
+            if not verdict.ok:
+                report.failures.append(_replay_payload(
+                    scenario, plan, mutation, verdict,
+                    fuzz_seed=seed, iteration=iteration, phase=phase,
+                ))
+                if len(report.failures) >= max_failures:
+                    return report
+    return report
+
+
+def replay(payload: dict) -> tuple[ScenarioVerdict, FaultPlan]:
+    """Re-run a replay payload: identical faults, deterministic verdict.
+
+    The returned plan's ``injected`` list should match the payload's
+    recorded events exactly — the CLI checks this and reports any drift
+    (which would mean the workload is no longer access-for-access
+    identical, e.g. after a code change).
+    """
+    if not isinstance(payload, dict) or payload.get("kind") != "testkit-replay":
+        raise ValueError("not a testkit replay payload")
+    if payload.get("v") != REPLAY_VERSION:
+        raise ValueError(f"unsupported replay payload version {payload.get('v')!r}")
+    scenario = Scenario.from_dict(payload["scenario"])
+    plan = FaultPlan.from_dict(payload["plan"])
+    return run_scenario(scenario, plan=plan, mutation=payload.get("mutation"))

@@ -5,11 +5,11 @@ import random
 
 import numpy as np
 import pytest
-from scipy import stats
 
 from repro.acetree import AceBuildParams, build_ace_tree
 from repro.core import Field, Schema
 from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.testkit.stats import assert_uniform
 
 XY_SCHEMA = Schema([Field("x", "f8"), Field("y", "f8"), Field("tag", "i8")])
 KV_SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
@@ -56,9 +56,7 @@ class Test2dPrefixUniformity:
             for r in prefix:
                 counts[2 * (r[0] >= x_mid) + (r[1] >= y_mid)] += 1
         expected = counts.sum() * quadrant_sizes / quadrant_sizes.sum()
-        chi2 = float(((counts - expected) ** 2 / expected).sum())
-        p_value = 1 - stats.chi2.cdf(chi2, df=3)
-        assert p_value > 1e-3, f"2-D prefix biased: {counts} vs {expected}"
+        assert_uniform(counts, expected, label="2-D prefix quadrants")
 
 
 class TestKaryStatistics:
@@ -70,10 +68,7 @@ class TestKaryStatistics:
         for leaf in tree.leaf_store.iter_leaves():
             for s in range(1, 5):
                 counts[s - 1] += len(leaf.section(s))
-        expected = len(records) / 4
-        chi2 = float(((counts - expected) ** 2 / expected).sum())
-        p_value = 1 - stats.chi2.cdf(chi2, df=3)
-        assert p_value > 1e-3
+        assert_uniform(counts, len(records) / 4, label="ternary section counts")
 
     def test_ternary_prefix_mean_unbiased(self):
         rng = random.Random(6)

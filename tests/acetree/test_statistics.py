@@ -15,11 +15,11 @@ from collections import Counter
 
 import numpy as np
 import pytest
-from scipy import stats
 
 from repro.acetree import AceBuildParams, build_ace_tree
 from repro.core import Field, Schema
 from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.testkit.stats import assert_uniform
 
 SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
 
@@ -72,12 +72,8 @@ class TestPrefixUniformity:
         expected = np.array(
             [total * quartile_sizes[q] / len(matching) for q in range(4)]
         )
-        chi2 = float(((counts - expected) ** 2 / expected).sum())
-        p_value = 1 - stats.chi2.cdf(chi2, df=3)
-        assert p_value > 1e-3, (
-            f"first-{k_prefix} inclusion is biased across key quartiles: "
-            f"counts={counts}, expected={expected}, p={p_value:.2e}"
-        )
+        assert_uniform(counts, expected,
+                       label=f"first-{k_prefix} inclusion across key quartiles")
 
     def test_first_record_uniform_over_halves(self):
         """The very first emitted sample is unbiased between the two halves
@@ -129,10 +125,7 @@ class TestSectionAssignmentDistribution:
         for leaf in tree.leaf_store.iter_leaves():
             for s in range(1, height + 1):
                 counts[s - 1] += len(leaf.section(s))
-        expected = n / height
-        chi2 = float(((counts - expected) ** 2 / expected).sum())
-        p_value = 1 - stats.chi2.cdf(chi2, df=height - 1)
-        assert p_value > 1e-3, f"section counts {counts} not uniform (p={p_value:.2e})"
+        assert_uniform(counts, n / height, label="section counts")
 
     def test_leaf_choice_uniform_within_ancestor(self):
         """Given section s, the leaf is uniform among the 2^(h-s) leaves
@@ -145,10 +138,7 @@ class TestSectionAssignmentDistribution:
             [len(leaf.section(1)) for leaf in tree.leaf_store.iter_leaves()],
             dtype=float,
         )
-        expected = counts.sum() / len(counts)
-        chi2 = float(((counts - expected) ** 2 / expected).sum())
-        p_value = 1 - stats.chi2.cdf(chi2, df=len(counts) - 1)
-        assert p_value > 1e-3, f"section-1 leaf spread {counts} biased (p={p_value:.2e})"
+        assert_uniform(counts, label="section-1 leaf spread")
 
 
 class TestAppendabilityCombinability:

@@ -1,0 +1,12 @@
+"""TST001 fixture: ad-hoc disk monkeypatching that must be flagged."""
+
+
+def patch_disk(disk, monkeypatch):
+    disk.read_page = lambda pid: b""
+    monkeypatch.setattr(disk, "write_page", lambda pid, data: None)
+    monkeypatch.setattr(
+        "repro.storage.disk.SimulatedDisk._charge_access",
+        lambda self, pid: None,
+    )
+    setattr(disk, "_pages", {})
+    disk.label = "renamed"  # ordinary attribute: not an I/O internal

@@ -33,7 +33,8 @@ def lines_by_rule(findings):
 class TestRegistry:
     def test_all_project_rules_registered(self):
         assert {
-            "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001"
+            "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
+            "TST001",
         } <= set(RULES)
 
     def test_duplicate_registration_rejected(self):
@@ -110,6 +111,26 @@ class TestMut001AndExc001:
         assert 26 not in [f.line for f in findings]
 
 
+class TestTst001:
+    def test_every_patch_form_flagged(self):
+        findings = lint_file(FIXTURES / "tests" / "bad_disk_patch.py")
+        assert lines_by_rule(findings) == {"TST001": [5, 6, 7, 11]}
+        assert all("FaultyDisk" in f.message for f in findings)
+
+    def test_rule_scoped_to_test_trees(self, tmp_path):
+        # Same code outside a tests/ directory (i.e. the library itself,
+        # where FaultyDisk legitimately overrides read_page) is exempt.
+        target = tmp_path / "repro" / "storage"
+        target.mkdir(parents=True)
+        path = target / "faulty.py"
+        path.write_text("def f(disk):\n    disk.read_page = None\n")
+        assert lint_file(path) == []
+
+    def test_ordinary_attribute_assignment_clean(self):
+        findings = lint_file(FIXTURES / "tests" / "bad_disk_patch.py")
+        assert 12 not in [f.line for f in findings]
+
+
 class TestGoodFixture:
     def test_sanctioned_patterns_lint_clean(self):
         findings = lint_file(FIXTURES / "view" / "good.py")
@@ -168,11 +189,18 @@ class TestOutput:
         (finding,) = lint_file(path)
         assert finding.rule == SYNTAX_RULE
 
+    def test_recursion_skips_fixture_subtrees(self):
+        # Whole-tree runs (e.g. `lint --select TST001 tests`) must not
+        # report the deliberately-bad fixtures; explicit paths still do.
+        findings = lint_paths([FIXTURES.parent.parent])
+        assert findings == [], format_findings(findings)
+
     def test_lint_paths_expands_directories(self):
         findings = lint_paths([FIXTURES])
         rules_seen = {f.rule for f in findings}
         assert {
-            "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001"
+            "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
+            "TST001",
         } == rules_seen
 
 
@@ -192,3 +220,13 @@ class TestCli:
         assert run_lint([str(FIXTURES / "acetree")], as_json=True) == 1
         decoded = json.loads(capsys.readouterr().out)
         assert {f["rule"] for f in decoded} == {"FLT001"}
+
+    def test_select_restricts_to_named_rules(self, capsys):
+        # The fixture tree trips six rules; --select TST001 sees only one.
+        assert run_lint([str(FIXTURES)], select=["TST001"]) == 1
+        out = capsys.readouterr().out
+        assert "TST001" in out and "RNG001" not in out
+
+    def test_select_unknown_rule_exit_2(self, capsys):
+        assert run_lint([str(FIXTURES)], select=["NOPE99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err

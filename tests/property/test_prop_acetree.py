@@ -5,29 +5,11 @@ from collections import Counter
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.acetree import AceBuildParams, build_ace_tree
-from repro.core import Field, Schema
-from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.testkit.generators import build_ace as build
+from repro.testkit.generators import int_ranges, key_lists
 
-SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
-
-keys_strategy = st.lists(
-    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=400
-)
-range_strategy = st.tuples(
-    st.integers(min_value=-100, max_value=11_000),
-    st.integers(min_value=-100, max_value=11_000),
-).map(lambda pair: (min(pair), max(pair)))
-
-
-def build(keys, height, seed):
-    disk = SimulatedDisk(page_size=1024, cost=CostModel.scaled(1024))
-    records = [(key, float(i)) for i, key in enumerate(keys)]
-    heap = HeapFile.bulk_load(disk, SCHEMA, records)
-    tree = build_ace_tree(
-        heap, AceBuildParams(key_fields=("k",), height=height, seed=seed)
-    )
-    return records, tree
+keys_strategy = key_lists()
+range_strategy = int_ranges()
 
 
 class TestBuildInvariants:
@@ -118,13 +100,7 @@ class TestKaryPropertyInvariants:
     @settings(max_examples=20, deadline=None)
     def test_kary_completeness(self, keys, bounds, arity, seed):
         lo, hi = bounds
-        disk = SimulatedDisk(page_size=1024, cost=CostModel.scaled(1024))
-        records = [(key, float(i)) for i, key in enumerate(keys)]
-        heap = HeapFile.bulk_load(disk, SCHEMA, records)
-        tree = build_ace_tree(
-            heap,
-            AceBuildParams(key_fields=("k",), height=3, arity=arity, seed=seed),
-        )
+        records, tree = build(keys, 3, seed, arity=arity)
         stream = tree.sample(tree.query((lo, hi)), seed=seed)
         got = [r for batch in stream for r in batch.records]
         expected = [r for r in records if lo <= r[0] <= hi]

@@ -5,22 +5,12 @@ from collections import Counter
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import build_bplus_tree
-from repro.core import Box, Field, Interval, Schema
-from repro.storage import CostModel, HeapFile, SimulatedDisk
+from repro.core import Box, Interval
+from repro.testkit.generators import build_bplus as build
+from repro.testkit.generators import int_ranges, key_lists
 
-SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
-
-keys_strategy = st.lists(
-    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300
-)
-
-
-def build(keys):
-    disk = SimulatedDisk(page_size=512, cost=CostModel.scaled(512))
-    records = [(key, float(i)) for i, key in enumerate(keys)]
-    heap = HeapFile.bulk_load(disk, SCHEMA, records)
-    return records, build_bplus_tree(heap, "k", leaf_cache_pages=16)
+keys_strategy = key_lists(min_value=-1000, max_value=1000, max_size=300)
+range_strategy = int_ranges(min_value=-1100, max_value=1100)
 
 
 class TestRankedOracle:
@@ -38,23 +28,20 @@ class TestRankedOracle:
         _records, tree = build(keys)
         assert tree.rank_of(value) == sum(1 for k in keys if k < value)
 
-    @given(keys_strategy, st.tuples(st.integers(-1100, 1100),
-                                    st.integers(-1100, 1100)))
+    @given(keys_strategy, range_strategy)
     @settings(max_examples=30, deadline=None)
     def test_rank_interval_counts_matching(self, keys, bounds):
-        lo, hi = min(bounds), max(bounds)
+        lo, hi = bounds
         _records, tree = build(keys)
         r1, r2 = tree.range_rank_interval(Box.of(Interval.closed(lo, hi)))
         assert r2 - r1 == sum(1 for k in keys if lo <= k <= hi)
 
 
 class TestSamplingOracle:
-    @given(keys_strategy, st.tuples(st.integers(-1100, 1100),
-                                    st.integers(-1100, 1100)),
-           st.integers(0, 5))
+    @given(keys_strategy, range_strategy, st.integers(0, 5))
     @settings(max_examples=25, deadline=None)
     def test_sampling_complete_and_exact(self, keys, bounds, seed):
-        lo, hi = min(bounds), max(bounds)
+        lo, hi = bounds
         records, tree = build(keys)
         got = [
             r

@@ -4,18 +4,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.acetree.storage import LeafStoreWriter
-from repro.core import Field, Schema
 from repro.storage import CostModel, SimulatedDisk
+from repro.testkit.generators import KV_SCHEMA, sql_identifiers, sql_numbers
 from repro.view import CreateSampleView, SampleSelect, parse
 
-_SQL_KEYWORDS = {"and", "between", "sample", "select", "from", "where",
-                 "create", "materialized", "view", "as", "index", "on"}
-identifier = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
-    lambda s: s.lower() not in _SQL_KEYWORDS
-)
-number = st.floats(
-    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
-).map(lambda v: round(v, 4))
+identifier = sql_identifiers()
+number = sql_numbers()
 
 
 class TestDdlRoundtrip:
@@ -60,8 +54,6 @@ class TestDdlRoundtrip:
             assert hi == float(ehi)
 
 
-SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
-
 leaf_sections = st.lists(  # one leaf: h=3 sections of records
     st.lists(st.tuples(st.integers(-100, 100), st.floats(allow_nan=False,
                                                          width=32)),
@@ -75,7 +67,7 @@ class TestLeafStoreRoundtrip:
     @settings(max_examples=30, deadline=None)
     def test_arbitrary_leaves_roundtrip(self, leaves):
         disk = SimulatedDisk(page_size=256, cost=CostModel.scaled(256))
-        writer = LeafStoreWriter(disk, SCHEMA, height=3, num_leaves=len(leaves))
+        writer = LeafStoreWriter(disk, KV_SCHEMA, height=3, num_leaves=len(leaves))
         for index, sections in enumerate(leaves):
             writer.append_leaf(index, [list(s) for s in sections])
         store = writer.finish()
@@ -91,7 +83,7 @@ class TestLeafStoreRoundtrip:
         """Writers may skip leaf indexes; gaps read back as empty leaves."""
         disk = SimulatedDisk(page_size=256, cost=CostModel.scaled(256))
         total = len(leaves) + gap
-        writer = LeafStoreWriter(disk, SCHEMA, height=3, num_leaves=total)
+        writer = LeafStoreWriter(disk, KV_SCHEMA, height=3, num_leaves=total)
         for offset, sections in enumerate(leaves):
             writer.append_leaf(gap + offset, [list(s) for s in sections])
         store = writer.finish()

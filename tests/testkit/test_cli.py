@@ -1,0 +1,83 @@
+"""``python -m repro testkit`` exit codes — pinned, since CI keys off them."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+
+
+def _fuzz(tmp_path, *extra):
+    out = tmp_path / "failure.json"
+    argv = ["testkit", "fuzz", "--seed", "0", "--iterations", "2",
+            "--out", str(out), *extra]
+    return main(argv), out
+
+
+class TestFuzzExitCodes:
+    def test_clean_fuzz_exits_zero(self, tmp_path, capsys):
+        status, out = _fuzz(tmp_path)
+        assert status == 0
+        assert not out.exists()
+        assert "all oracle checks passed" in capsys.readouterr().out
+
+    def test_mutant_fuzz_exits_one_and_writes_payload(self, tmp_path, capsys):
+        status, out = _fuzz(tmp_path, "--no-faults", "--mutation",
+                            "combine-drop", "--max-failures", "1")
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().err
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "testkit-replay"
+        assert payload["mutation"] == "combine-drop"
+        assert payload["failures"]
+
+    def test_nonpositive_iterations_exit_two(self, tmp_path):
+        status, _ = _fuzz(tmp_path, "--iterations", "0")
+        assert status == 2
+        status, _ = _fuzz(tmp_path, "--max-failures", "0")
+        assert status == 2
+
+    def test_unknown_mutation_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            _fuzz(tmp_path, "--mutation", "nonsense")
+        assert excinfo.value.code == 2
+
+
+class TestReplayExitCodes:
+    def _recorded_failure(self, tmp_path):
+        status, out = _fuzz(tmp_path, "--no-faults", "--mutation",
+                            "combine-drop", "--max-failures", "1")
+        assert status == 1 and out.exists()
+        return out
+
+    def test_replay_of_failing_case_exits_one_reproducing_exactly(
+        self, tmp_path, capsys
+    ):
+        out = self._recorded_failure(tmp_path)
+        capsys.readouterr()
+        assert main(["testkit", "replay", str(out)]) == 1
+        captured = capsys.readouterr()
+        assert "reproduced the recorded verdict exactly" in captured.out
+        assert "DRIFT" not in captured.err
+
+    def test_missing_payload_exits_two(self, tmp_path):
+        assert main(["testkit", "replay", str(tmp_path / "nope.json")]) == 2
+
+    def test_garbage_json_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["testkit", "replay", str(bad)]) == 2
+
+    def test_wrong_kind_exits_two(self, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"kind": "benchmark-result"}))
+        assert main(["testkit", "replay", str(bad)]) == 2
+
+    def test_tampered_verdict_detected(self, tmp_path, capsys):
+        out = self._recorded_failure(tmp_path)
+        payload = json.loads(out.read_text())
+        payload["failures"] = payload["failures"] + ["invented failure"]
+        out.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["testkit", "replay", str(out)]) == 1
+        assert "verdict differs" in capsys.readouterr().err

@@ -1,0 +1,300 @@
+"""Fault-injection layer: determinism, accounting conservation, recovery."""
+
+import pytest
+
+from repro.core import (
+    Field,
+    PageCorruptionError,
+    Schema,
+    TransientPageError,
+)
+from repro.storage import (
+    DEFAULT_RETRY,
+    CostModel,
+    HeapFile,
+    RetryPolicy,
+    SimulatedDisk,
+    read_page_resilient,
+)
+from repro.testkit import FaultEvent, FaultPlan, FaultyDisk
+from repro.testkit.faults import FaultPlanError
+
+SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
+
+
+def _write_pages(disk, count=4):
+    start = disk.allocate(count)
+    for i in range(count):
+        disk.write_page(start + i, bytes([i + 1]) * 64)
+    return start
+
+
+class TestFaultPlan:
+    def test_null_plan_is_inactive(self):
+        assert not FaultPlan().active
+        assert FaultPlan(rates={"read.transient": 0.0}).active is False
+        assert FaultPlan(rates={"read.transient": 0.5}).active
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(rates={"read.meteor": 0.1})
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(rates={"read.transient": 1.5})
+
+    def test_rates_and_events_mutually_exclusive(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(rates={"read.transient": 0.1},
+                      events=[FaultEvent("read", 0, "transient", 0)])
+
+    def test_schedule_draws_are_deterministic(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan(seed=7, rates={"read.transient": 0.3,
+                                            "read.latency": 0.1})
+            draws.append([plan.draw("read", i, i, 256) for i in range(50)])
+        assert draws[0] == draws[1]
+        assert any(e is not None for e in draws[0])
+
+    def test_replay_fires_only_at_recorded_slots(self):
+        event = FaultEvent("read", 3, "transient", 9)
+        plan = FaultPlan(events=[event])
+        assert plan.draw("read", 3, 9, 256) == event
+        assert plan.draw("read", 2, 9, 256) is None
+        assert plan.draw("write", 3, 9, 256) is None
+
+    def test_dict_round_trip_both_modes(self):
+        scheduled = FaultPlan(seed=3, rates={"write.torn": 0.2})
+        again = FaultPlan.from_dict(scheduled.as_dict())
+        assert again.mode == "schedule" and again.rates == scheduled.rates
+        replaying = FaultPlan(events=[
+            FaultEvent("read", 1, "corrupt", 4, {"bit": 17}),
+            FaultEvent("write", 0, "torn", 2, {"keep_bytes": 5}),
+        ])
+        back = FaultPlan.from_dict(replaying.as_dict())
+        assert back.mode == "replay"
+        assert [e.as_dict() for e in back.events] == [
+            e.as_dict() for e in replaying.events
+        ]
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"v": 2, "mode": "schedule"})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"v": 1, "mode": "meteor"})
+        with pytest.raises(FaultPlanError):
+            FaultEvent.from_dict({"op": "read"})
+
+
+class TestCleanRunBitIdentical:
+    def test_null_plan_disk_matches_plain_disk_exactly(self):
+        """A FaultyDisk with nothing scheduled must be indistinguishable —
+        same clock, same counters, same bytes — from a SimulatedDisk."""
+        outcomes = []
+        for cls in (SimulatedDisk, FaultyDisk):
+            disk = cls(page_size=256, cost=CostModel.scaled(256))
+            start = _write_pages(disk, 6)
+            data = [disk.read_page(start + i) for i in (3, 0, 1, 2, 5, 4)]
+            outcomes.append((disk.clock, vars(disk.stats.snapshot()), data))
+        assert outcomes[0] == outcomes[1]
+
+    def test_null_plan_never_consults_rng(self):
+        plan = FaultPlan()
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256), plan=plan)
+        start = _write_pages(disk)
+        disk.read_page(start)
+        assert plan._read_rng is None and plan._write_rng is None
+        assert plan.injected == []
+
+
+class TestInjection:
+    def _disk(self, events):
+        return FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=FaultPlan(events=events))
+
+    def test_transient_read_charges_access_but_no_transfer(self):
+        disk = self._disk([FaultEvent("read", 1, "transient", 0)])
+        start = _write_pages(disk)
+        disk.read_page(start)  # ordinal 0: clean
+        stats_before = disk.stats.snapshot()
+        with pytest.raises(TransientPageError):
+            disk.read_page(start + 2)  # ordinal 1: injected
+        delta = disk.stats - stats_before
+        assert delta.page_reads == 0 and delta.bytes_read == 0
+        assert delta.seeks == 1 and delta.io_time > 0
+        assert disk.plan.injected[0].kind == "transient"
+
+    def test_corruption_detected_by_checksum(self):
+        # A fresh disk allocates from page 0, so the event's page id and the
+        # first written page coincide.
+        disk = self._disk([FaultEvent("read", 0, "corrupt", 0, {"bit": 13})])
+        start = _write_pages(disk)
+        assert start == 0
+        with pytest.raises(PageCorruptionError):
+            disk.read_page(start)
+
+    def test_torn_write_detected_on_next_read(self):
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=FaultPlan(events=[
+                              FaultEvent("write", 0, "torn", 0,
+                                         {"keep_bytes": 3}),
+                          ]))
+        pid = disk.allocate()
+        disk.write_page(pid, b"\xff" * 64)  # ordinal 0: torn underneath
+        with pytest.raises(PageCorruptionError):
+            disk.read_page(pid)
+
+    def test_harmless_tear_beyond_data_is_silent(self):
+        """A tear inside the zero padding changes nothing — the page still
+        matches its checksum, exactly like a real harmless torn write."""
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=FaultPlan(events=[
+                              FaultEvent("write", 0, "torn", 0,
+                                         {"keep_bytes": 100}),
+                          ]))
+        pid = disk.allocate()
+        disk.write_page(pid, b"\xff" * 64)
+        assert disk.read_page(pid)[:64] == b"\xff" * 64
+
+    def test_latency_spike_charges_io_time_only(self):
+        disk = self._disk([FaultEvent("read", 0, "latency", 0,
+                                      {"seconds": 0.25})])
+        start = _write_pages(disk)
+        clean = FaultyDisk(page_size=256, cost=CostModel.scaled(256))
+        _write_pages(clean)
+        data = disk.read_page(start)
+        assert data == clean.read_page(start)
+        assert disk.clock == pytest.approx(clean.clock + 0.25)
+        assert disk.stats.page_reads == clean.stats.page_reads == 1
+
+    def test_disarmed_disk_injects_nothing(self):
+        disk = self._disk([FaultEvent("read", 0, "transient", 0)])
+        disk.armed = False
+        start = _write_pages(disk)
+        disk.read_page(start)
+        assert disk.plan.injected == []
+
+
+class TestRecovery:
+    def _faulty(self, ordinals, kind="transient"):
+        detail = {"bit": 5} if kind == "corrupt" else {}
+        events = [FaultEvent("read", o, kind, 0, dict(detail))
+                  for o in ordinals]
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=FaultPlan(events=events))
+        start = _write_pages(disk)
+        assert start == 0  # fresh disk: events' page 0 is the first page
+        return disk, start
+
+    def test_retry_recovers_and_charges_backoff_to_the_clock(self):
+        disk, start = self._faulty([0, 1])
+        baseline = FaultyDisk(page_size=256, cost=CostModel.scaled(256))
+        base_start = _write_pages(baseline)
+        baseline.read_page(base_start)
+
+        clock_before = disk.clock
+        stats_before = disk.stats.snapshot()
+        data = read_page_resilient(disk, start)
+        assert data == baseline.read_page(base_start)
+        # Three attempts (two faulted) instead of one, plus 0.002 and 0.004
+        # of backoff: the simulated clock must have paid for all of it.
+        elapsed = disk.clock - clock_before
+        one_access = baseline.cost.random_io_time(baseline.page_size)
+        assert elapsed == pytest.approx(3 * one_access + 0.002 + 0.004)
+        # Conservation: only the successful attempt transferred bytes.
+        delta = disk.stats - stats_before
+        assert delta.page_reads == 1
+        assert delta.bytes_read == disk.page_size
+        assert delta.seeks == 3
+
+    def test_retries_exhausted_reraises_transient_error(self):
+        disk, start = self._faulty([0, 1, 2, 3, 4, 5])
+        with pytest.raises(TransientPageError):
+            read_page_resilient(disk, start)
+        assert disk.stats.page_reads == 0
+
+    def test_corruption_is_not_retried(self):
+        disk, start = self._faulty([0], kind="corrupt")
+        with pytest.raises(PageCorruptionError):
+            read_page_resilient(disk, start)
+        # One read attempt only: persistent faults must not burn retries.
+        assert disk.stats.page_reads == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+        assert DEFAULT_RETRY.max_attempts >= 2
+
+    def test_custom_policy_attempt_budget(self):
+        disk, start = self._faulty([0, 1])
+        with pytest.raises(TransientPageError):
+            read_page_resilient(disk, start,
+                                policy=RetryPolicy(max_attempts=2))
+
+
+class TestUnmeteredUnderFaults:
+    def test_unmetered_nesting_restores_outer_frames_exactly(self):
+        disk = SimulatedDisk(page_size=256, cost=CostModel.scaled(256))
+        start = _write_pages(disk, 4)
+        disk.read_page(start)
+        outer_clock, outer_stats = disk.clock, vars(disk.stats.snapshot())
+        with disk.unmetered():
+            disk.read_page(start + 1)
+            mid_clock, mid_reads = disk.clock, disk.stats.page_reads
+            assert mid_reads == 1  # inner frame measures its own I/O
+            with disk.unmetered():
+                disk.read_page(start + 2)
+                assert disk.stats.page_reads == 1
+            # Inner exit restores the middle frame, not the outer one.
+            assert disk.clock == mid_clock
+            assert disk.stats.page_reads == mid_reads
+        assert disk.clock == outer_clock
+        assert vars(disk.stats.snapshot()) == outer_stats
+
+    def test_sanitizer_reads_with_retries_leave_no_trace(self):
+        """A transient fault recovered *inside* unmetered() must not leak
+        retry time or counters into the metered experiment outside."""
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=FaultPlan(events=[
+                              FaultEvent("read", 1, "transient", 0),
+                          ]))
+        start = _write_pages(disk)
+        disk.read_page(start)  # ordinal 0, metered
+        before_clock = disk.clock
+        before_stats = vars(disk.stats.snapshot())
+        before_head = disk._head
+        with disk.unmetered():
+            data = read_page_resilient(disk, start + 1)  # ordinal 1 faults
+            assert disk.stats.page_reads == 1  # retry visible inside...
+        assert disk.clock == before_clock  # ...invisible outside
+        assert vars(disk.stats.snapshot()) == before_stats
+        assert disk._head == before_head
+        assert data[:1] == bytes([2])
+        # The injection itself is still recorded for replay.
+        assert [e.ordinal for e in disk.plan.injected] == [1]
+
+    def test_heapfile_scan_survives_transients_with_conserved_stats(self):
+        plan = FaultPlan(seed=11, rates={"read.transient": 0.4})
+        disk = FaultyDisk(page_size=512, cost=CostModel.scaled(512),
+                          plan=plan)
+        records = [(i, float(i)) for i in range(300)]
+        heap = HeapFile.bulk_load(disk, SCHEMA, records)
+        before = disk.stats.snapshot()
+        assert list(heap.scan()) == records
+        delta = disk.stats - before
+        assert delta.page_reads == heap.num_pages
+        assert delta.bytes_read == heap.num_pages * disk.page_size
+        # Each injected transient cost one extra access (a seek, no bytes).
+        transients = sum(1 for e in plan.injected if e.kind == "transient")
+        assert transients > 0, "rate 0.4 should have fired on this scan"
+        assert delta.seeks + delta.sequential_accesses == (
+            heap.num_pages + transients
+        )
+
+    def test_charge_io_rejects_negative(self):
+        disk = SimulatedDisk(page_size=256)
+        with pytest.raises(ValueError):
+            disk.charge_io(-0.1)

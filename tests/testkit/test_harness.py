@@ -1,0 +1,139 @@
+"""The fuzz harness end to end: clean runs, mutants, faults, replay."""
+
+import pytest
+
+from repro.testkit import (
+    FaultPlan,
+    FuzzReport,
+    Scenario,
+    fuzz,
+    generate_scenario,
+    make_records,
+    replay,
+    run_scenario,
+)
+
+
+class TestScenarioGeneration:
+    def test_generation_is_deterministic(self):
+        a, b = generate_scenario(7), generate_scenario(7)
+        assert a == b
+        assert make_records(a) == make_records(b)
+
+    def test_scenarios_vary_with_seed(self):
+        shapes = {
+            (s.n, s.height, s.page_size, s.distribution)
+            for s in (generate_scenario(i) for i in range(10))
+        }
+        assert len(shapes) > 3
+
+    def test_no_faults_flag_strips_rates(self):
+        assert generate_scenario(3, with_faults=False).rates == {}
+
+    def test_round_trips_through_dict(self):
+        scenario = generate_scenario(11)
+        assert Scenario.from_dict(scenario.as_dict()) == scenario
+
+    def test_records_unique_in_second_column(self):
+        scenario = generate_scenario(5)
+        ids = [r[1] for r in make_records(scenario)]
+        assert len(ids) == len(set(ids)) == scenario.n
+
+
+class TestRunScenario:
+    def test_clean_scenario_passes_the_oracle(self):
+        scenario = generate_scenario(0, with_faults=False)
+        verdict, plan = run_scenario(scenario)
+        assert verdict.ok, verdict.failure_lines
+        assert not verdict.faults_active
+        assert plan.injected == []
+        assert len(verdict.reports) == 3 * len(scenario.queries)
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            run_scenario(generate_scenario(0), mutation="nonsense")
+
+    def test_faulted_scenario_recovers_or_degrades_gracefully(self):
+        scenario = generate_scenario(1, with_faults=False)
+        plan = FaultPlan(seed=scenario.seed, rates={"read.transient": 0.05,
+                                                    "read.latency": 0.05})
+        verdict, plan = run_scenario(scenario, plan=plan)
+        assert verdict.faults_active
+        assert verdict.ok, verdict.failure_lines
+
+
+class TestFuzz:
+    def test_clean_fuzz_is_green(self):
+        report = fuzz(seed=0, iterations=2)
+        assert report.ok, report.failures
+        assert report.scenarios_run >= 2
+        assert report.queries_checked > 0
+
+    def test_broken_combine_is_caught_within_budget(self):
+        report = fuzz(seed=0, iterations=4, with_faults=False,
+                      mutation="combine-drop", max_failures=1)
+        assert not report.ok
+        assert any("ace" in line for payload in report.failures
+                   for line in payload["failures"])
+        # Only the ACE stream is sabotaged; the baselines must stay green.
+        assert not any(line.startswith(("bplus", "permuted"))
+                       for payload in report.failures
+                       for line in payload["failures"])
+
+    def test_max_failures_stops_early(self):
+        report = fuzz(seed=0, iterations=10, with_faults=False,
+                      mutation="combine-drop", max_failures=1)
+        assert len(report.failures) == 1
+
+    def test_report_dataclass_defaults(self):
+        assert FuzzReport(seed=0, iterations=0).ok
+
+
+class TestReplay:
+    def _first_failure(self):
+        report = fuzz(seed=0, iterations=4, with_faults=False,
+                      mutation="combine-drop", max_failures=1)
+        assert report.failures
+        return report.failures[0]
+
+    def test_replay_reproduces_verdict_and_events(self):
+        payload = self._first_failure()
+        verdict, plan = replay(payload)
+        assert verdict.failure_lines == payload["failures"]
+        assert [e.as_dict() for e in plan.injected] == \
+            payload["plan"]["events"]
+
+    def test_faulted_replay_reinjects_identical_events(self):
+        scenario = generate_scenario(1, with_faults=False)
+        plan = FaultPlan(seed=scenario.seed,
+                         rates={"read.transient": 0.1, "read.latency": 0.1})
+        verdict, plan = run_scenario(scenario, plan=plan)
+        assert plan.injected, "expected at least one injected fault"
+        replayed_verdict, replayed_plan = run_scenario(
+            scenario, plan=plan.to_replay()
+        )
+        assert [e.as_dict() for e in replayed_plan.injected] == \
+            [e.as_dict() for e in plan.injected]
+        assert replayed_verdict.failure_lines == verdict.failure_lines
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(ValueError, match="not a testkit replay"):
+            replay({"kind": "something-else"})
+        with pytest.raises(ValueError, match="version"):
+            replay({"kind": "testkit-replay", "v": 99})
+
+
+@pytest.mark.tier2
+class TestDeepFuzz:
+    """Nightly-depth runs: bounded on PRs, this class only runs with -m tier2."""
+
+    def test_long_clean_and_faulted_fuzz(self):
+        report = fuzz(seed=2026, iterations=40)
+        assert report.ok, report.failures[:2]
+        assert report.injected_events > 0, "fault phases never fired"
+
+    def test_mutant_caught_across_many_seeds(self):
+        for seed in (1, 2, 3):
+            report = fuzz(seed=seed, iterations=8, with_faults=False,
+                          mutation="combine-drop", max_failures=1)
+            assert not report.ok, f"mutant survived fuzz seed {seed}"

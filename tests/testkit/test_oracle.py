@@ -1,0 +1,199 @@
+"""The differential oracle and the shared statistical tolerance helpers."""
+
+import random
+
+import pytest
+
+from repro.core import Box, Interval
+from repro.testkit import check_stream, reference_matching
+from repro.testkit.stats import (
+    DEFAULT_P_FLOOR,
+    assert_uniform,
+    chi_square,
+    ks_uniform,
+    prefix_vs_population,
+)
+
+
+class TestChiSquare:
+    def test_uniform_counts_pass(self):
+        result = chi_square([100, 104, 96, 100])
+        assert result.ok()
+        assert result.df == 3
+
+    def test_grossly_biased_counts_fail(self):
+        result = chi_square([400, 0, 0, 0])
+        assert not result.ok()
+        assert result.p_value < 1e-10
+
+    def test_expected_scalar_and_sequence_forms(self):
+        counts = [48, 52, 50]
+        assert chi_square(counts, 50).statistic == pytest.approx(
+            chi_square(counts, [50, 50, 50]).statistic
+        )
+
+    def test_zero_expected_cell_with_mass_is_infinitely_bad(self):
+        result = chi_square([10, 5], [15, 0])
+        assert result.p_value == 0.0 and not result.ok()
+
+    def test_zero_expected_cell_without_mass_is_ignored(self):
+        assert chi_square([15, 0], [15, 0]).ok()
+
+    def test_shape_mismatch_and_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            chi_square([])
+
+    def test_assert_uniform_message_carries_label(self):
+        with pytest.raises(AssertionError, match="sections biased"):
+            assert_uniform([500, 1, 1, 1], label="sections")
+        assert_uniform([100, 101, 99, 100], label="sections")
+
+    def test_default_floor_matches_suite_convention(self):
+        assert DEFAULT_P_FLOOR == 1e-3
+
+
+class TestKsUniform:
+    def test_uniform_sample_passes(self):
+        rng = random.Random(5)  # repro: allow[RNG001] test fixture data
+        values = [rng.random() * 10 for _ in range(500)]
+        assert ks_uniform(values, 0, 10) > DEFAULT_P_FLOOR
+
+    def test_clustered_sample_fails(self):
+        values = [0.1] * 200
+        assert ks_uniform(values, 0, 10) < 1e-6
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ks_uniform([1.0], 5, 5)
+
+
+class TestPrefixVsPopulation:
+    def test_uniform_prefix_consistent(self):
+        rng = random.Random(3)  # repro: allow[RNG001] test fixture data
+        population = [rng.randrange(10_000) for _ in range(400)]
+        prefix = rng.sample(population, 100)
+        verdict = prefix_vs_population(prefix, population)
+        assert verdict is not None and verdict.ok()
+
+    def test_spatially_biased_prefix_fails_hard(self):
+        rng = random.Random(4)  # repro: allow[RNG001] test fixture data
+        population = [rng.randrange(10_000) for _ in range(400)]
+        prefix = sorted(population)[:100]  # all from the low end
+        verdict = prefix_vs_population(prefix, population)
+        assert verdict is not None
+        assert verdict.p_value < 1e-10
+
+    def test_underpowered_inputs_return_none(self):
+        assert prefix_vs_population([1, 2, 3], list(range(100))) is None
+        assert prefix_vs_population(list(range(30)), [1, 2]) is None
+
+    def test_all_identical_keys_return_none(self):
+        assert prefix_vs_population([7] * 50, [7] * 200) is None
+
+
+class _Batch:
+    def __init__(self, records, clock):
+        self.records = tuple(records)
+        self.clock = clock
+
+
+class _Stream:
+    """A scripted batch iterator with an optional degraded flag."""
+
+    def __init__(self, batches, degraded=False):
+        self._batches = batches
+        self.degraded = degraded
+
+    def __iter__(self):
+        return iter(self._batches)
+
+
+def _population(n=120, seed=9):
+    rng = random.Random(seed)  # repro: allow[RNG001] test fixture data
+    return [(rng.randrange(5000), float(i)) for i in range(n)]
+
+
+class TestReferenceMatching:
+    def test_uses_the_query_boxes_own_semantics(self):
+        records = [(0, 0.0), (10, 1.0), (20, 2.0), (30, 3.0)]
+        box = Box.of(Interval.closed(10, 20))
+        got = reference_matching(records, box)
+        assert [r[1] for r in got] == [
+            r[1] for r in records if box.contains_point((r[0],))
+        ]
+
+
+class TestCheckStream:
+    def _shuffled(self, matching, seed=1):
+        rng = random.Random(seed)  # repro: allow[RNG001] test fixture data
+        out = list(matching)
+        rng.shuffle(out)
+        return out
+
+    def test_exact_uniform_stream_passes(self):
+        matching = _population()
+        emitted = self._shuffled(matching)
+        stream = _Stream([_Batch(emitted[:50], 1.0), _Batch(emitted[50:], 2.0)])
+        report = check_stream("fake", stream, matching)
+        assert report.ok, report.failures
+        assert report.emitted == report.expected == len(matching)
+
+    def test_duplicate_emission_flagged(self):
+        matching = _population()
+        emitted = self._shuffled(matching)
+        stream = _Stream([_Batch(emitted + emitted[:1], 1.0)])
+        report = check_stream("fake", stream, matching)
+        assert any("more than once" in f for f in report.failures)
+
+    def test_stray_record_flagged(self):
+        matching = _population()
+        stream = _Stream([_Batch(self._shuffled(matching) + [(99999, -1.0)], 1.0)])
+        report = check_stream("fake", stream, matching)
+        assert any("outside the query" in f for f in report.failures)
+
+    def test_missing_records_at_exhaustion_flagged(self):
+        matching = _population()
+        stream = _Stream([_Batch(self._shuffled(matching)[:100], 1.0)])
+        report = check_stream("fake", stream, matching)
+        assert any("missing" in f for f in report.failures)
+
+    def test_biased_prefix_flagged_even_when_exact(self):
+        matching = _population(400)
+        ordered = sorted(matching)  # low keys first: exact but biased
+        stream = _Stream([_Batch(ordered, 1.0)])
+        report = check_stream("fake", stream, matching)
+        assert any("prefix biased" in f for f in report.failures)
+
+    def test_clock_going_backwards_flagged(self):
+        matching = _population()
+        emitted = self._shuffled(matching)
+        stream = _Stream([_Batch(emitted[:50], 2.0), _Batch(emitted[50:], 1.0)])
+        report = check_stream("fake", stream, matching)
+        assert any("clock went backwards" in f for f in report.failures)
+
+    def test_degraded_without_faults_flagged(self):
+        matching = _population()
+        stream = _Stream([_Batch(self._shuffled(matching), 1.0)], degraded=True)
+        report = check_stream("fake", stream, matching, degraded_ok=False)
+        assert any("degraded without faults" in f for f in report.failures)
+
+    def test_degraded_stream_excused_from_exactness_not_containment(self):
+        matching = _population()
+        short = self._shuffled(matching)[:80] + [(99999, -1.0)]
+        stream = _Stream([_Batch(short, 1.0)], degraded=True)
+        report = check_stream("fake", stream, matching, degraded_ok=True)
+        assert not any("missing" in f for f in report.failures)
+        assert any("outside the query" in f for f in report.failures)
+
+    def test_mid_stream_crash_reported_as_aborted(self):
+        matching = _population()
+
+        def batches():
+            yield _Batch(self._shuffled(matching)[:10], 1.0)
+            raise RuntimeError("boom")
+
+        report = check_stream("fake", batches(), matching)
+        assert report.aborted is not None and "boom" in report.aborted
+        assert not any("missing" in f for f in report.failures)
