@@ -29,7 +29,7 @@ Indexing conventions used throughout:
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Sequence
 
 import numpy as np
@@ -148,6 +148,9 @@ class TreeGeometry:
                 f"need {self.num_leaves} cell counts, got {len(cell_counts)}"
             )
         self._cell_counts = tuple(cell_counts) if cell_counts is not None else None
+        # Per-level (los, his) bound arrays for the 1-D overlapping_nodes
+        # fast path; built lazily on first use.
+        self._level_bounds: dict[int, tuple[list[float], list[float]]] = {}
 
     # -- static shape --------------------------------------------------------
 
@@ -342,6 +345,28 @@ class TreeGeometry:
         one section-``level`` cell each before it may emit.
         """
         self._check_level(level)
+        if self.dims == 1 and query.dims == 1:
+            # 1-D fast path: the level's node intervals partition the
+            # domain in index order, so their lo bounds (and, by
+            # contiguity, their hi bounds) are non-decreasing and the
+            # overlap predicate ``lo < q.hi and q.lo < hi and lo < hi``
+            # bounds to a bisected index range.  Same result, element for
+            # element, as the generic scan below.
+            bounds = self._level_bounds.get(level)
+            if bounds is None:
+                boxes = self._boxes[level - 1]
+                bounds = (
+                    [box.sides[0].lo for box in boxes],
+                    [box.sides[0].hi for box in boxes],
+                )
+                self._level_bounds[level] = bounds
+            los, his = bounds
+            side = query.sides[0]
+            if side.is_empty:
+                return []
+            first = bisect_right(his, side.lo)
+            last = bisect_left(los, side.hi)
+            return [j for j in range(first, last) if los[j] < his[j]]
         return [
             j
             for j, box in enumerate(self._boxes[level - 1])

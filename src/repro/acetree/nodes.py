@@ -15,11 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.intervals import Box
-from ..core.records import Record
+from ..core.records import PageView, Record, Schema
 from .geometry import TreeGeometry
 
-__all__ = ["LeafNode", "InternalNodeView"]
+__all__ = ["LeafNode", "LeafView", "InternalNodeView"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +49,106 @@ class LeafNode:
     def section_range(self, s: int, geometry: TreeGeometry) -> Box:
         """The box L.R_s sampled by section ``s`` of this leaf."""
         return geometry.section_box(self.index, s)
+
+
+class LeafView:
+    """A zero-copy columnar view of one serialized leaf.
+
+    Where :class:`LeafNode` is the fully-decoded leaf (every record a
+    Python tuple), a ``LeafView`` keeps the leaf's record payload as raw
+    bytes and exposes it through :class:`~repro.core.records.PageView` —
+    key columns come out as numpy views, and individual records are only
+    decoded when a consumer asks (``section_records`` / ``gather`` /
+    ``to_leaf_node``).  This is the handle the query hot path and the
+    sample-reuse cache share: both operate on whole cells as column
+    batches and defer per-record materialization.
+
+    The record payload is contiguous: section ``s`` (1-based) occupies
+    rows ``starts[s-1]:starts[s]`` of the leaf's record array.
+    """
+
+    __slots__ = ("index", "schema", "counts", "starts", "byte_size",
+                 "page", "_node", "_starts_array")
+
+    def __init__(
+        self,
+        index: int,
+        schema: Schema,
+        payload: bytes | memoryview,
+        counts: tuple[int, ...],
+        byte_size: int | None = None,
+    ) -> None:
+        self.index = index
+        self.schema = schema
+        self.counts = counts
+        starts = [0]
+        for n in counts:
+            starts.append(starts[-1] + n)
+        self.starts: tuple[int, ...] = tuple(starts)
+        #: Serialized leaf size (header + counts + records); what the
+        #: sample cache charges against its byte budget.
+        self.byte_size = (
+            byte_size if byte_size is not None
+            else starts[-1] * schema.record_size
+        )
+        self.page = PageView(schema, payload, starts[-1])
+        self._node: LeafNode | None = None
+        self._starts_array = None
+
+    @property
+    def starts_array(self):
+        """``starts`` as an int64 ndarray, built once per view.
+
+        The per-leaf filter pass searchsorts the matched row numbers
+        against this; caching it keeps the (memoized) view free of a
+        repeated tuple->array conversion on every query."""
+        if self._starts_array is None:
+            self._starts_array = np.asarray(self.starts, dtype=np.int64)
+        return self._starts_array
+
+    @property
+    def height(self) -> int:
+        """Number of sections (the tree height ``h``)."""
+        return len(self.counts)
+
+    @property
+    def num_records(self) -> int:
+        return self.starts[-1]
+
+    def section_bounds(self, s: int) -> tuple[int, int]:
+        """Row range ``[lo, hi)`` of section ``s`` (1-based) in the payload."""
+        if not 1 <= s <= len(self.counts):
+            raise IndexError(f"section {s} out of range 1..{len(self.counts)}")
+        return self.starts[s - 1], self.starts[s]
+
+    def column_array(self, name: str):
+        """One key column across *all* sections as a numpy view."""
+        return self.page.column_array(name)
+
+    def gather(self, indices) -> list[Record]:
+        """Decode just the rows at ``indices`` of the leaf's record array."""
+        return self.page.gather(indices)
+
+    def section_records(self, s: int) -> tuple[Record, ...]:
+        """Fully-decoded records of section ``s`` (1-based)."""
+        return self.to_leaf_node().section(s)
+
+    def to_leaf_node(self) -> LeafNode:
+        """Materialize (and cache) the eager :class:`LeafNode` twin.
+
+        Record-for-record identical to decoding the serialized sections
+        directly; the batch decode runs once per view.
+        """
+        if self._node is None:
+            records = self.page.records
+            self._node = LeafNode(
+                index=self.index,
+                sections=tuple(
+                    tuple(records[lo:hi])
+                    for lo, hi in zip(self.starts, self.starts[1:])
+                ),
+            )
+        return self._node
 
 
 @dataclass(frozen=True, slots=True)

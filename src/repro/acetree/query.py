@@ -24,24 +24,53 @@ a superset of the query range, and filtering it by the query yields a
 uniform random sample of the matching records.  Cells that cannot be
 combined yet wait in ``buckets`` (whose occupancy is exactly the paper's
 Figure 15 measurement).
+
+**Columnar hot path.**  Leaves arrive as lazy
+:class:`~repro.acetree.nodes.LeafView` handles; the query filter runs once
+per leaf as a vectorized mask over the leaf's key column(s), and Combine
+moves whole :class:`Cell` handles (leaf view + row range + match count)
+through the buckets instead of Python record lists.  Emitted batches are
+likewise lazy: a :class:`SampleBatch` knows its record *count* and its
+shuffle permutation, but decodes actual record tuples only when a consumer
+reads ``batch.records``.  The emitted record *set* per batch and the
+simulated clock are bit-identical to the historical per-record path; the
+within-batch order is a uniform random permutation drawn from the stream's
+seed-derived generator (:func:`repro.core.rng.derive`), vectorized so the
+shuffle costs microseconds instead of a per-record Python loop.  Every
+order-sensitive guarantee — determinism given the seed, per-prefix
+uniformity, batch contents — is pinned by the unit tests and the testkit
+differential oracle.
+
+**Sample reuse.**  When the tree has a
+:class:`~repro.storage.sample_cache.SampleCache` attached, the Shuttle
+consults it before charging the disk, keyed per section cell by
+``(store token, section s, level-s ancestor, leaf)``.  A full-leaf hit
+skips the timed page reads entirely (charging only the per-record CPU);
+a miss reads the leaf and inserts its cells.  Because each cached cell is
+the exact Bernoulli sample its leaf holds for that node interval,
+cache-warm streams emit the same records in the same order as cold ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from operator import itemgetter
 from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
 
 from ..core.errors import QueryError, SerializationError, StorageError
 from ..core.intervals import Box
 from ..core.records import Record
-from ..core.rng import derive_random
+from ..core.rng import derive
 from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
+from .nodes import LeafView
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tree import AceTree
 
-__all__ = ["SampleBatch", "SampleStream"]
+__all__ = ["Cell", "SampleBatch", "SampleStream"]
 
 #: Sample-count threshold for the time-to-first-k histogram (how fast the
 #: stream delivers a usable first sample, on the simulated clock).
@@ -50,15 +79,78 @@ _TTFK_BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
                 1.0, 2.5, 5.0)
 _STAB_DEPTH_BOUNDS = (1, 2, 3, 4, 6, 8, 12, 16)
 
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
 
-@dataclass(frozen=True, slots=True)
+
+class Cell:
+    """The matching records of one (leaf, section) cell, decoded on demand.
+
+    A lazy cell holds the leaf view and its slice of the leaf's matched-row
+    list (computed once per leaf by the vectorized filter);
+    ``materialize()`` decodes only what is needed — the leaf's record
+    payload is batch-decoded once per view (and cached there, so every
+    later cell of the same leaf is a plain list pick), producing tuples
+    identical, in identical file order, to filtering the eagerly-decoded
+    section.  An eager cell wraps an already-filtered record list (the
+    scalar fallback path).
+    """
+
+    __slots__ = ("_leaf", "_rows", "_lo", "_hi", "_count", "_records")
+
+    def __init__(self, leaf, rows, lo, hi, count, records):
+        self._leaf = leaf
+        self._rows = rows
+        self._lo = lo
+        self._hi = hi
+        self._count = count
+        self._records = records
+
+    @classmethod
+    def lazy(cls, leaf: LeafView, rows: list, lo: int, hi: int) -> "Cell":
+        """``rows[lo:hi]`` are the leaf-local matching row numbers."""
+        return cls(leaf, rows, lo, hi, hi - lo, None)
+
+    @classmethod
+    def eager(cls, records: list) -> "Cell":
+        return cls(None, None, 0, 0, len(records), records)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def materialize(self) -> list[Record]:
+        """Decode (and cache) the cell's matching records."""
+        if self._records is None:
+            if self._count == 0:
+                self._records = []
+            else:
+                decoded = self._leaf.page.records
+                rows = self._rows
+                self._records = [decoded[i] for i in rows[self._lo:self._hi]]
+            self._leaf = None
+            self._rows = None
+        return self._records
+
+
+#: Shared zero-record cell.  Sections with no matching rows still have to
+#: be *filed* (Combine needs one cell from every required interval before
+#: a set can emit), but they all materialize to the same empty sequence,
+#: so one immutable instance serves every such filing.
+_EMPTY_CELL = Cell(None, None, 0, 0, 0, ())
+
+
 class SampleBatch:
     """Records that became emittable after one stab (one leaf read).
 
     Attributes:
-        records: newly emitted sample records, in randomized order.  The
-            concatenation of all batches so far is a uniform random sample
-            of the records matching the query.
+        count: number of records in the batch (free — no decode needed).
+        records: newly emitted sample records, in randomized order; decoded
+            lazily on first access.  The concatenation of all batches so
+            far is a uniform random sample of the records matching the
+            query.
         clock: simulated time at which this batch became available.
         leaves_read: total leaves retrieved so far.
         buffered_records: matching records currently parked in the combine
@@ -68,22 +160,62 @@ class SampleBatch:
             population has been seen, so draining preserves correctness).
     """
 
-    records: tuple[Record, ...]
-    clock: float
-    leaves_read: int
-    buffered_records: int
-    is_final_flush: bool = False
+    __slots__ = ("clock", "leaves_read", "buffered_records", "is_final_flush",
+                 "count", "_cells", "_perm", "_records")
+
+    def __init__(self, cells, perm, clock, leaves_read, buffered_records,
+                 is_final_flush=False):
+        self.clock = clock
+        self.leaves_read = leaves_read
+        self.buffered_records = buffered_records
+        self.is_final_flush = is_final_flush
+        self.count = len(perm)
+        self._cells = cells
+        self._perm = perm
+        self._records: tuple[Record, ...] | None = None
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        """Materialize (and cache) the batch's records, shuffled order."""
+        if self._records is None:
+            flat: list[Record] = []
+            extend = flat.extend
+            for cell in self._cells:
+                recs = cell._records
+                if recs is None:
+                    # Cell.materialize(), inlined minus the write-back:
+                    # the batch drops its cells right below, so caching
+                    # the decoded list on the cell would be dead weight.
+                    rows = cell._rows
+                    decoded = cell._leaf.page.records
+                    recs = [decoded[i] for i in rows[cell._lo:cell._hi]]
+                extend(recs)
+            if len(flat) > 1:
+                self._records = itemgetter(*self._perm)(flat)
+            else:
+                self._records = tuple(flat)
+            self._cells = ()
+            self._perm = ()
+        return self._records
 
 
-@dataclass
 class StreamStats:
     """Running counters exposed by :class:`SampleStream`."""
 
-    leaves_read: int = 0
-    records_emitted: int = 0
-    buffered_records: int = 0
-    stabs: int = 0
-    lost_leaves: int = 0
+    __slots__ = ("leaves_read", "records_emitted", "buffered_records",
+                 "stabs", "lost_leaves", "cache_hits")
+
+    def __init__(self) -> None:
+        self.leaves_read = 0
+        self.records_emitted = 0
+        self.buffered_records = 0
+        self.stabs = 0
+        self.lost_leaves = 0
+        #: Leaves served wholesale from the attached sample cache.
+        self.cache_hits = 0
 
 
 class SampleStream:
@@ -96,6 +228,14 @@ class SampleStream:
     records matching the query.
     """
 
+    #: When True (the default), a cell whose section level has exactly one
+    #: required interval is emitted straight from the filing loop instead
+    #: of taking a round trip through its bucket — the drain would pop
+    #: exactly that cell.  Test doubles that sabotage ``_drain_level``
+    #: (:class:`repro.testkit.harness.BrokenCombineStream`) disable this so
+    #: every cell still flows through their broken drain.
+    _combine_fast_path = True
+
     def __init__(
         self,
         tree: "AceTree",
@@ -103,6 +243,7 @@ class SampleStream:
         seed: int = 0,
         alternate: bool = True,
         lost_leaf_policy: str = "raise",
+        vectorize: bool = True,
     ) -> None:
         if query.dims != tree.dims:
             raise QueryError(
@@ -126,19 +267,55 @@ class SampleStream:
         self._height = geometry.height
         self._key_of = tree.schema.keys_getter(tree.key_fields)
         self._filter = self._make_filter(tree, query)
-        self._rng = derive_random(seed, "ace-stream")
+        #: ``LeafView -> bool ndarray`` over the leaf's rows, or ``None``
+        #: when the key layout cannot be vectorized (the scalar fallback
+        #: and the columnar path are record-for-record identical —
+        #: property-tested in tests/acetree/test_columnar.py).
+        self._mask_of = self._make_mask_filter(tree, query) if vectorize else None
+        self._cache = tree.sample_cache
+        #: Per-batch shuffle permutations come from this seed-derived
+        #: generator; ``(seed, "ace-stream")`` fully determines the order.
+        self._perm_rng = derive(seed, "ace-stream")
 
         # Required intervals per section level: the level-s node indexes
-        # whose boxes overlap the query (Combine's covering sets).
-        self._required: list[list[int]] = [
-            geometry.overlapping_nodes(s, query) for s in range(1, self._height + 1)
-        ]
+        # whose boxes overlap the query (Combine's covering sets), plus
+        # the same sets for O(1) overlap tests in the stab loop (identical
+        # predicate to geometry.node_box(...).overlaps(query)) and their
+        # sizes.  Pure functions of (geometry, query) and read-only for
+        # the stream's lifetime, so repeated queries share them through a
+        # small memo on the tree.
+        cached = tree._overlap_memo.get(query)
+        if cached is None:
+            required = [
+                geometry.overlapping_nodes(s, query)
+                for s in range(1, self._height + 1)
+            ]
+            cached = (required, [set(r) for r in required],
+                      [len(r) for r in required])
+            if len(tree._overlap_memo) < 64:
+                tree._overlap_memo[query] = cached
+        self._required: list[list[int]]
+        self._overlap_sets: list[set[int]]
+        self._required, self._overlap_sets, self._need = cached
         # buckets[s-1][j] = FIFO of arrived section-s cells for interval j.
-        self._buckets: list[dict[int, list[list[Record]]]] = [
+        self._buckets: list[dict[int, list[Cell]]] = [
             {} for _ in range(self._height)
         ]
+        # ready[s-1] = how many *required* level-s intervals currently have
+        # a non-empty FIFO.  Combine at level s can emit exactly when
+        # ready[s-1] == len(required[s-1]); maintaining the count at filing
+        # and pop time makes the per-leaf drain check O(1) instead of a
+        # scan over every required interval.
+        self._ready: list[int] = [0] * self._height
         self._arity = geometry.arity
         self._done: set[tuple[int, int]] = set()
+        # The same doneness, as per-level flag arrays indexed by node
+        # number: the stab descent tests these (no tuple hashing on the
+        # hot path); the tuple set above stays authoritative for the
+        # sanitizers (analysis.check_stream walks it).
+        self._done_flags: list[bytearray] = [
+            bytearray(geometry.arity ** s) for s in range(self._height)
+        ]
         self._next_child: dict[tuple[int, int], int] = {}
         #: What to do when a leaf read fails after retries: ``"raise"``
         #: propagates the storage error (the default — correctness first);
@@ -169,6 +346,78 @@ class SampleStream:
         contains = query.contains_point
         return lambda records: [r for r in records if contains(key_of(r))]
 
+    @staticmethod
+    def _make_mask_filter(tree: "AceTree", query: Box):
+        """A ``LeafView -> bool mask`` filter, or ``None`` if unavailable.
+
+        The mask is exactly ``[lo <= key < hi]`` per dimension.  Integer
+        key columns are compared against *integer* bounds (``k >= lo`` iff
+        ``k >= ceil(lo)`` and ``k < hi`` iff ``k < ceil(hi)`` for integer
+        ``k``), because comparing an int64 column against a Python float
+        would round keys beyond 2**53 and silently move the boundary.
+        """
+        if len(tree.key_fields) != query.dims:
+            return None
+        dims = []
+        for name, side in zip(tree.key_fields, query.sides):
+            kind = tree.schema.field_kind(name)
+            if kind == "f8":
+                dims.append((name, "f8", side.lo, side.hi))
+            elif kind == "i8":
+                lo, hi = side.lo, side.hi
+                # +inf lower / -inf upper bound: nothing can match.
+                if (math.isinf(lo) and lo > 0) or (math.isinf(hi) and hi < 0):
+                    dims.append((name, "empty", None, None))
+                    continue
+                lo_i = None if math.isinf(lo) else math.ceil(lo)
+                hi_i = None if math.isinf(hi) else math.ceil(hi)
+                if (lo_i is not None and lo_i > _INT64_MAX) or (
+                    hi_i is not None and hi_i <= _INT64_MIN
+                ):
+                    dims.append((name, "empty", None, None))
+                    continue
+                # Bounds beyond the representable range constrain nothing.
+                if lo_i is not None and lo_i <= _INT64_MIN:
+                    lo_i = None
+                if hi_i is not None and hi_i > _INT64_MAX:
+                    hi_i = None
+                dims.append((name, "i8", lo_i, hi_i))
+            else:
+                return None  # bytes keys: keep the scalar path
+
+        if len(dims) == 1 and dims[0][1] != "empty" and None not in dims[0][2:]:
+            # 1-D, both bounds finite: the overwhelmingly common stab
+            # query.  Same mask as the generic loop below, two ufuncs.
+            name, _kind, lo, hi = dims[0]
+
+            def mask_of_1d(leaf: LeafView):
+                column = leaf.page.struct_array()[name]
+                return (column >= lo) & (column < hi)
+
+            return mask_of_1d
+
+        def mask_of(leaf: LeafView):
+            array = leaf.page.struct_array()
+            mask = None
+            for name, kind, lo, hi in dims:
+                if kind == "empty":
+                    return np.zeros(len(array), dtype=bool)
+                column = array[name]
+                part = None
+                if lo is not None:
+                    part = column >= lo
+                if hi is not None:
+                    upper = column < hi
+                    part = upper if part is None else (part & upper)
+                if part is None:
+                    continue
+                mask = part if mask is None else (mask & part)
+            if mask is None:
+                mask = np.ones(len(array), dtype=bool)
+            return mask
+
+        return mask_of
+
     # -- iteration -----------------------------------------------------------
 
     def __iter__(self) -> Iterator[SampleBatch]:
@@ -177,49 +426,70 @@ class SampleStream:
     def __next__(self) -> SampleBatch:
         if self._exhausted:
             raise StopIteration
-        if (1, 0) in self._done:
+        root_done = self._done_flags[0]
+        if root_done[0]:
             return self._final_flush()
+        stats = self.stats
+        disk = self.tree.disk
         while True:
-            with TRACER.span("ace_query.stab", disk=self.tree.disk) as sp:
+            with TRACER.span("ace_query.stab", disk=disk) as sp:
                 leaf_index = self._stab()
-                try:
-                    leaf = self._store.read_leaf(leaf_index)
-                except (StorageError, SerializationError):
-                    # Retries are exhausted by the time the error reaches
-                    # the Shuttle, so the leaf is gone for good: either
-                    # crash the query or sample on without it.
-                    if self.lost_leaf_policy != "skip":
-                        raise
-                    self._note_lost_leaf(leaf_index, sp)
-                    leaf = None
+                leaf = None
+                if self._cache is not None:
+                    leaf = self._cache_fetch(leaf_index)
+                if leaf is not None:
+                    # Full-leaf cache hit: every section cell is resident,
+                    # so the page reads are skipped entirely; only the
+                    # per-record CPU of processing the leaf is charged.
+                    stats.cache_hits += 1
+                    disk.charge_records(leaf.num_records)
+                    TRACER.count("ace_query.cache_hits")
+                    if sp is not None:
+                        sp.attrs["cache_hit"] = True
                 else:
-                    self.stats.leaves_read += 1
+                    try:
+                        leaf = self._store.read_leaf_view(leaf_index)
+                    except (StorageError, SerializationError):
+                        # Retries are exhausted by the time the error reaches
+                        # the Shuttle, so the leaf is gone for good: either
+                        # crash the query or sample on without it.
+                        if self.lost_leaf_policy != "skip":
+                            raise
+                        self._note_lost_leaf(leaf_index, sp)
+                        leaf = None
+                    else:
+                        if self._cache is not None:
+                            self._cache_insert(leaf_index, leaf)
+                if leaf is not None:
+                    stats.leaves_read += 1
                     with TRACER.span("ace_query.combine", detail=True) as combine_sp:
                         emitted = self._process_leaf(leaf_index, leaf)
+                        emitted_count = sum([c._count for c in emitted])
                         if combine_sp is not None:
-                            combine_sp.attrs["emitted"] = len(emitted)
-                            combine_sp.attrs["buffered"] = self.stats.buffered_records
+                            combine_sp.attrs["emitted"] = emitted_count
+                            combine_sp.attrs["buffered"] = stats.buffered_records
                     if sp is not None:
                         sp.attrs["leaf"] = leaf_index
-                        sp.attrs["emitted"] = len(emitted)
-                        sp.attrs["buffered"] = self.stats.buffered_records
+                        sp.attrs["emitted"] = emitted_count
+                        sp.attrs["buffered"] = stats.buffered_records
             if leaf is not None:
                 break
-            if (1, 0) in self._done:
+            if root_done[0]:
                 # Every remaining leaf was lost; drain what combined.
                 return self._final_flush()
         TRACER.count("ace_query.leaves_read")
-        self._rng.shuffle(emitted)
-        self.stats.records_emitted += len(emitted)
+        perm = self._perm_rng.permutation(emitted_count).tolist()
+        stats.records_emitted += emitted_count
         if TRACER.enabled:
             self._record_query_metrics()
-        if (1, 0) in self._done and self.stats.buffered_records == 0:
+        if root_done[0] and stats.buffered_records == 0:
             self._exhausted = True
         return SampleBatch(
-            records=tuple(emitted),
-            clock=self.tree.disk.clock,
-            leaves_read=self.stats.leaves_read,
-            buffered_records=self.stats.buffered_records,
+            cells=emitted,
+            perm=perm,
+            clock=disk.clock,
+            leaves_read=stats.leaves_read,
+            buffered_records=stats.buffered_records,
         )
 
     def records(self) -> Iterator[Record]:
@@ -271,6 +541,42 @@ class SampleStream:
         """Estimated matching-record count, from internal-node counts."""
         return self.tree.estimate_count(self.query)
 
+    # -- sample cache ----------------------------------------------------------
+
+    def _cache_keys(self, leaf_index: int) -> list[tuple]:
+        """One key per section cell of the leaf.
+
+        ``(store token, s, ancestor)`` names the level-``s`` node interval
+        the cell Bernoulli-samples; the leaf index distinguishes sibling
+        cells drawn for the same interval, so a cached cell is only ever
+        served back as the exact population it was read from.
+        """
+        token = self._store.cache_token
+        height, arity = self._height, self._arity
+        return [
+            (token, s, leaf_index // arity ** (height - s), leaf_index)
+            for s in range(1, height + 1)
+        ]
+
+    def _cache_fetch(self, leaf_index: int):
+        """The leaf's view if *every* section cell is resident, else None."""
+        view = None
+        for key in self._cache_keys(leaf_index):
+            value = self._cache.get(key)
+            if value is None:
+                return None
+            view = value
+        return view
+
+    def _cache_insert(self, leaf_index: int, view) -> None:
+        """File each section cell of a freshly-read leaf into the cache."""
+        record_size = self.tree.schema.record_size
+        keys = self._cache_keys(leaf_index)
+        overhead = max(0, view.byte_size - view.num_records * record_size)
+        base = overhead // len(keys)
+        for key, count in zip(keys, view.counts):
+            self._cache.put(key, view, count * record_size + base)
+
     # -- shuttle traversal -----------------------------------------------------
 
     def _stab(self) -> int:
@@ -284,41 +590,82 @@ class SampleStream:
         self.stats.stabs += 1
         # CPU for the descent (internal nodes are memory resident).
         self.tree.disk.charge_records(self._height)
-        geometry = self._geometry
         arity = self._arity
+        done_flags = self._done_flags
+        overlap_sets = self._overlap_sets
+        next_child = self._next_child
+        alternate = self.alternate
         tracing = TRACER.enabled
         level, index = 1, 0
+        if arity == 2 and not tracing:
+            # Binary fast path: same choices as the generic loop below
+            # (pool = [0, 1] in ascending order, so the rotating pointer
+            # resolves to itself and advances to the other child), without
+            # building the candidate lists.
+            height = self._height
+            while level < height:
+                base = index + index
+                flags = done_flags[level]
+                overlap = overlap_sets[level]
+                a0 = not flags[base]
+                a1 = not flags[base + 1]
+                c0 = a0 and base in overlap
+                c1 = a1 and base + 1 in overlap
+                if c0 != c1:
+                    choice = 0 if c0 else 1
+                elif c0 or (a0 and a1):
+                    if alternate:
+                        key = (level, index)
+                        choice = next_child.get(key, 0)
+                        next_child[key] = 1 - choice
+                    else:
+                        choice = 0
+                elif a0 != a1:
+                    choice = 0 if a0 else 1
+                else:  # pragma: no cover - parent would be marked done
+                    raise QueryError("stab reached a fully-done subtree")
+                level += 1
+                index = base + choice
+            return index
         while level < self._height:
             base = arity * index
-            alive = [
-                c
-                for c in range(arity)
-                if (level + 1, base + c) not in self._done
+            child_level = level + 1
+            overlap = overlap_sets[child_level - 1]
+            flags = done_flags[child_level - 1]
+            pool = [
+                c for c in range(arity)
+                if not flags[base + c] and base + c in overlap
             ]
-            if not alive:  # pragma: no cover - parent would be marked done
-                raise QueryError("stab reached a fully-done subtree")
-            overlapping = [
-                c
-                for c in alive
-                if geometry.node_box(level + 1, base + c).overlaps(self.query)
-            ]
-            pool = overlapping if overlapping else alive
-            if tracing:
-                branch = "overlap" if overlapping else "drain"
-                METRICS.counter(f"stab.level.{level}.{branch}").inc()
-                pruned = len(alive) - len(overlapping)
-                if overlapping and pruned:
-                    # Children deferred because a query-overlapping sibling
-                    # won the descent: the pruned subtrees of this stab.
-                    METRICS.counter(f"stab.level.{level}.pruned").inc(pruned)
-            if len(pool) == 1 or not self.alternate:
+            if not pool or tracing:
+                alive = [c for c in range(arity) if not flags[base + c]]
+                if not alive:  # pragma: no cover - parent would be marked done
+                    raise QueryError("stab reached a fully-done subtree")
+                if tracing:
+                    branch = "overlap" if pool else "drain"
+                    METRICS.counter(f"stab.level.{level}.{branch}").inc()
+                    pruned = len(alive) - len(pool)
+                    if pool and pruned:
+                        # Children deferred because a query-overlapping
+                        # sibling won the descent: the pruned subtrees of
+                        # this stab.
+                        METRICS.counter(f"stab.level.{level}.pruned").inc(pruned)
+                if not pool:
+                    pool = alive
+            if len(pool) == 1 or not alternate:
                 choice = pool[0]
             else:
-                pointer = self._next_child.get((level, index), 0)
-                # First pool member at or after the rotating pointer.
-                choice = min(pool, key=lambda c: (c - pointer) % arity)
-                self._next_child[(level, index)] = (choice + 1) % arity
-            level, index = level + 1, base + choice
+                pointer = next_child.get((level, index), 0)
+                # First pool member at or after the rotating pointer (the
+                # pool is ascending, so this is exactly the member that
+                # minimizes (c - pointer) mod arity).
+                for c in pool:
+                    if c >= pointer:
+                        choice = c
+                        break
+                else:
+                    choice = pool[0]
+                next_child[(level, index)] = (choice + 1) % arity
+            level, index = child_level, base + choice
         if tracing:
             METRICS.histogram("query.stab_depth", _STAB_DEPTH_BOUNDS).observe(
                 self._height - 1
@@ -328,64 +675,149 @@ class SampleStream:
     def _mark_done(self, leaf_index: int) -> None:
         """Mark a leaf done and propagate doneness up the tree."""
         arity = self._arity
+        done, done_flags = self._done, self._done_flags
         level, index = self._height, leaf_index
-        self._done.add((level, index))
+        done.add((level, index))
+        done_flags[level - 1][index] = 1
         while level > 1:
             parent = index // arity
             base = arity * parent
-            siblings_done = all(
-                (level, base + c) in self._done for c in range(arity)
-            )
-            if not siblings_done:
+            flags = done_flags[level - 1]
+            if not all(flags[base + c] for c in range(arity)):
                 break
             level, index = level - 1, parent
-            self._done.add((level, index))
+            done.add((level, index))
+            done_flags[level - 1][index] = 1
 
     # -- combine ---------------------------------------------------------------
 
-    def _process_leaf(self, leaf_index: int, leaf) -> list[Record]:
-        """File the leaf's sections into buckets and emit what combines."""
+    def _process_leaf(self, leaf_index: int, leaf: LeafView) -> list[Cell]:
+        """File the leaf's sections into buckets and emit what combines.
+
+        On the columnar path the query filter runs *once* over the whole
+        leaf (one mask over the key column); each section's cell is then a
+        lazy handle into that mask.  The scalar fallback filters the
+        eagerly-decoded section records instead — identical contents.
+        """
         self._mark_done(leaf_index)
-        matching = self._filter
-        emitted: list[Record] = []
+        rows = pos = None
+        if self._mask_of is not None:
+            # One vectorized filter pass over the whole leaf: the matched
+            # row numbers, then each section's slice of them located with
+            # a single searchsorted against the section start offsets.
+            matched = self._mask_of(leaf).nonzero()[0]
+            pos = matched.searchsorted(leaf.starts_array).tolist()
+            rows = matched.tolist()
+        emitted: list[Cell] = []
+        emit = emitted.append
+        ancestor = leaf_index
+        arity = self._arity
+        buckets = self._buckets
+        overlap_sets = self._overlap_sets
+        ready = self._ready
+        need = self._need
+        fast = self._combine_fast_path
+        buffered = 0
+        for s in range(self._height, 0, -1):
+            i = s - 1
+            if rows is not None:
+                lo, hi = pos[i], pos[s]
+                if lo == hi:
+                    cell = _EMPTY_CELL
+                    count = 0
+                else:
+                    count = hi - lo
+                    cell = Cell(leaf, rows, lo, hi, count, None)
+            else:
+                cell = self._eager_cell(leaf, s)
+                count = cell._count
+            bucket = buckets[i]
+            fifo = bucket.get(ancestor)
+            if fast and need[i] == 1 and not fifo and ancestor in overlap_sets[i]:
+                # Solo required interval with an empty FIFO: filing this
+                # cell would make the level ready and the drain below
+                # would pop exactly it — emit directly.  (Batch contents
+                # are unchanged; the within-batch order is randomized by
+                # the permutation regardless.)
+                emit(cell)
+            else:
+                if fifo is None:
+                    bucket[ancestor] = fifo = []
+                if not fifo and ancestor in overlap_sets[i]:
+                    ready[i] += 1
+                fifo.append(cell)
+                buffered += count
+            ancestor //= arity
+        self.stats.buffered_records += buffered
         for s in range(1, self._height + 1):
-            ancestor = leaf_index // self._arity ** (self._height - s)
-            cell = matching(leaf.sections[s - 1])
-            bucket = self._buckets[s - 1]
-            bucket.setdefault(ancestor, []).append(cell)
-            self.stats.buffered_records += len(cell)
-            emitted.extend(self._drain_level(s))
+            if ready[s - 1] >= need[s - 1] and need[s - 1]:
+                emitted.extend(self._drain_level(s))
         return emitted
 
-    def _drain_level(self, s: int) -> list[Record]:
-        """Emit combine-sets at section level ``s`` while complete ones exist."""
-        bucket = self._buckets[s - 1]
-        required = self._required[s - 1]
-        out: list[Record] = []
-        while all(bucket.get(j) for j in required):
+    def _eager_cell(self, leaf: LeafView, s: int) -> Cell:
+        """Scalar fallback: decode the section and filter record by record."""
+        # The sanctioned non-vectorized path (bytes keys / vectorize=False).
+        return Cell.eager(self._filter(leaf.section_records(s)))  # repro: allow[HOT001]
+
+    def _drain_level(self, s: int) -> list[Cell]:
+        """Emit combine-sets at section level ``s`` while complete ones exist.
+
+        ``ready[s-1]`` counts the required intervals with a waiting cell,
+        so the common no-emit case is one integer compare.
+        """
+        i = s - 1
+        required = self._required[i]
+        need = len(required)
+        ready = self._ready
+        if ready[i] < need or not need:
+            return []
+        bucket = self._buckets[i]
+        if need == 1:
+            # Solo required interval (every level where the query fits in
+            # one node box): the loop below would pop the FIFO dry one
+            # cell at a time — take it wholesale instead, same cells in
+            # the same order.
+            fifo = bucket[required[0]]
+            out = fifo[:]
+            del fifo[:]
+            ready[i] = 0
+            drained = 0
+            for cell in out:
+                drained += cell._count
+            self.stats.buffered_records -= drained
+            return out
+        out: list[Cell] = []
+        drained = 0
+        while ready[i] == need:
             for j in required:
-                cell = bucket[j].pop(0)
-                self.stats.buffered_records -= len(cell)
-                out.extend(cell)
+                fifo = bucket[j]
+                cell = fifo.pop(0)
+                if not fifo:
+                    ready[i] -= 1
+                drained += cell._count
+                out.append(cell)
+        self.stats.buffered_records -= drained
         return out
 
     def _final_flush(self) -> SampleBatch:
         """Drain every remaining bucket once all leaves have been read."""
         with TRACER.span("ace_query.final_flush", disk=self.tree.disk, detail=True) as sp:
-            leftovers: list[Record] = []
+            leftovers: list[Cell] = []
             for bucket in self._buckets:
                 for cells in bucket.values():
-                    for cell in cells:
-                        leftovers.extend(cell)
+                    leftovers.extend(cells)
                 bucket.clear()
             self.stats.buffered_records = 0
-            self._rng.shuffle(leftovers)
-            self.stats.records_emitted += len(leftovers)
+            self._ready = [0] * self._height
+            count = sum(map(len, leftovers))
+            perm = self._perm_rng.permutation(count).tolist()
+            self.stats.records_emitted += count
             if sp is not None:
-                sp.attrs["emitted"] = len(leftovers)
+                sp.attrs["emitted"] = count
         self._exhausted = True
         return SampleBatch(
-            records=tuple(leftovers),
+            cells=leftovers,
+            perm=perm,
             clock=self.tree.disk.clock,
             leaves_read=self.stats.leaves_read,
             buffered_records=0,

@@ -22,15 +22,21 @@ from __future__ import annotations
 import struct
 from typing import Iterator
 
+import itertools
+
 from ..core.errors import SerializationError, StorageError
 from ..core.records import Record, Schema
 from ..obs.tracer import TRACER
 from ..storage.buffer import DecodeMemo
 from ..storage.disk import SimulatedDisk
-from ..storage.recovery import read_page_resilient
-from .nodes import LeafNode
+from ..storage.recovery import read_page_resilient, touch_page_resilient
+from .nodes import LeafNode, LeafView
 
 __all__ = ["LeafStore", "LeafStoreWriter"]
+
+#: Monotonic identity for live leaf stores; scopes sample-cache keys so a
+#: freed/rebuilt store can never serve another tree's cached cells.
+_CACHE_TOKENS = itertools.count(1)
 
 _LEAF_HEADER = struct.Struct("<IH")  # leaf index, section count
 _SECTION_COUNT = struct.Struct("<I")
@@ -179,6 +185,9 @@ class LeafStore:
         self._offsets = offsets
         self._extents = extents
         self._memo = DecodeMemo(_LEAF_MEMO_LEAVES)
+        #: Opaque identity for cache keys (see module docstring of
+        #: :mod:`repro.storage.sample_cache`); bumped by :meth:`free`.
+        self.cache_token = next(_CACHE_TOKENS)
 
     @property
     def num_leaves(self) -> int:
@@ -212,19 +221,27 @@ class LeafStore:
         last = max(first, (end - 1) // page_size) if end > start else first
         return first, last - first + 1
 
-    def read_leaf(self, leaf_index: int) -> LeafNode:
-        """Fetch one leaf from disk (random I/O + sequential spill pages).
+    def read_leaf_view(self, leaf_index: int) -> LeafView:
+        """Fetch one leaf as a lazy columnar :class:`LeafView`.
 
-        Decoded leaves are memoized.  A memo hit performs the identical
-        timed page reads and per-record CPU charge as a cold read — the
-        simulated cost never depends on the memo — and only skips the
-        struct decoding (LeafNode is immutable, so sharing is safe).
+        Same random I/O + sequential spill pages and the same per-record
+        CPU charge as the historical eager read — only the per-record
+        Python decode is deferred (header, section counts, and payload
+        length are still validated here, so corruption surfaces at read
+        time exactly as before).  Decoded views are memoized: a memo hit
+        performs the identical timed page reads and per-record CPU charge
+        as a cold read — the simulated cost never depends on the memo —
+        and only skips the parse (the view's payload is immutable, so
+        sharing is safe).
         """
         self._check_leaf(leaf_index)
         start = self._offsets[leaf_index]
         end = self._offsets[leaf_index + 1]
-        first, span = self.leaf_page_span(leaf_index)
         page_size = self.disk.page_size
+        # leaf_page_span(), inlined to avoid re-validating the index.
+        first = start // page_size
+        last = max(first, (end - 1) // page_size) if end > start else first
+        span = last - first + 1
         # Every simulated page read below is attributed to this counter;
         # check_sample verifies the attribution balances (cost conservation).
         TRACER.count("leaf_store.pages_read", span)
@@ -234,11 +251,14 @@ class LeafStore:
                 sp.attrs["pages"] = span
             cached = self._memo.get(leaf_index)
             if cached is not None:
-                for i in range(span):
-                    read_page_resilient(self.disk, self._data_page_ids[first + i])
-                self.disk.charge_records(
-                    sum(len(section) for section in cached.sections)
-                )
+                disk = self.disk
+                if disk.can_fault:
+                    ids = self._data_page_ids
+                    for i in range(span):
+                        touch_page_resilient(disk, ids[first + i])
+                else:
+                    disk.touch_pages(self._data_page_ids[first:first + span])
+                disk.charge_records(cached.num_records)
                 return cached
             chunks = [
                 read_page_resilient(self.disk, self._data_page_ids[first + i])
@@ -246,16 +266,22 @@ class LeafStore:
             ]
             blob = b"".join(chunks)
             local = start - first * page_size
-            leaf = self._parse_leaf(blob[local:local + (end - start)], leaf_index)
-            self._memo.put(leaf_index, leaf)
-            return leaf
+            view = self._parse_leaf_view(
+                blob[local:local + (end - start)], leaf_index
+            )
+            self._memo.put(leaf_index, view)
+            return view
+
+    def read_leaf(self, leaf_index: int) -> LeafNode:
+        """Fetch one leaf fully decoded (the eager twin of the view read)."""
+        return self.read_leaf_view(leaf_index).to_leaf_node()
 
     def iter_leaves(self) -> Iterator[LeafNode]:
         """All leaves in index order (sequential full-store read)."""
         for leaf_index in range(self.num_leaves):
             yield self.read_leaf(leaf_index)
 
-    def _parse_leaf(self, blob: bytes, expected_index: int) -> LeafNode:
+    def _parse_leaf_view(self, blob: bytes, expected_index: int) -> LeafView:
         try:
             index, count = _LEAF_HEADER.unpack_from(blob, 0)
         except struct.error as exc:
@@ -267,18 +293,28 @@ class LeafStore:
             )
         pos = _LEAF_HEADER.size
         counts = []
-        for _ in range(count):
-            (n,) = _SECTION_COUNT.unpack_from(blob, pos)
-            counts.append(n)
-            pos += _SECTION_COUNT.size
-        record_size = self.schema.record_size
-        sections = []
-        view = memoryview(blob)
-        for n in counts:
-            sections.append(tuple(self.schema.unpack_many(view[pos:], n)))
-            pos += n * record_size
-        self.disk.charge_records(sum(counts))
-        return LeafNode(index=expected_index, sections=tuple(sections))
+        try:
+            for _ in range(count):
+                (n,) = _SECTION_COUNT.unpack_from(blob, pos)
+                counts.append(n)
+                pos += _SECTION_COUNT.size
+        except struct.error as exc:
+            raise SerializationError(f"corrupt leaf {expected_index}: {exc}") from exc
+        total = sum(counts)
+        need = total * self.schema.record_size
+        if len(blob) - pos < need:
+            raise SerializationError(
+                f"corrupt leaf {expected_index}: need {need} payload bytes "
+                f"for {total} records, have {len(blob) - pos}"
+            )
+        self.disk.charge_records(total)
+        return LeafView(
+            index=expected_index,
+            schema=self.schema,
+            payload=memoryview(blob)[pos:pos + need],
+            counts=tuple(counts),
+            byte_size=len(blob),
+        )
 
     def free(self) -> None:
         """Release all data and directory pages (store becomes unusable)."""
@@ -293,6 +329,8 @@ class LeafStore:
         self._offsets = [0]
         self._extents = None
         self._memo.clear()
+        # A freed store must never satisfy a sample-cache lookup again.
+        self.cache_token = next(_CACHE_TOKENS)
 
     def _check_leaf(self, leaf_index: int) -> None:
         if not 0 <= leaf_index < self.num_leaves:

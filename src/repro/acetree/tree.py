@@ -12,13 +12,14 @@ operations a materialized sample view needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dcfield
 from typing import TYPE_CHECKING, Sequence
 
 from ..core.errors import QueryError
 from ..core.intervals import Box, Interval
 from ..core.records import Schema
 from ..storage.disk import SimulatedDisk
+from ..storage.sample_cache import SampleCache
 from .geometry import TreeGeometry
 from .nodes import InternalNodeView
 from .storage import LeafStore
@@ -40,6 +41,17 @@ class AceTree:
     key_fields: tuple[str, ...]
     num_records: int
     build_report: "AceBuildReport"
+    #: Optional combinable sample-reuse cache (see
+    #: :mod:`repro.storage.sample_cache`).  ``None`` (the default) keeps
+    #: every query cold; attach one to let overlapping queries skip page
+    #: reads.  Cold-run behaviour — simulated clock, emitted contents and
+    #: order — is bit-identical with or without a cache attached.
+    sample_cache: SampleCache | None = None
+    #: Per-query memo of Combine's covering sets (required intervals per
+    #: section level, as list/set/count views).  Pure functions of
+    #: (geometry, query), shared read-only across streams; bounded by
+    #: :class:`~repro.acetree.query.SampleStream`.
+    _overlap_memo: dict = dcfield(default_factory=dict, repr=False)
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -111,6 +123,24 @@ class AceTree:
             self, query, seed=seed, alternate=alternate,
             lost_leaf_policy=lost_leaf_policy,
         )
+
+    def attach_sample_cache(self, cache: SampleCache | None = None) -> SampleCache:
+        """Attach (creating if needed) a combinable sample-reuse cache.
+
+        Subsequent :meth:`sample` streams consult the cache before
+        charging the disk and file freshly-read section cells into it;
+        repeated or overlapping range queries then skip page reads for
+        every leaf whose cells are still resident.  Returns the attached
+        cache (so callers can read ``cache.stats``).
+        """
+        if cache is None:
+            cache = SampleCache()
+        self.sample_cache = cache
+        return cache
+
+    def detach_sample_cache(self) -> None:
+        """Detach the sample cache; later streams run fully cold again."""
+        self.sample_cache = None
 
     def key_of(self, record: Sequence) -> tuple:
         """Extract the indexed key tuple from a record."""

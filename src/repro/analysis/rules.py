@@ -18,6 +18,10 @@ EXC001   no bare / overbroad ``except`` clauses.
 TST001   test files must not monkeypatch the simulated disk's I/O
          internals; fault injection goes through
          :mod:`repro.testkit.faults` so faults are recorded and replayable.
+HOT001   the columnar query hot path (``acetree/query.py``,
+         ``acetree/storage.py``, ``storage/sample_cache.py``) must not
+         materialize record tuples eagerly outside the sanctioned
+         consumer-boundary functions.
 =======  ==================================================================
 
 Rules only see one module at a time; whole-program invariants (sample
@@ -354,6 +358,76 @@ def check_excepts(ctx: LintContext) -> Iterator[Finding]:
                 node,
                 f"overbroad except {broad[0]} without re-raise; narrow it "
                 "to the exceptions this site expects",
+            )
+
+
+# ---------------------------------------------------------------------------
+# HOT001 — no eager record materialization in the query hot path
+# ---------------------------------------------------------------------------
+
+#: The zero-copy hot path (see docs/PERFORMANCE.md): these modules stream
+#: lazy batch handles and column views; decoding every record into Python
+#: tuples belongs to the consumer, not the loop.
+_HOT_MODULES = {"acetree.query", "acetree.storage", "storage.sample_cache"}
+
+#: Method calls that decode a whole record set in one go.
+_HOT_EAGER_CALLS = {"section_records", "to_leaf_node", "unpack_many"}
+
+#: An attribute whose *load* decodes every record of a page/batch
+#: (``PageView.records``, ``SampleBatch.records``).
+_HOT_EAGER_ATTR = "records"
+
+#: The sanctioned materialization boundaries — the functions whose entire
+#: purpose is handing decoded tuples to a consumer that asked for them.
+#: Anything else (the stab loop, Combine filing/draining, cache
+#: fetch/insert) must stay lazy; one-off exceptions carry a
+#: ``# repro: allow[HOT001]`` comment explaining why.
+_HOT_SANCTIONED_FUNCS = {"records", "materialize", "take", "read_leaf"}
+
+
+def _walk_with_function(tree: ast.AST) -> Iterator[tuple[ast.AST, str | None]]:
+    """Every node paired with the name of its innermost enclosing function."""
+    stack: list[tuple[ast.AST, str | None]] = [(tree, None)]
+    while stack:
+        node, func = stack.pop()
+        yield node, func
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append((child, child.name))
+            else:
+                stack.append((child, func))
+
+
+@register("HOT001", "eager record materialization in the query hot path")
+def check_hot_path(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.module not in _HOT_MODULES:
+        return
+    for node, func in _walk_with_function(ctx.tree):
+        if func in _HOT_SANCTIONED_FUNCS:
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _HOT_EAGER_CALLS
+        ):
+            yield ctx.finding(
+                "HOT001",
+                node,
+                f".{node.func.attr}() decodes a full record set inside the "
+                "query hot path; keep cells/batches lazy and let the "
+                "consumer materialize (see docs/PERFORMANCE.md)",
+            )
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr == _HOT_EAGER_ATTR
+            and isinstance(node.ctx, ast.Load)
+        ):
+            yield ctx.finding(
+                "HOT001",
+                node,
+                f"loading .{_HOT_EAGER_ATTR} decodes every record inside "
+                "the query hot path; keep cells/batches lazy and let the "
+                "consumer materialize (see docs/PERFORMANCE.md)",
             )
 
 

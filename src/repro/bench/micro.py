@@ -191,6 +191,131 @@ def _query_benchmarks(n: int, repeat: int) -> dict:
     }
 
 
+def _combine_batch_benchmarks(n: int, repeat: int) -> dict:
+    """Batch Combine throughput: drain a whole stream as cell batches.
+
+    Iterates every :class:`~repro.acetree.query.SampleBatch` of a full
+    stream *without* touching ``batch.records`` — pure Shuttle + Combine
+    cell movement on the columnar hot path, no record materialization.
+    The stab and emission counts are pure functions of the seed, so they
+    gate exactly.
+    """
+    relation = _fresh_relation(n)
+    tree = build_ace_tree(
+        relation, AceBuildParams(key_fields=("k",), height=8, seed=3)
+    )
+    query = Box.of(Interval(0.0, 1e8))
+
+    def drain(_state) -> None:
+        for _batch in tree.sample(query, seed=11):
+            pass
+
+    seconds = _best_of(repeat, lambda: None, drain)
+    stream = tree.sample(query, seed=11)
+    total = 0
+    for batch in stream:
+        total += batch.count
+    return {
+        "seconds": seconds,
+        "cells_per_s": total / seconds,
+        "stabs": stream.stats.stabs,
+        "leaves_read": stream.stats.leaves_read,
+        "samples": total,
+    }
+
+
+def _lazy_materialization_benchmarks(n: int, repeat: int) -> dict:
+    """Lazy batch handles vs. materialized records, first-k workload.
+
+    ``handles_seconds`` stops as soon as the batch *counts* reach k — the
+    consumer never decodes a record tuple (an online aggregator reading
+    pre-aggregated columns would behave like this).  ``materialized_seconds``
+    is the same workload through ``take`` (decode + shuffle).  The gap is
+    what lazy materialization saves.
+    """
+    relation = _fresh_relation(n)
+    tree = build_ace_tree(
+        relation, AceBuildParams(key_fields=("k",), height=8, seed=3)
+    )
+    query = Box.of(Interval(0.0, 1e8))
+    first_k = min(1_000, max(1, n // 10))
+
+    def handles(_state) -> None:
+        got = 0
+        for batch in tree.sample(query, seed=7):
+            got += batch.count
+            if got >= first_k:
+                break
+
+    handles_seconds = _best_of(repeat, lambda: None, handles)
+    materialized_seconds = _best_of(
+        repeat, lambda: None, lambda _: tree.sample(query, seed=7).take(first_k)
+    )
+    return {
+        "first_k": first_k,
+        "handles_seconds": handles_seconds,
+        "materialized_seconds": materialized_seconds,
+    }
+
+
+def _sample_cache_benchmarks(n: int, repeat: int) -> tuple[dict, dict]:
+    """Sample-reuse cache: miss-path vs. hit-path, wall and simulated.
+
+    Returns ``(wall, deterministic)``: the wall section times a cold
+    (empty-cache, populating) run against a warm (all-hits) run of the
+    same query; the deterministic section records the cache counters and
+    simulated clocks of one scripted cold-then-warm pass — pure functions
+    of the seed, gated exactly under the ``sample_cache.*`` rule.
+    """
+    relation = _fresh_relation(n)
+    tree = build_ace_tree(
+        relation, AceBuildParams(key_fields=("k",), height=8, seed=3)
+    )
+    query = Box.of(Interval(0.0, 1e8))
+    first_k = min(1_000, max(1, n // 10))
+
+    def fresh_cache() -> None:
+        tree.detach_sample_cache()
+        tree.attach_sample_cache()
+
+    def populated_cache() -> None:
+        fresh_cache()
+        tree.sample(query, seed=7).take(first_k)
+
+    run = lambda _state: tree.sample(query, seed=7).take(first_k)
+    cold_seconds = _best_of(repeat, fresh_cache, run)
+    warm_seconds = _best_of(repeat, populated_cache, run)
+
+    # One scripted cold-then-warm pass for the deterministic counters.
+    tree.detach_sample_cache()
+    cache = tree.attach_sample_cache()
+    disk = tree.disk
+    clock0, reads0 = disk.clock, disk.stats.page_reads
+    tree.sample(query, seed=7).take(first_k)
+    cold_sim = disk.clock - clock0
+    cold_reads = disk.stats.page_reads - reads0
+    clock1, reads1 = disk.clock, disk.stats.page_reads
+    warm_stream = tree.sample(query, seed=7)
+    warm_stream.take(first_k)
+    warm_sim = disk.clock - clock1
+    warm_reads = disk.stats.page_reads - reads1
+    deterministic = dict(cache.stats.as_dict())
+    deterministic.update(
+        cold_sim_s=cold_sim,
+        warm_sim_s=warm_sim,
+        cold_reads=cold_reads,
+        warm_reads=warm_reads,
+        warm_leaf_hits=warm_stream.stats.cache_hits,
+    )
+    tree.detach_sample_cache()
+    wall = {
+        "first_k": first_k,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+    }
+    return wall, deterministic
+
+
 def _span_overhead_benchmarks(repeat: int) -> dict:
     """Per-span cost of ``TRACER.span`` on its cheap paths, in ns.
 
@@ -295,8 +420,13 @@ def run_micro(n: int = 20_000, repeat: int = 5, figures: bool = False) -> dict:
         "external_sort": _sort_benchmarks(n, repeat),
         "ace_build": _build_benchmarks(n, repeat),
         "ace_query": _query_benchmarks(n, repeat),
+        "combine_batch": _combine_batch_benchmarks(n, repeat),
+        "ace_query_lazy": _lazy_materialization_benchmarks(n, repeat),
         "span_overhead": _span_overhead_benchmarks(repeat),
     }
+    cache_wall, cache_det = _sample_cache_benchmarks(n, repeat)
+    results["ace_query_cache"] = cache_wall
+    results["sample_cache"] = cache_det
     if figures:
         results["figure_sim"] = _figure_benchmarks()
     # The aggregate profile over the whole suite (the last reset happens in

@@ -140,6 +140,10 @@ class Schema:
                 f"no field {name!r}; have {[f.name for f in self._fields]}"
             ) from None
 
+    def field_kind(self, name: str) -> str:
+        """The storage kind (``"i8"``/``"f8"``/``"bytes"``) of a field."""
+        return self._fields[self.field_index(name)].kind
+
     def __len__(self) -> int:
         return len(self._fields)
 
@@ -311,7 +315,12 @@ class Schema:
 
         Roughly a ``record_size / field_size`` cheaper than a full
         :meth:`unpack_many` when only a key attribute is needed (predicate
-        evaluation, sort-key extraction).
+        evaluation, sort-key extraction).  Numeric columns take a
+        numpy strided read over the raw buffer (no per-record struct
+        objects, no intermediate copy) and convert to plain Python values
+        in one ``tolist``; ``bytes`` columns keep the struct path, because
+        numpy's ``S`` kind strips trailing NULs while :mod:`struct`
+        preserves the fixed width.
         """
         size = self._struct.size
         need = count * size
@@ -322,8 +331,45 @@ class Schema:
         if count == 0:
             return []
         view = blob if len(blob) == need else memoryview(blob)[:need]
-        column = self._column_struct(self.field_index(name))
+        index = self.field_index(name)
+        if self._fields[index].kind != "bytes":
+            # tolist() yields exact Python ints/floats: the values are
+            # byte-for-byte the same little-endian words struct would read.
+            return self.column_array(view, count, name).tolist()
+        column = self._column_struct(index)
         return list(map(_first, column.iter_unpack(view)))
+
+    def struct_array(self, blob: bytes | memoryview, count: int):
+        """A zero-copy numpy structured array over ``count`` packed records.
+
+        The array aliases the buffer (no decode, no copy); callers must
+        treat it as read-only, like a pinned page frame.
+        """
+        import numpy as np
+
+        size = self._struct.size
+        need = count * size
+        if len(blob) < need:
+            raise SerializationError(
+                f"need {need} bytes for {count} records, have {len(blob)}"
+            )
+        view = blob if len(blob) == need else memoryview(blob)[:need]
+        return np.frombuffer(view, dtype=self.numpy_dtype(), count=count)
+
+    def column_array(self, blob: bytes | memoryview, count: int, name: str):
+        """One numeric column of ``count`` packed records as a numpy view."""
+        return self.struct_array(blob, count)[name]
+
+    def unpack_rows(self, array, indices) -> list[Record]:
+        """Materialize selected rows of a structured array as exact records.
+
+        ``array[indices]`` gathers the packed bytes of just the chosen rows
+        (one vectorized copy), and the batch struct decode then yields
+        tuples bit-identical to :meth:`unpack_many` of those rows — the
+        numpy dtype and the struct format describe the same layout.
+        """
+        rows = array[indices]
+        return self.unpack_many(rows.tobytes(), len(rows))
 
     def page_view(self, blob: bytes | memoryview, count: int) -> "PageView":
         """A lazily-decoded view over ``count`` packed records."""
@@ -404,7 +450,7 @@ class PageView:
     frame, treat its decoded contents as immutable.
     """
 
-    __slots__ = ("schema", "count", "_view", "_records")
+    __slots__ = ("schema", "count", "_view", "_records", "_array")
 
     def __init__(self, schema: Schema, blob: bytes | memoryview, count: int) -> None:
         need = count * schema.record_size
@@ -416,6 +462,7 @@ class PageView:
         self.count = count
         self._view = blob if len(blob) == need else memoryview(blob)[:need]
         self._records: list[Record] | None = None
+        self._array = None
 
     def __len__(self) -> int:
         return self.count
@@ -452,3 +499,30 @@ class PageView:
         if self._records is not None:
             return list(map(self.schema.key_getter(name), self._records))
         return self.schema.unpack_column(self._view, self.count, name)
+
+    def struct_array(self):
+        """A zero-copy numpy structured array aliasing the packed rows.
+
+        Computed once and cached; treat it as read-only (it shares the
+        page buffer).  This is the columnar hot path's entry point: key
+        columns come out as strided views with no per-record decode.
+        """
+        if self._array is None:
+            self._array = self.schema.struct_array(self._view, self.count)
+        return self._array
+
+    def column_array(self, name: str):
+        """One column of every row as a (possibly strided) numpy view."""
+        return self.struct_array()[name]
+
+    def gather(self, indices) -> list[Record]:
+        """Materialize just the rows at ``indices``, in the given order.
+
+        Record-for-record identical to ``[self.records[i] for i in
+        indices]`` but decodes only the selected rows (vectorized byte
+        gather + one batch struct call).
+        """
+        if self._records is not None:
+            records = self._records
+            return [records[i] for i in indices]
+        return self.schema.unpack_rows(self.struct_array(), indices)

@@ -83,6 +83,10 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     # ... and everything under the figure-curve section.
     MetricRule(r"figure_sim\..*", "exact"),
     MetricRule(r"quality\..*", "exact"),
+    # Sample-reuse cache counters and simulated clocks: pure functions of
+    # the seed and the cache's LRU arithmetic (wall timings of the cache
+    # workload live under ace_query_cache.* instead).
+    MetricRule(r"sample_cache\..*", "exact"),
     # Wall-clock: throughputs up, durations down.
     MetricRule(r".*_per_s", "higher_better"),
     MetricRule(r".*(seconds|_ns_per_span)", "lower_better"),

@@ -6,10 +6,13 @@ from .disk import DiskStats, SimulatedDisk
 from .external_sort import external_sort, external_sort_to_sink, merge_runs
 from .heapfile import PAGE_HEADER_SIZE, HeapFile
 from .recovery import DEFAULT_RETRY, RetryPolicy, read_page_resilient
+from .sample_cache import DEFAULT_BUDGET_BYTES, CacheStats, SampleCache
 
 __all__ = [
     "BufferPool",
+    "CacheStats",
     "CostModel",
+    "DEFAULT_BUDGET_BYTES",
     "DEFAULT_RETRY",
     "DecodeMemo",
     "DiskStats",
@@ -17,6 +20,7 @@ __all__ = [
     "PAGE_HEADER_SIZE",
     "RecordPageCache",
     "RetryPolicy",
+    "SampleCache",
     "SimulatedDisk",
     "external_sort",
     "external_sort_to_sink",

@@ -200,7 +200,11 @@ class DecodeMemo:
         if value is None:
             self.misses += 1
             return None
-        frames.move_to_end(key)
+        # Recency only matters once eviction is possible; below capacity
+        # the hit path skips the order maintenance (no observable
+        # difference — nothing is ever evicted before the memo fills).
+        if len(frames) >= self.capacity:
+            frames.move_to_end(key)
         self.hits += 1
         return value
 

@@ -32,7 +32,12 @@ from ..core.errors import TransientPageError
 from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
 
-__all__ = ["DEFAULT_RETRY", "RetryPolicy", "read_page_resilient"]
+__all__ = [
+    "DEFAULT_RETRY",
+    "RetryPolicy",
+    "read_page_resilient",
+    "touch_page_resilient",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,35 @@ def read_page_resilient(
     for attempt in range(policy.max_attempts):
         try:
             return disk.read_page(pid)
+        except TransientPageError as exc:
+            last_error = exc
+            TRACER.count("storage.read_retries")
+            if attempt + 1 >= policy.max_attempts:
+                break
+            disk.charge_io(delay)
+            delay *= policy.multiplier
+    assert last_error is not None
+    raise last_error
+
+
+def touch_page_resilient(
+    disk: SimulatedDisk, pid: int, policy: RetryPolicy = DEFAULT_RETRY
+) -> None:
+    """Charge a page access (no data) with the same retry discipline.
+
+    The accounting twin of :func:`read_page_resilient` for re-reads whose
+    bytes are already decoded and memoized: on a plain
+    :class:`SimulatedDisk` the touch never faults and costs one charge; on
+    a fault-injecting disk :meth:`~SimulatedDisk.touch_page` routes through
+    the real read, so transient faults fire at the same ordinals and are
+    retried (and backoff-charged) exactly as a data-bearing read would be.
+    """
+    delay = policy.backoff
+    last_error: TransientPageError | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            disk.touch_page(pid)
+            return
         except TransientPageError as exc:
             last_error = exc
             TRACER.count("storage.read_retries")

@@ -23,8 +23,9 @@ automatically instead of waiting for a bad seed:
   uniformity.
 * :mod:`repro.testkit.harness` — the fuzz loop racing the ACE Tree,
   B+-Tree, and permuted-file samplers against the oracle under clean and
-  fault-injected runs, with a deliberately-broken-Combine mutant mode for
-  validating the oracle itself.
+  fault-injected runs plus a cold-then-warm sample-cache pass, with
+  deliberately-broken mutant modes (Combine drops cells; the cache serves
+  stale entries) for validating the oracle itself.
 * :mod:`repro.testkit.cli` — ``python -m repro testkit fuzz|replay``.
 
 See ``docs/TESTING.md`` for the fault taxonomy, the oracle's equivalence
@@ -32,7 +33,15 @@ criteria, and the replay workflow.
 """
 
 from .faults import FAULT_KINDS, FaultEvent, FaultPlan, FaultyDisk
-from .harness import FuzzReport, ScenarioVerdict, fuzz, replay, run_scenario
+from .harness import (
+    MUTATIONS,
+    FuzzReport,
+    ScenarioVerdict,
+    StaleSampleCache,
+    fuzz,
+    replay,
+    run_scenario,
+)
 from .generators import Scenario, generate_scenario, make_records
 from .oracle import DifferentialReport, check_stream, reference_matching
 from .stats import ChiSquareResult, assert_uniform, chi_square, prefix_vs_population
@@ -45,8 +54,10 @@ __all__ = [
     "FaultPlan",
     "FaultyDisk",
     "FuzzReport",
+    "MUTATIONS",
     "Scenario",
     "ScenarioVerdict",
+    "StaleSampleCache",
     "assert_uniform",
     "check_stream",
     "chi_square",

@@ -7,6 +7,7 @@ replay payload (JSON) so the exact fault sequence can be re-run::
 
     python -m repro testkit fuzz --seed 7 --iterations 40
     python -m repro testkit fuzz --mutation combine-drop   # oracle self-test
+    python -m repro testkit fuzz --mutation cache-stale    # cache-oracle self-test
     python -m repro testkit replay testkit_failure.json
 """
 

@@ -260,6 +260,8 @@ class FaultyDisk(SimulatedDisk):
     exempt a phase (e.g. build) while keeping replay ordinals aligned.
     """
 
+    can_fault = True
+
     def __init__(
         self,
         page_size: int = 8192,
@@ -302,6 +304,16 @@ class FaultyDisk(SimulatedDisk):
                 self.plan.record(event)
             return super().read_page(pid)
         raise FaultPlanError(f"unknown read fault kind {event.kind!r}")
+
+    def touch_page(self, pid: int) -> None:
+        # A memo-backed touch must stay access-for-access identical to a
+        # real read under injection: same ordinals, same fault kinds, same
+        # checksum verification of the (possibly rotted) stored bytes.
+        self.read_page(pid)
+
+    def touch_pages(self, pids) -> None:
+        for pid in pids:
+            self.read_page(pid)
 
     def write_page(self, pid: int, data: bytes) -> None:
         if not (self.armed and self.plan.active):

@@ -13,10 +13,18 @@ parameters plus the frozen fault event list — that
 ``python -m repro testkit replay`` (or :func:`replay` directly) re-runs
 deterministically: same faults at the same access ordinals, same verdict.
 
+After the clean/faulted query loop every scenario runs a *cold-then-warm*
+pass: the same queries re-run against an attached
+:class:`~repro.storage.sample_cache.SampleCache` — once to populate it,
+once all-hits — and both streams face the same oracle.  Cache-warm
+streams must be indistinguishable from cold ones.
+
 The harness can also sabotage itself: ``mutation="combine-drop"`` swaps in
 a :class:`BrokenCombineStream` whose Combine silently discards one
-required interval's cells.  The differential oracle must catch it — this
-is the self-test proving the oracle has teeth.
+required interval's cells, and ``mutation="cache-stale"`` swaps in a
+:class:`StaleSampleCache` that serves the wrong leaf's cells on warm
+hits.  The differential oracle must catch both — these are the
+self-tests proving the oracle has teeth.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from ..core.errors import ReproError
 from ..core.rng import derive_random
 from ..storage.cost import CostModel
 from ..storage.heapfile import HeapFile
+from ..storage.sample_cache import SampleCache
 from .faults import FaultPlan, FaultyDisk
 from .generators import KV_SCHEMA, Scenario, generate_scenario, make_records
 from .oracle import DifferentialReport, check_stream, reference_matching
@@ -38,13 +47,14 @@ __all__ = [
     "BrokenCombineStream",
     "FuzzReport",
     "ScenarioVerdict",
+    "StaleSampleCache",
     "fuzz",
     "replay",
     "run_scenario",
 ]
 
 #: Known sabotage modes for oracle self-tests.
-MUTATIONS: tuple[str, ...] = ("combine-drop",)
+MUTATIONS: tuple[str, ...] = ("combine-drop", "cache-stale")
 
 #: Replay payload format version.
 REPLAY_VERSION = 1
@@ -61,6 +71,8 @@ class BrokenCombineStream(SampleStream):
     only by the harness's mutation mode; never constructed by product code.
     """
 
+    _combine_fast_path = False  # every cell must flow through the broken drain
+
     def _drain_level(self, s):
         bucket = self._buckets[s - 1]
         required = self._required[s - 1]
@@ -71,8 +83,34 @@ class BrokenCombineStream(SampleStream):
                 self.stats.buffered_records -= len(cell)
                 if s >= 2 and i == 0:
                     continue  # the sabotage: this cell vanishes
-                out.extend(cell)
+                out.append(cell)
         return out
+
+
+class StaleSampleCache(SampleCache):
+    """A deliberately broken sample cache: hits serve the wrong leaf.
+
+    The first view ever inserted is pinned and served back for *every*
+    subsequent hit regardless of the requested key — the classic
+    mis-keyed/stale-entry cache bug.  A warm stream then re-emits the
+    pinned leaf's records for every other leaf (caught by the oracle's
+    duplicate-identity check) and never emits those leaves' real records
+    (caught by the completeness check).  Used only by the harness's
+    mutation mode; never constructed by product code.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pinned = None
+
+    def put(self, key: tuple, value: object, nbytes: int) -> None:
+        if self._pinned is None:
+            self._pinned = value
+        super().put(key, value, nbytes)
+
+    def get(self, key: tuple):
+        value = super().get(key)
+        return None if value is None else self._pinned
 
 
 @dataclass
@@ -184,6 +222,34 @@ def run_scenario(
                     f"stream aborted without faults: {report.aborted}"
                 )
             verdict.reports.append(report)
+
+    # Cold-then-warm differential pass.  Appended *after* the historical
+    # phases so their fault access ordinals (and hence every existing
+    # replay payload) are untouched.  Each query runs twice against an
+    # attached sample cache — a populate pass that fills it from disk and
+    # a warm pass served from residency — and both face the same oracle:
+    # cache-warm streams must be indistinguishable from cold ones.
+    cache = StaleSampleCache() if mutation == "cache-stale" else SampleCache()
+    tree.attach_sample_cache(cache)
+    try:
+        for query_index, (lo, hi) in enumerate(scenario.queries):
+            box = tree.query((lo, hi))
+            matching = reference_matching(records, box)
+            seed = scenario.seed + query_index
+            policy = "skip" if degraded_ok else "raise"
+            for name in ("ace-populate", "ace-warm"):
+                stream = tree.sample(box, seed=seed, lost_leaf_policy=policy)
+                report = check_stream(
+                    name, stream, matching, query=(lo, hi),
+                    degraded_ok=degraded_ok,
+                )
+                if report.aborted is not None and not degraded_ok:
+                    report.failures.append(
+                        f"stream aborted without faults: {report.aborted}"
+                    )
+                verdict.reports.append(report)
+    finally:
+        tree.detach_sample_cache()
     verdict.injected = len(plan.injected)
     return verdict, plan
 

@@ -1,0 +1,18 @@
+"""Fixture: eager record materialization in the hot-path modules."""
+
+
+def stab_loop(leaf, codec, blob):
+    decoded = leaf.page.records
+    section = leaf.section_records(2)
+    node = leaf.to_leaf_node()
+    rows = codec.unpack_many(blob, 4)
+    ok = leaf.section_records(1)  # repro: allow[HOT001] fixture exemption
+    return decoded, section, node, rows, ok
+
+
+def materialize(page):
+    return page.records
+
+
+def take(batch):
+    return batch.records

@@ -181,14 +181,14 @@ class TestCheckSample:
         """A page the disk serves without a PROFILE counter entry breaks
         cost conservation."""
         _records, tree = built
-        original = tree.leaf_store.read_leaf
+        original = tree.leaf_store.read_leaf_view
 
         def leaky(index):
             leaf = original(index)
             tree.disk.read_page(0)  # raw read, bypassing attribution
             return leaf
 
-        monkeypatch.setattr(tree.leaf_store, "read_leaf", leaky)
+        monkeypatch.setattr(tree.leaf_store, "read_leaf_view", leaky)
         with pytest.raises(InvariantViolation, match="cost conservation"):
             check_sample(tree, tree.query(None), seed=0)
 

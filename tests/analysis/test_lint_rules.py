@@ -34,7 +34,7 @@ class TestRegistry:
     def test_all_project_rules_registered(self):
         assert {
             "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
-            "TST001",
+            "TST001", "HOT001",
         } <= set(RULES)
 
     def test_duplicate_registration_rejected(self):
@@ -109,6 +109,23 @@ class TestMut001AndExc001:
         # Line 26 of the fixture is ``except Exception:`` + bare ``raise``.
         findings = lint_file(FIXTURES / "core" / "bad_generic.py")
         assert 26 not in [f.line for f in findings]
+
+
+class TestHot001:
+    def test_eager_sites_flagged_boundaries_exempt(self):
+        findings = lint_file(FIXTURES / "acetree" / "query.py")
+        hot = [f for f in findings if f.rule == "HOT001"]
+        # Lines 5-8 materialize inside the loop; line 9 carries an allow
+        # comment; ``materialize``/``take`` are sanctioned boundaries.
+        assert [f.line for f in hot] == [5, 6, 7, 8]
+        assert all("PERFORMANCE" in f.message for f in hot)
+
+    def test_rule_scoped_to_hot_modules(self, tmp_path):
+        target = tmp_path / "repro" / "acetree"
+        target.mkdir(parents=True)
+        path = target / "build.py"
+        path.write_text("def f(page):\n    return page.records\n")
+        assert lint_file(path) == []
 
 
 class TestTst001:
@@ -200,7 +217,7 @@ class TestOutput:
         rules_seen = {f.rule for f in findings}
         assert {
             "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
-            "TST001",
+            "TST001", "HOT001",
         } == rules_seen
 
 
@@ -219,7 +236,7 @@ class TestCli:
     def test_json_mode(self, capsys):
         assert run_lint([str(FIXTURES / "acetree")], as_json=True) == 1
         decoded = json.loads(capsys.readouterr().out)
-        assert {f["rule"] for f in decoded} == {"FLT001"}
+        assert {f["rule"] for f in decoded} == {"FLT001", "HOT001"}
 
     def test_select_restricts_to_named_rules(self, capsys):
         # The fixture tree trips six rules; --select TST001 sees only one.

@@ -47,7 +47,8 @@ class TestRunScenario:
         assert verdict.ok, verdict.failure_lines
         assert not verdict.faults_active
         assert plan.injected == []
-        assert len(verdict.reports) == 3 * len(scenario.queries)
+        # Three cold samplers plus the cache populate/warm passes.
+        assert len(verdict.reports) == 5 * len(scenario.queries)
 
     def test_unknown_mutation_rejected(self):
         with pytest.raises(ValueError, match="unknown mutation"):
@@ -80,6 +81,17 @@ class TestFuzz:
                        for payload in report.failures
                        for line in payload["failures"])
 
+    def test_stale_cache_is_caught_within_budget(self):
+        report = fuzz(seed=0, iterations=4, with_faults=False,
+                      mutation="cache-stale", max_failures=1)
+        assert not report.ok
+        failing = [line for payload in report.failures
+                   for line in payload["failures"]]
+        assert failing
+        # Only the warm pass ever sees a sabotaged hit — the cold
+        # samplers and the populate pass (all misses) must stay green.
+        assert all(line.startswith("ace-warm") for line in failing)
+
     def test_max_failures_stops_early(self):
         report = fuzz(seed=0, iterations=10, with_faults=False,
                       mutation="combine-drop", max_failures=1)
@@ -90,14 +102,15 @@ class TestFuzz:
 
 
 class TestReplay:
-    def _first_failure(self):
+    def _first_failure(self, mutation="combine-drop"):
         report = fuzz(seed=0, iterations=4, with_faults=False,
-                      mutation="combine-drop", max_failures=1)
+                      mutation=mutation, max_failures=1)
         assert report.failures
         return report.failures[0]
 
-    def test_replay_reproduces_verdict_and_events(self):
-        payload = self._first_failure()
+    @pytest.mark.parametrize("mutation", ["combine-drop", "cache-stale"])
+    def test_replay_reproduces_verdict_and_events(self, mutation):
+        payload = self._first_failure(mutation)
         verdict, plan = replay(payload)
         assert verdict.failure_lines == payload["failures"]
         assert [e.as_dict() for e in plan.injected] == \
@@ -133,7 +146,11 @@ class TestDeepFuzz:
         assert report.injected_events > 0, "fault phases never fired"
 
     def test_mutant_caught_across_many_seeds(self):
-        for seed in (1, 2, 3):
-            report = fuzz(seed=seed, iterations=8, with_faults=False,
-                          mutation="combine-drop", max_failures=1)
-            assert not report.ok, f"mutant survived fuzz seed {seed}"
+        from repro.testkit import MUTATIONS
+
+        for mutation in MUTATIONS:
+            for seed in (1, 2, 3):
+                report = fuzz(seed=seed, iterations=8, with_faults=False,
+                              mutation=mutation, max_failures=1)
+                assert not report.ok, \
+                    f"{mutation} mutant survived fuzz seed {seed}"
