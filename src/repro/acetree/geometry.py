@@ -150,7 +150,7 @@ class TreeGeometry:
         self._cell_counts = tuple(cell_counts) if cell_counts is not None else None
         # Per-level (los, his) bound arrays for the 1-D overlapping_nodes
         # fast path; built lazily on first use.
-        self._level_bounds: dict[int, tuple[list[float], list[float]]] = {}
+        self._level_bounds: dict[int, tuple[list[float], list[float]]] = {}  # repro: shared[confined] idempotent lazy memo of static shape
 
     # -- static shape --------------------------------------------------------
 

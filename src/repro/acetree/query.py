@@ -139,7 +139,7 @@ class Cell:
 #: be *filed* (Combine needs one cell from every required interval before
 #: a set can emit), but they all materialize to the same empty sequence,
 #: so one immutable instance serves every such filing.
-_EMPTY_CELL = Cell(None, None, 0, 0, 0, ())
+_EMPTY_CELL = Cell(None, None, 0, 0, 0, ())  # repro: shared[frozen] immutable sentinel, never mutated after construction
 
 
 class SampleBatch:
@@ -218,7 +218,7 @@ class StreamStats:
         self.cache_hits = 0
 
 
-class SampleStream:
+class SampleStream:  # repro: shared[confined] one stream per traversal; never handed across tenants
     """Online random-sample iterator over one range query.
 
     Iterating yields :class:`SampleBatch` objects; :meth:`records` flattens

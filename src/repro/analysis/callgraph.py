@@ -1,0 +1,596 @@
+"""Project-wide symbol table and call graph for the whole-program pass.
+
+The per-module rules in :mod:`repro.analysis.rules` see one file at a
+time; the analyses in :mod:`repro.analysis.program` (seed provenance,
+shared-state reachability, call-level layering) need to know *who calls
+whom* across the whole ``src/repro`` tree.  This module builds that:
+
+* :func:`build_project` parses every ``.py`` file under a package root
+  into a :class:`Project` — modules, functions, classes, and methods with
+  repro-relative qualified names (``"acetree.query.SampleStream.__next__"``);
+* :func:`build_call_graph` resolves every call site inside every function
+  body into a :class:`CallEdge`.
+
+Resolution is deliberately *best effort and total*: a call through a
+local alias, a package ``__init__`` re-export, a ``self.method``, or an
+attribute whose type is known from a constructor assignment or a
+parameter/dataclass annotation resolves to a ``direct`` edge; a call on a
+receiver of unknown type degrades to name-matched ``fuzzy`` edges (used
+only for reachability over-approximation, never for layering); anything
+else — ``getattr(obj, name)()``, calls on call results, builtins —
+becomes an ``unknown`` edge.  No input may crash the builder: dynamic
+dispatch degrades, it never raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .lint import (
+    SYNTAX_RULE,
+    Finding,
+    _collect_aliases,
+    dotted_name,
+    iter_python_files,
+)
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "build_call_graph",
+    "build_project",
+]
+
+#: How many ``__init__`` re-export hops a dotted name may chase before the
+#: resolver gives up (guards against pathological alias cycles).
+_MAX_REEXPORT_HOPS = 8
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolved call sites."""
+
+    qname: str  #: repro-relative, e.g. ``"acetree.query.SampleStream.take"``
+    module: str
+    cls: str | None  #: enclosing class qname, or None for module functions
+    name: str
+    path: Path
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False)
+    #: Parameter name -> project class qname, from annotations.
+    param_types: dict[str, str] = field(default_factory=dict, repr=False)
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and what its attributes are known to hold."""
+
+    qname: str
+    module: str
+    name: str
+    path: Path
+    lineno: int
+    node: ast.ClassDef = field(repr=False)
+    #: Method name -> function qname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: Attribute name -> project class qname (from ``self.x = Ctor()`` in
+    #: ``__init__`` or a class-body / dataclass-field annotation).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: Base class qnames that resolved to project classes.
+    bases: list[str] = field(default_factory=list)
+    #: True for ``@dataclass(frozen=True)`` classes (immutable instances).
+    frozen: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    module: str  #: repro-relative dotted path; ``""`` for the root package
+    path: Path
+    tree: ast.Module = field(repr=False)
+    lines: list[str] = field(default_factory=list, repr=False)
+    #: Local name -> absolute dotted target (``"repro.core.rng.derive"``).
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, str] = field(default_factory=dict)  #: name -> qname
+    classes: dict[str, str] = field(default_factory=dict)  #: name -> qname
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call site, resolved as far as the static evidence allows."""
+
+    caller: str  #: function qname (``"<module>"``-suffixed for module body)
+    callee: str | None  #: function qname for ``direct``, else None
+    kind: str  #: ``"direct"`` | ``"fuzzy"`` | ``"unknown"``
+    raw: str  #: the dotted text (or attr name) as written
+    path: str
+    lineno: int
+
+
+@dataclass
+class Project:
+    """The whole-program symbol table."""
+
+    root: Path
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: Files that failed to parse, as AST000 findings (never fatal).
+    errors: list[Finding] = field(default_factory=list)
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve_dotted(self, dotted: str, _hops: int = 0):
+        """Resolve an absolute dotted name to a project symbol.
+
+        Returns ``("func", qname)``, ``("class", qname)``, or ``None``.
+        Chases package ``__init__`` re-exports (``from .build import
+        build_ace_tree`` surfaced as ``repro.acetree.build_ace_tree``).
+        """
+        if _hops > _MAX_REEXPORT_HOPS:
+            return None
+        if dotted == "repro" or not dotted.startswith("repro."):
+            return None
+        parts = dotted[len("repro."):].split(".")
+        for split in range(len(parts) - 1, -1, -1):
+            mod_name = ".".join(parts[:split])
+            mod = self.modules.get(mod_name)
+            if mod is None:
+                continue
+            rest = parts[split:]
+            if not rest:
+                return None
+            head = rest[0]
+            if len(rest) == 1:
+                if head in mod.functions:
+                    return ("func", mod.functions[head])
+                if head in mod.classes:
+                    return ("class", mod.classes[head])
+                if head in mod.aliases:
+                    return self.resolve_dotted(mod.aliases[head], _hops + 1)
+                return None
+            if len(rest) == 2 and head in mod.classes:
+                cls = self.classes[mod.classes[head]]
+                method = self.find_method(cls, rest[1])
+                if method is not None:
+                    return ("func", method)
+                return None
+            if head in mod.aliases:
+                target = mod.aliases[head] + "." + ".".join(rest[1:])
+                return self.resolve_dotted(target, _hops + 1)
+            return None
+        return None
+
+    def find_method(self, cls: ClassInfo, name: str,
+                    _hops: int = 0) -> str | None:
+        """A method qname, searching ``cls`` then its project bases."""
+        if _hops > _MAX_REEXPORT_HOPS:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            base_cls = self.classes.get(base)
+            if base_cls is not None:
+                found = self.find_method(base_cls, name, _hops + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def attr_type(self, cls: ClassInfo, attr: str,
+                  _hops: int = 0) -> str | None:
+        """The project class an attribute holds, searching project bases."""
+        if _hops > _MAX_REEXPORT_HOPS:
+            return None
+        if attr in cls.attr_types:
+            return cls.attr_types[attr]
+        for base in cls.bases:
+            base_cls = self.classes.get(base)
+            if base_cls is not None:
+                found = self.attr_type(base_cls, attr, _hops + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def class_of_annotation(self, node: ast.AST | None,
+                            mod: ModuleInfo) -> str | None:
+        """The project class named by an annotation expression, if any.
+
+        Handles plain names, string annotations (``"AceTree"``), unions
+        (``SampleCache | None``), and subscripts — the first name that
+        resolves to a project class wins.
+        """
+        if node is None:
+            return None
+        candidates: list[str] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                candidates.append(sub.id)
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                candidates.append(sub.value)
+            elif isinstance(sub, ast.Attribute):
+                dotted = dotted_name(sub)
+                if dotted:
+                    candidates.append(dotted)
+        for cand in candidates:
+            resolved = self._resolve_local_class(cand, mod)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _resolve_local_class(self, name: str, mod: ModuleInfo) -> str | None:
+        """Resolve a (possibly dotted) local name to a project class."""
+        head, _, rest = name.partition(".")
+        if not rest and head in mod.classes:
+            return mod.classes[head]
+        target = mod.aliases.get(head)
+        if target is not None:
+            dotted = f"{target}.{rest}" if rest else target
+            resolved = self.resolve_dotted(dotted)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+        return None
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges plus reachability queries."""
+
+    project: Project
+    edges: list[CallEdge] = field(default_factory=list)
+    #: caller qname -> outgoing edges
+    by_caller: dict[str, list[CallEdge]] = field(
+        default_factory=lambda: defaultdict(list))
+    #: attr name -> method qnames (the fuzzy fan-out universe)
+    _methods_by_name: dict[str, list[str]] = field(
+        default_factory=lambda: defaultdict(list))
+
+    def add(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self.by_caller[edge.caller].append(edge)
+
+    def reachable(self, roots, *, fuzzy: bool = True) -> set[str]:
+        """Function qnames reachable from ``roots`` over the edge set.
+
+        ``fuzzy=True`` (the default, used by the race detector) follows
+        name-matched edges for calls on unknown receivers — an
+        over-approximation that trades precision for never missing a
+        mutation path.  ``fuzzy=False`` follows only ``direct`` edges.
+        """
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.project.functions]
+        while stack:
+            fn = stack.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            for edge in self.by_caller.get(fn, ()):
+                if edge.callee is None:
+                    continue
+                if edge.kind == "direct" or (fuzzy and edge.kind == "fuzzy"):
+                    if edge.callee not in seen:
+                        stack.append(edge.callee)
+        return seen
+
+
+# ---------------------------------------------------------------------------
+# Project construction
+# ---------------------------------------------------------------------------
+
+
+def _module_name(path: Path, root: Path) -> str:
+    rel = path.relative_to(root).with_suffix("")
+    parts = list(rel.parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def build_project(root: Path) -> Project:
+    """Parse every module under ``root`` (a ``repro`` package directory)."""
+    root = Path(root)
+    project = Project(root=root)
+    for path in iter_python_files([root]):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            project.errors.append(Finding(
+                rule=SYNTAX_RULE, path=str(path), line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        except OSError:
+            continue
+        module = _module_name(path, root)
+        # Aliases resolve relative imports against the file's position, so
+        # ``__init__`` must stay in the path handed to the resolver (the
+        # package name alone would drop one level off ``from .x import y``).
+        alias_module = ".".join(path.relative_to(root).with_suffix("").parts)
+        mod = ModuleInfo(
+            module=module, path=path, tree=tree,
+            lines=source.splitlines(),
+            aliases=_collect_aliases(tree, alias_module),
+        )
+        project.modules[module] = mod
+        _collect_symbols(project, mod)
+    for mod in project.modules.values():
+        _resolve_bases_and_types(project, mod)
+    return project
+
+
+def _collect_symbols(project: Project, mod: ModuleInfo) -> None:
+    prefix = f"{mod.module}." if mod.module else ""
+    for node in mod.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{prefix}{node.name}"
+            mod.functions[node.name] = qname
+            project.functions[qname] = FunctionInfo(
+                qname=qname, module=mod.module, cls=None, name=node.name,
+                path=mod.path, lineno=node.lineno, node=node,
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls_qname = f"{prefix}{node.name}"
+            mod.classes[node.name] = cls_qname
+            cls = ClassInfo(
+                qname=cls_qname, module=mod.module, name=node.name,
+                path=mod.path, lineno=node.lineno, node=node,
+                frozen=_is_frozen_dataclass(node),
+            )
+            project.classes[cls_qname] = cls
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn_qname = f"{cls_qname}.{item.name}"
+                    cls.methods[item.name] = fn_qname
+                    project.functions[fn_qname] = FunctionInfo(
+                        qname=fn_qname, module=mod.module, cls=cls_qname,
+                        name=item.name, path=mod.path, lineno=item.lineno,
+                        node=item,
+                    )
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = dotted_name(deco.func)
+        if name is None or not name.endswith("dataclass"):
+            continue
+        for kw in deco.keywords:
+            if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+    return False
+
+
+def _resolve_bases_and_types(project: Project, mod: ModuleInfo) -> None:
+    """Second pass: base classes, parameter types, attribute types."""
+    for cls_qname in mod.classes.values():
+        cls = project.classes[cls_qname]
+        for base in cls.node.bases:
+            resolved = project.class_of_annotation(base, mod)
+            if resolved is not None and resolved != cls_qname:
+                cls.bases.append(resolved)
+        # Class-body annotations (incl. dataclass fields): ``x: SampleCache``.
+        for item in cls.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name):
+                attr_cls = project.class_of_annotation(item.annotation, mod)
+                if attr_cls is not None:
+                    cls.attr_types.setdefault(item.target.id, attr_cls)
+    for fn in list(project.functions.values()):
+        if fn.module != mod.module:
+            continue
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            arg_cls = project.class_of_annotation(arg.annotation, mod)
+            if arg_cls is not None:
+                fn.param_types[arg.arg] = arg_cls
+        # ``self.x = Ctor()`` / ``self.x = typed_param`` in any method.
+        if fn.cls is None:
+            continue
+        cls = project.classes[fn.cls]
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    inferred = _infer_value_class(project, mod, fn, node.value)
+                    if inferred is not None:
+                        cls.attr_types.setdefault(target.attr, inferred)
+
+
+def _infer_value_class(project: Project, mod: ModuleInfo, fn: FunctionInfo,
+                       value: ast.AST) -> str | None:
+    """The project class a value expression constructs or forwards."""
+    if isinstance(value, ast.Call):
+        resolved = _resolve_call_name(project, mod, value.func)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+    if isinstance(value, ast.Name):
+        return fn.param_types.get(value.id)
+    if (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+    ):
+        base_cls_qname = None
+        if value.value.id == "self" and fn.cls is not None:
+            base_cls_qname = fn.cls
+        else:
+            base_cls_qname = fn.param_types.get(value.value.id)
+        if base_cls_qname is not None:
+            base_cls = project.classes.get(base_cls_qname)
+            if base_cls is not None:
+                return project.attr_type(base_cls, value.attr)
+    return None
+
+
+def _resolve_call_name(project: Project, mod: ModuleInfo, func: ast.AST):
+    """Resolve a call's function expression by name alone (no receivers)."""
+    if isinstance(func, ast.Name):
+        if func.id in mod.functions:
+            return ("func", mod.functions[func.id])
+        if func.id in mod.classes:
+            return ("class", mod.classes[func.id])
+        target = mod.aliases.get(func.id)
+        if target is not None:
+            return project.resolve_dotted(target)
+        return None
+    if isinstance(func, ast.Attribute):
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = mod.aliases.get(head)
+        if target is not None and rest:
+            return project.resolve_dotted(f"{target}.{rest}")
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Call-graph construction
+# ---------------------------------------------------------------------------
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Resolve every call site in every function body into edges."""
+    graph = CallGraph(project=project)
+    for fn in project.functions.values():
+        cls = project.classes.get(fn.cls) if fn.cls else None
+        methods = graph._methods_by_name
+        if not methods:
+            for name, qname in _all_methods(project):
+                methods[name].append(qname)
+        mod = project.modules[fn.module]
+        local_types = _collect_local_types(project, mod, fn)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            edge = _resolve_call(project, graph, mod, fn, cls, local_types,
+                                 node)
+            graph.add(edge)
+    return graph
+
+
+def _all_methods(project: Project):
+    for cls in project.classes.values():
+        for name, qname in cls.methods.items():
+            yield name, qname
+
+
+def _collect_local_types(project: Project, mod: ModuleInfo,
+                         fn: FunctionInfo) -> dict[str, str]:
+    """Local variable -> project class, from constructor/typed assignments."""
+    local_types: dict[str, str] = dict(fn.param_types)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+                isinstance(node.targets[0], ast.Name)):
+            inferred = _infer_value_class(project, mod, fn, node.value)
+            if inferred is not None:
+                local_types[node.targets[0].id] = inferred
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name):
+            inferred = project.class_of_annotation(node.annotation, mod)
+            if inferred is not None:
+                local_types[node.target.id] = inferred
+    return local_types
+
+
+def _class_edge(project: Project, cls_qname: str) -> str | None:
+    """The function a constructor call lands in (``__init__``), if defined."""
+    cls = project.classes.get(cls_qname)
+    if cls is None:
+        return None
+    return project.find_method(cls, "__init__")
+
+
+def _resolve_call(project, graph, mod, fn, cls, local_types,
+                  node: ast.Call) -> CallEdge:
+    func = node.func
+
+    def make(callee: str | None, kind: str, raw: str) -> CallEdge:
+        return CallEdge(
+            caller=fn.qname, callee=callee, kind=kind, raw=raw,
+            path=str(fn.path), lineno=node.lineno,
+        )
+    if isinstance(func, ast.Name):
+        resolved = _resolve_call_name(project, mod, func)
+        if resolved is not None:
+            kind_, qname = resolved
+            if kind_ == "func":
+                return make(qname, "direct", func.id)
+            init = _class_edge(project, qname)
+            if init is not None:
+                return make(init, "direct", func.id)
+            return make(None, "unknown", func.id)
+        return make(None, "unknown", func.id)
+    if isinstance(func, ast.Attribute):
+        raw = dotted_name(func) or f"<expr>.{func.attr}"
+        # self.m(...) / cls.m(...) inside a class body.
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and cls is not None
+        ):
+            method = project.find_method(cls, func.attr)
+            if method is not None:
+                return make(method, "direct", raw)
+            # Fall through: maybe an attribute-typed callable.
+        receiver_cls = _receiver_class(project, mod, fn, cls, local_types,
+                                       func.value)
+        if receiver_cls is not None:
+            cls_info = project.classes.get(receiver_cls)
+            if cls_info is not None:
+                method = project.find_method(cls_info, func.attr)
+                if method is not None:
+                    return make(method, "direct", raw)
+        # Module-attribute call (``module.func(...)``) via the alias map.
+        resolved = _resolve_call_name(project, mod, func)
+        if resolved is not None:
+            kind_, qname = resolved
+            if kind_ == "func":
+                return make(qname, "direct", raw)
+            init = _class_edge(project, qname)
+            if init is not None:
+                return make(init, "direct", raw)
+        # Unknown receiver: fan out to every project method of that name.
+        candidates = graph._methods_by_name.get(func.attr, ())
+        if candidates:
+            for qname in candidates:
+                graph.add(make(qname, "fuzzy", raw))
+        return make(None, "unknown", raw)
+    # getattr(x, name)(...), call-on-call-result, lambdas, subscripts...
+    return make(None, "unknown", "<dynamic>")
+
+
+def _receiver_class(project, mod, fn, cls, local_types,
+                    value: ast.AST) -> str | None:
+    """The project class of a call receiver expression, if inferable."""
+    if isinstance(value, ast.Name):
+        if value.id == "self" and cls is not None:
+            return cls.qname
+        return local_types.get(value.id)
+    if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+        owner: str | None = None
+        if value.value.id == "self" and cls is not None:
+            owner = cls.qname
+        else:
+            owner = local_types.get(value.value.id)
+        if owner is not None:
+            owner_cls = project.classes.get(owner)
+            if owner_cls is not None:
+                return project.attr_type(owner_cls, value.attr)
+    return None

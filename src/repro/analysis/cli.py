@@ -1,27 +1,50 @@
-"""``python -m repro lint`` — run the static analysis pass.
+"""``python -m repro lint`` — run the static analysis passes.
 
-Exit status is 0 when every linted file is clean and 1 when any finding
-survives suppression, so the command slots directly into CI.  ``--json``
-emits the findings as a JSON array for tooling.
+Two modes share the subcommand:
+
+* the default per-module rule run (``lint [paths...]``), and
+* the whole-program pass (``lint --program``): call-graph construction,
+  seed-provenance taint (SEED001/SEED002), shared-state detection
+  (RACE001/RACE002/RACE003), and call-level layering — gated by the
+  committed baseline in ``analysis/baseline.json`` so accepted findings
+  never fail CI while new ones always do.
+
+Exit status is 0 when clean (or fully baselined), 1 when any finding
+survives suppression and the baseline, 2 on usage errors — so both modes
+slot directly into CI.  ``--json`` emits machine-readable output;
+``--sarif FILE`` (program mode) writes a SARIF 2.1.0 log for
+code-scanning UIs.  ``--fix`` applies the MUT001 None-sentinel rewrite in
+place (opt-in; see :mod:`repro.analysis.fix`).
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 from .lint import findings_to_json, format_findings, lint_paths
 
-__all__ = ["run_lint"]
+__all__ = ["run_lint", "run_program_lint"]
 
 #: Linted when no paths are given: the library itself.
 DEFAULT_PATHS = ("src/repro",)
+
+#: Baseline consulted by ``--program`` when it exists and no ``--baseline``
+#: or ``--no-baseline`` was given.
+DEFAULT_BASELINE = Path("analysis/baseline.json")
 
 
 def run_lint(
     paths: list[str] | None,
     as_json: bool = False,
     select: list[str] | None = None,
+    program: bool = False,
+    baseline: str | None = None,
+    update_baseline: bool = False,
+    no_baseline: bool = False,
+    sarif: str | None = None,
+    fix: bool = False,
 ) -> int:
     """Lint the given files/directories; returns a process exit code.
 
@@ -35,6 +58,26 @@ def run_lint(
     if missing:
         print(f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
+    if fix:
+        if program:
+            print("lint: --fix applies per-module fixes; it cannot be "
+                  "combined with --program", file=sys.stderr)
+            return 2
+        from .fix import fix_paths
+
+        files_changed, fixed, skipped = fix_paths(targets)
+        for reason in skipped:
+            print(f"lint --fix: skipped {reason}", file=sys.stderr)
+        print(f"lint --fix: rewrote {fixed} mutable default(s) in "
+              f"{files_changed} file(s)")
+        # Fall through to a fresh lint so the exit code reflects what is
+        # left after fixing.
+    if program:
+        return run_program_lint(
+            targets, as_json=as_json, baseline=baseline,
+            update_baseline=update_baseline, no_baseline=no_baseline,
+            sarif=sarif,
+        )
     rules = None
     if select:
         # Import for side effect: the project rules register on import.
@@ -53,3 +96,77 @@ def run_lint(
     else:
         print(format_findings(findings))
     return 1 if findings else 0
+
+
+def run_program_lint(
+    targets: list[Path],
+    as_json: bool = False,
+    baseline: str | None = None,
+    update_baseline: bool = False,
+    no_baseline: bool = False,
+    sarif: str | None = None,
+) -> int:
+    """The whole-program pass over one package root."""
+    from .program import (
+        analyze_program,
+        apply_baseline,
+        load_baseline,
+        to_sarif,
+        write_baseline,
+    )
+
+    if len(targets) != 1 or not targets[0].is_dir():
+        print("lint --program: expects exactly one package root directory "
+              "(default src/repro)", file=sys.stderr)
+        return 2
+    report = analyze_program(targets[0])
+
+    baseline_path: Path | None = None
+    if not no_baseline:
+        if baseline is not None:
+            baseline_path = Path(baseline)
+        elif DEFAULT_BASELINE.exists() or update_baseline:
+            baseline_path = DEFAULT_BASELINE
+    if update_baseline:
+        if baseline_path is None:
+            baseline_path = DEFAULT_BASELINE
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        write_baseline(baseline_path, report.findings)
+        print(f"lint --program: baselined {len(report.findings)} "
+              f"finding(s) into {baseline_path}")
+        return 0
+
+    accepted = load_baseline(baseline_path) if baseline_path else None
+    if accepted:
+        report.baselined, report.fresh = apply_baseline(report.findings,
+                                                        accepted)
+    else:
+        report.baselined, report.fresh = [], list(report.findings)
+
+    if sarif:
+        sarif_path = Path(sarif)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(
+            json.dumps(to_sarif(report.findings, report.fresh), indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if as_json:
+        print(json.dumps({
+            "stats": report.stats,
+            "baselined": len(report.baselined),
+            "fresh": [f.__dict__ for f in report.fresh],
+        }, indent=2))
+    else:
+        for finding in report.fresh:
+            print(finding.render())
+        summary = (
+            f"lint --program: {report.stats['files']} files, "
+            f"{report.stats['functions']} functions, "
+            f"{report.stats['call_edges']} call edges; "
+            f"{len(report.fresh)} new finding(s), "
+            f"{len(report.baselined)} baselined"
+        )
+        print(summary)
+    return 1 if report.fresh else 0

@@ -1,0 +1,187 @@
+"""``lint --fix``: mechanical rewrites for fixable findings (MUT001).
+
+The only autofix today is the None-sentinel rewrite for mutable default
+arguments::
+
+    def f(xs: list = [], seen=set()):     def f(xs: list | None = None,
+        ...                                     seen=None):
+                                              if xs is None:
+                                                  xs = []
+                                              if seen is None:
+                                                  seen = set()
+                                              ...
+
+The rewrite is deliberately conservative — it edits source text spans
+reported by the parser rather than regenerating code, so formatting,
+comments, and everything outside the touched spans survive byte-for-byte.
+Functions it cannot fix safely are skipped and reported, never mangled:
+
+* ``lambda`` defaults (no body to hold the sentinel test);
+* one-line bodies on the ``def`` line (nowhere to insert);
+* parameters already named ``None``-ambiguously — not applicable here,
+  the sentinel test is inserted only for the rewritten parameters.
+
+Fixing is opt-in (``python -m repro lint --fix``) because it rewrites
+files in place; run it on a clean working tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .lint import iter_python_files
+
+__all__ = ["FixResult", "fix_mut001_source", "fix_paths"]
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one file (or one source string)."""
+
+    source: str
+    fixed: int = 0  #: defaults rewritten
+    skipped: list[str] = field(default_factory=list)  #: human reasons
+
+
+def _mutable_default(node: ast.AST) -> bool:
+    # Mirrors the MUT001 rule's test (rules._is_mutable_default); kept in
+    # sync by the round-trip tests that re-lint fixed sources.
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"list", "dict", "set", "bytearray"}
+    )
+
+
+def _defaults_with_args(args: ast.arguments):
+    """(arg, default) pairs for every defaulted parameter, in order."""
+    positional = [*args.posonlyargs, *args.args]
+    pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                     args.defaults))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            pairs.append((arg, default))
+    return pairs
+
+
+def fix_mut001_source(source: str, filename: str = "<source>") -> FixResult:
+    """Rewrite every fixable mutable default in ``source``.
+
+    Returns the new source (unchanged when nothing was fixable), the
+    number of rewritten defaults, and the reasons anything was skipped.
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return FixResult(source=source,
+                         skipped=[f"does not parse: {exc.msg}"])
+    lines = source.splitlines(keepends=True)
+    replacements: list[tuple[int, int, int, int, str]] = []
+    insertions: list[tuple[int, str]] = []  # (insert before 1-based line, text)
+    result = FixResult(source=source)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Lambda):
+            if any(_mutable_default(d) for d in
+                   (*node.args.defaults,
+                    *(d for d in node.args.kw_defaults if d is not None))):
+                result.skipped.append(
+                    f"line {node.lineno}: lambda default has no body to "
+                    "hold a sentinel test")
+            continue
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        fixable = [(arg, default)
+                   for arg, default in _defaults_with_args(node.args)
+                   if _mutable_default(default)]
+        if not fixable:
+            continue
+        body = node.body
+        if body[0].lineno == node.lineno:
+            result.skipped.append(
+                f"line {node.lineno}: {node.name} has its body on the "
+                "def line; nowhere to insert the sentinel test")
+            continue
+        # Where the sentinel block goes: after a leading docstring.
+        anchor = body[0]
+        if (
+            isinstance(anchor, ast.Expr)
+            and isinstance(anchor.value, ast.Constant)
+            and isinstance(anchor.value.value, str)
+            and len(body) > 1
+        ):
+            anchor = body[1]
+        indent = " " * anchor.col_offset
+        sentinel_lines = []
+        for arg, default in fixable:
+            default_src = ast.get_source_segment(source, default)
+            if default_src is None:  # pragma: no cover - parser guarantee
+                continue
+            replacements.append((default.lineno, default.col_offset,
+                                 default.end_lineno, default.end_col_offset,
+                                 "None"))
+            if arg.annotation is not None:
+                ann_src = ast.get_source_segment(source, arg.annotation)
+                needs_none = not any(
+                    isinstance(sub, ast.Constant) and sub.value is None
+                    for sub in ast.walk(arg.annotation)
+                )
+                if ann_src is not None and needs_none and (
+                        "None" not in ann_src):
+                    replacements.append((
+                        arg.annotation.lineno, arg.annotation.col_offset,
+                        arg.annotation.end_lineno,
+                        arg.annotation.end_col_offset,
+                        f"{ann_src} | None"))
+            sentinel_lines.append(
+                f"{indent}if {arg.arg} is None:\n"
+                f"{indent}    {arg.arg} = {default_src}\n")
+            result.fixed += 1
+        if sentinel_lines:
+            insertions.append((anchor.lineno, "".join(sentinel_lines)))
+
+    if not result.fixed:
+        return result
+
+    # Apply span replacements bottom-up so earlier positions stay valid.
+    for sl, sc, el, ec, text in sorted(replacements, reverse=True):
+        head = lines[sl - 1][:sc]
+        tail = lines[el - 1][ec:]
+        lines[sl - 1:el] = [head + text + tail]
+    # Line indexes shift once spans collapse multi-line defaults; recount
+    # insertion anchors against the rewritten text instead of trusting the
+    # old line numbers when any replacement removed lines.
+    removed_before = sorted((sl, el) for sl, sc, el, ec, _ in replacements
+                            if el > sl)
+    adjusted: list[tuple[int, str]] = []
+    for before_line, text in insertions:
+        shift = sum(el - sl for sl, el in removed_before if el < before_line)
+        adjusted.append((before_line - shift, text))
+    for before_line, text in sorted(adjusted, reverse=True):
+        lines.insert(before_line - 1, text)
+    result.source = "".join(lines)
+    return result
+
+
+def fix_paths(paths: list[str | Path]) -> tuple[int, int, list[str]]:
+    """Fix every Python file under ``paths`` in place.
+
+    Returns ``(files_changed, defaults_fixed, skipped_reasons)``.
+    """
+    files_changed = 0
+    total_fixed = 0
+    skipped: list[str] = []
+    for path in iter_python_files(Path(p) for p in paths):
+        source = path.read_text(encoding="utf-8")
+        result = fix_mut001_source(source, filename=str(path))
+        skipped.extend(f"{path}: {reason}" for reason in result.skipped)
+        if result.fixed:
+            path.write_text(result.source, encoding="utf-8")
+            files_changed += 1
+            total_fixed += result.fixed
+    return files_changed, total_fixed, skipped

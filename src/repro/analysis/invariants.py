@@ -27,8 +27,9 @@ with the bench CLI's ``--sanitize`` flag or call them from tests.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.errors import InvariantViolation
 from ..core.profile import PROFILE
@@ -38,7 +39,15 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..acetree.tree import AceTree
     from ..core.intervals import Box
 
-__all__ = ["SampleCheckReport", "check_tree", "check_sample", "check_stream"]
+__all__ = [
+    "AccessOrdinalSanitizer",
+    "SampleCheckReport",
+    "SanitizedDict",
+    "SanitizedHandle",
+    "check_tree",
+    "check_sample",
+    "check_stream",
+]
 
 
 def _fail(message: str) -> None:
@@ -324,6 +333,265 @@ def check_sample(
         pages_attributed=pages_attributed,
         leaves_read=leaves_read,
     )
+
+
+# ---------------------------------------------------------------------------
+# AccessOrdinalSanitizer — runtime single-writer checking
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StructureState:
+    """Per-wrapped-structure write history."""
+
+    #: Collapsed writer history: consecutive writes by one writer are one
+    #: episode.  A writer re-appearing after a *different* writer wrote is
+    #: an interleaved-episode violation.
+    episodes: list[str] = field(default_factory=list)
+    #: Simulated clock of the current tick and the distinct writers that
+    #: have written within it.
+    tick_clock: float | None = None
+    tick_writers: list[str] = field(default_factory=list)
+    reads: int = 0
+    writes: int = 0
+
+
+class AccessOrdinalSanitizer:
+    """Runtime proof of the static ``shared[confined]`` annotations.
+
+    The program analyzer accepts shared caches and memos when they are
+    annotated *confined* — touched by one logical writer at a time.  This
+    sanitizer makes that claim checkable: instrumented structures (wrapped
+    via :meth:`wrap` / :meth:`wrap_dict`) record every mutation against
+    the writer context active at the time and the simulated clock, and an
+    :class:`~repro.core.errors.InvariantViolation` is raised on:
+
+    * **unattributed write** — a wrapped structure is mutated with no
+      ``with sanitizer.writer(tag):`` context active;
+    * **multi-writer tick** — two distinct writers mutate one structure
+      at the same simulated-clock reading (nothing serialized them: no
+      charged I/O or CPU separates the writes);
+    * **interleaved episodes** — writer A mutates a structure, writer B
+      mutates it, then A mutates it again.  Confinement means ownership
+      transfers; an A-B-A history is two concurrent owners, exactly the
+      shape a tenant scheduler would produce by racing two traversals.
+
+    Reads are never violations (warm cache streams legitimately read data
+    a previous stream wrote) but are counted in :attr:`stats`.
+
+    The checker is deterministic: it observes only the simulated clock and
+    the caller-chosen writer tags, so under the testkit's replayable
+    scenarios a trip reproduces exactly.
+    """
+
+    def __init__(self, clock_fn: Callable[[], float]) -> None:
+        self._clock_fn = clock_fn
+        self._writer_stack: list[str] = []
+        # One sanitizer instruments one scenario run; its bookkeeping is
+        # confined to that run by construction.
+        self._structures: dict[str, _StructureState] = {}  # repro: shared[confined]
+
+    # -- writer contexts ---------------------------------------------------
+
+    @contextmanager
+    def writer(self, tag: str):
+        """Declare ``tag`` the active logical writer for the duration."""
+        self._writer_stack.append(tag)
+        try:
+            yield self
+        finally:
+            self._writer_stack.pop()
+
+    @property
+    def active_writer(self) -> str | None:
+        return self._writer_stack[-1] if self._writer_stack else None
+
+    # -- recording ---------------------------------------------------------
+
+    def note_read(self, structure: str, op: str = "") -> None:
+        self._state(structure).reads += 1
+
+    def note_write(self, structure: str, op: str = "") -> None:
+        state = self._state(structure)
+        state.writes += 1
+        writer = self.active_writer
+        suffix = f".{op}" if op else ""
+        if writer is None:
+            _fail(
+                f"sanitizer: write to {structure}{suffix} outside any "
+                "writer context; every mutation of confined state must be "
+                "attributed to a logical writer"
+            )
+        clock = self._clock_fn()
+        if state.tick_clock is None or clock != state.tick_clock:
+            state.tick_clock = clock
+            state.tick_writers = [writer]
+        elif writer not in state.tick_writers:
+            _fail(
+                f"sanitizer: {structure}{suffix} written by "
+                f"{writer!r} and {state.tick_writers[-1]!r} within one "
+                f"simulated-clock tick (clock={clock!r}); confined state "
+                "requires a single writer per tick"
+            )
+        if state.episodes and state.episodes[-1] != writer:
+            if writer in state.episodes:
+                _fail(
+                    f"sanitizer: interleaved writer episodes on "
+                    f"{structure}{suffix}: {writer!r} wrote, "
+                    f"{state.episodes[-1]!r} wrote, now {writer!r} again — "
+                    "two logical writers own this structure concurrently"
+                )
+            state.episodes.append(writer)
+        elif not state.episodes:
+            state.episodes.append(writer)
+
+    def _state(self, structure: str) -> _StructureState:
+        state = self._structures.get(structure)
+        if state is None:
+            state = _StructureState()
+            self._structures[structure] = state
+        return state
+
+    @property
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-structure read/write counts (for tests and reports)."""
+        return {
+            name: {"reads": state.reads, "writes": state.writes,
+                   "episodes": len(state.episodes)}
+            for name, state in self._structures.items()
+        }
+
+    # -- instrumentation ---------------------------------------------------
+
+    def wrap(
+        self,
+        structure: str,
+        obj,
+        *,
+        write_ops: Sequence[str],
+        read_ops: Sequence[str] = (),
+    ) -> "SanitizedHandle":
+        """Wrap any object, intercepting the named mutator methods.
+
+        The default op sets below cover the project's cache classes::
+
+            sanitizer.wrap("SampleCache", cache,
+                           write_ops=("put", "clear"),
+                           read_ops=("get", "peek"))
+            sanitizer.wrap("BufferPool", pool,
+                           write_ops=("read", "write", "invalidate",
+                                      "clear"))
+            sanitizer.wrap("DecodeMemo", memo,
+                           write_ops=("put", "clear"), read_ops=("get",))
+
+        ``BufferPool.read`` counts as a write: a miss admits and evicts
+        frames, mutating the LRU state.
+        """
+        return SanitizedHandle(self, structure, obj,
+                               frozenset(write_ops), frozenset(read_ops))
+
+    def wrap_dict(self, structure: str, mapping: dict) -> "SanitizedDict":
+        """A dict replacement that reports mutations (for bare memos)."""
+        return SanitizedDict(self, structure, mapping)
+
+
+class SanitizedHandle:
+    """Method-intercepting proxy produced by :meth:`AccessOrdinalSanitizer.wrap`.
+
+    Unlisted attributes and methods pass straight through to the wrapped
+    object, so the proxy drops into any call site that duck-types the
+    original (``attach_sample_cache``, leaf-store memo slots, ...).
+    """
+
+    __slots__ = ("_obj", "_sanitizer", "_structure", "_write_ops",
+                 "_read_ops")
+
+    def __init__(self, sanitizer, structure, obj, write_ops, read_ops):
+        object.__setattr__(self, "_sanitizer", sanitizer)
+        object.__setattr__(self, "_structure", structure)
+        object.__setattr__(self, "_obj", obj)
+        object.__setattr__(self, "_write_ops", write_ops)
+        object.__setattr__(self, "_read_ops", read_ops)
+
+    @property
+    def wrapped(self):
+        """The underlying object."""
+        return self._obj
+
+    def __getattr__(self, name):
+        value = getattr(self._obj, name)
+        if callable(value):
+            if name in self._write_ops:
+                sanitizer, structure = self._sanitizer, self._structure
+
+                def write_op(*args, **kwargs):
+                    sanitizer.note_write(structure, name)
+                    return value(*args, **kwargs)
+
+                return write_op
+            if name in self._read_ops:
+                sanitizer, structure = self._sanitizer, self._structure
+
+                def read_op(*args, **kwargs):
+                    sanitizer.note_read(structure, name)
+                    return value(*args, **kwargs)
+
+                return read_op
+        return value
+
+    def __contains__(self, item) -> bool:
+        return item in self._obj
+
+    def __len__(self) -> int:
+        return len(self._obj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedHandle({self._structure}, {self._obj!r})"
+
+
+class SanitizedDict(dict):
+    """A dict that reports every mutation to the sanitizer.
+
+    Used for bare-dict memos (``AceTree._overlap_memo``): swap the memo
+    for ``sanitizer.wrap_dict("AceTree._overlap_memo", memo)`` and every
+    ``d[k] = v`` / ``clear`` / ``pop`` is ordinal-checked while reads stay
+    plain dict reads.
+    """
+
+    def __init__(self, sanitizer: AccessOrdinalSanitizer, structure: str,
+                 initial: dict | None = None):
+        super().__init__(initial or {})
+        self._sanitizer = sanitizer
+        self._structure = structure
+
+    def __setitem__(self, key, value):
+        self._sanitizer.note_write(self._structure, "setitem")
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._sanitizer.note_write(self._structure, "delitem")
+        super().__delitem__(key)
+
+    def clear(self):
+        self._sanitizer.note_write(self._structure, "clear")
+        super().clear()
+
+    def pop(self, *args):
+        self._sanitizer.note_write(self._structure, "pop")
+        return super().pop(*args)
+
+    def popitem(self):
+        self._sanitizer.note_write(self._structure, "popitem")
+        return super().popitem()
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self._sanitizer.note_write(self._structure, "setdefault")
+        return super().setdefault(key, default)
+
+    def update(self, *args, **kwargs):
+        self._sanitizer.note_write(self._structure, "update")
+        super().update(*args, **kwargs)
 
 
 def _chi2_sf(x: float, df: int) -> float:

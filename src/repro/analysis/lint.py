@@ -12,8 +12,11 @@ the *mechanism* for enforcing such invariants statically:
   module's position inside the ``repro`` package (so rules can exempt the
   sanctioned modules), and an import-alias map for canonicalizing dotted
   names (``np.random.default_rng`` -> ``numpy.random.default_rng``);
-* per-line suppression via ``# repro: allow[RULE]`` comments (several IDs
-  may be listed, comma separated; the rest of the comment should say *why*);
+* statement-scoped suppression via ``# repro: allow[RULE]`` comments
+  (several IDs may be listed, comma separated; the rest of the comment
+  should say *why*) — a comment on any line of a multi-line statement,
+  including the closing line of a black-wrapped call, covers the whole
+  statement;
 * human-readable (``path:line:col: RULE message``) and JSON output.
 
 Run it as ``python -m repro lint [--json] [paths...]``; see
@@ -41,6 +44,7 @@ __all__ = [
     "lint_paths",
     "format_findings",
     "findings_to_json",
+    "suppressed_rule_index",
 ]
 
 #: Rule ID for files that cannot be parsed at all.
@@ -98,7 +102,7 @@ class Rule:
 
 
 #: Registry of all known rules, keyed by rule ID.
-RULES: dict[str, Rule] = {}
+RULES: dict[str, Rule] = {}  # repro: shared[frozen] populated once at import by @register, read-only after
 
 
 def register(rule_id: str, summary: str):
@@ -218,6 +222,56 @@ def _suppressed_rules(line: str) -> set[str]:
     return {part.strip() for part in match.group(1).split(",") if part.strip()}
 
 
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(first, last) line of every multi-line statement, headers only.
+
+    For simple statements (assignments, expressions, returns...) the span
+    is the whole statement — that is what lets a suppression on the
+    closing line of a black-wrapped call cover the call's anchor line.
+    Compound statements (``def``/``if``/``for``...) span only their
+    *header*, up to the line before their first body statement: a comment
+    at the end of a function must not silence the whole function.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        else:
+            end = getattr(node, "end_lineno", None) or node.lineno
+        if end > node.lineno:
+            spans.append((node.lineno, end))
+    return spans
+
+
+def suppressed_rule_index(tree: ast.Module,
+                          lines: list[str]) -> dict[int, set[str]]:
+    """Rule IDs suppressed at each 1-based line of a parsed file.
+
+    A ``# repro: allow[RULE]`` comment silences findings anchored to its
+    own line and — when it sits on any line of a multi-line statement —
+    findings anchored anywhere in that statement.
+    """
+    index: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        rules = _suppressed_rules(text)
+        if rules:
+            index.setdefault(lineno, set()).update(rules)
+    if index:
+        for start, end in _statement_spans(tree):
+            span_rules: set[str] = set()
+            for lineno in range(start, end + 1):
+                span_rules.update(index.get(lineno, ()))
+            if span_rules:
+                for lineno in range(start, end + 1):
+                    index.setdefault(lineno, set()).update(span_rules)
+    return index
+
+
 def lint_file(path: Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
     """Run every (or the given) rule over one Python file."""
     source = path.read_text(encoding="utf-8")
@@ -242,13 +296,11 @@ def lint_file(path: Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
         lines=lines,
         aliases=_collect_aliases(tree, module),
     )
+    suppressed = suppressed_rule_index(tree, lines)
     findings: list[Finding] = []
     for rule in rules if rules is not None else RULES.values():
         for finding in rule.check(ctx):
-            line_text = (
-                lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
-            )
-            if finding.rule in _suppressed_rules(line_text):
+            if finding.rule in suppressed.get(finding.line, ()):
                 continue
             findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,120 @@
+"""Shared-mutable-state model: annotations, allowlist, mutability tests.
+
+The race rules in :mod:`repro.analysis.program` report shared mutable
+state *unless* the site carries an explicit concurrency story (the
+examples below omit the leading ``#`` so this docstring is not itself a
+registered annotation)::
+
+    _frames: OrderedDict = ...    repro: shared[lock=pool_lock] reason...
+    METRICS = MetricsRegistry()   repro: shared[lock=_lock] registry
+    class SampleStream:           repro: shared[confined] one per traversal
+
+The grammar is ``# repro: shared[lock=<name>|confined|frozen]`` followed
+by free-text rationale:
+
+* ``lock=<name>`` — mutations are serialized by the named lock;
+* ``confined``    — the object is only ever touched by one logical
+  writer at a time (one engine thread today; the scheduler PR must
+  revisit every such site);
+* ``frozen``      — written once during import/build, read-only after.
+
+Every annotation must also be registered in the ``pyproject.toml``
+allowlist (``[tool.repro.program] shared = ["<site>: <spec>", ...]``) so
+the set of sanctioned shared state is reviewable in one place; an
+annotation without a registry entry — or a stale registry entry without
+an annotation — is itself a finding (RACE003).
+"""
+
+from __future__ import annotations
+
+import re
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SharedAnnotation",
+    "collect_annotations",
+    "load_allowlist",
+    "MUTABLE_FACTORIES",
+    "MUTATOR_METHODS",
+]
+
+_SHARED_RE = re.compile(
+    r"#\s*repro:\s*shared\[(lock=[A-Za-z0-9_.]+|confined|frozen)\]"
+)
+
+#: Canonical callables that construct a shared-mutable container.  The
+#: plain builtins double as their canonical names; ``itertools.count`` is
+#: here because a shared counter object is exactly as racy as a dict.
+MUTABLE_FACTORIES = {
+    "dict", "list", "set", "bytearray",
+    "collections.OrderedDict", "collections.defaultdict",
+    "collections.deque", "collections.Counter", "collections.ChainMap",
+    "itertools.count",
+}
+
+#: Method calls that mutate a container in place.
+MUTATOR_METHODS = {
+    "append", "appendleft", "add", "insert", "extend", "remove", "discard",
+    "pop", "popleft", "popitem", "clear", "update", "setdefault",
+    "move_to_end", "sort", "reverse",
+}
+
+
+@dataclass(frozen=True)
+class SharedAnnotation:
+    """One parsed ``# repro: shared[...]`` annotation."""
+
+    kind: str  #: ``"lock"`` | ``"confined"`` | ``"frozen"``
+    lock: str | None  #: lock name when ``kind == "lock"``
+    line: int
+
+    @property
+    def spec(self) -> str:
+        """The normalized bracket text (``"lock=registry"``)."""
+        return f"lock={self.lock}" if self.kind == "lock" else self.kind
+
+
+def parse_spec(spec: str) -> tuple[str, str | None]:
+    """Split a spec string into ``(kind, lock_name)``."""
+    spec = spec.strip()
+    if spec.startswith("lock="):
+        return "lock", spec[len("lock="):]
+    return spec, None
+
+
+def collect_annotations(lines: list[str]) -> dict[int, SharedAnnotation]:
+    """Every ``shared[...]`` annotation in a file, keyed by 1-based line."""
+    found: dict[int, SharedAnnotation] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SHARED_RE.search(text)
+        if match is None:
+            continue
+        kind, lock = parse_spec(match.group(1))
+        found[lineno] = SharedAnnotation(kind=kind, lock=lock, line=lineno)
+    return found
+
+
+def load_allowlist(pyproject: Path) -> dict[str, str]:
+    """The sanctioned shared-state registry from ``pyproject.toml``.
+
+    Returns ``{site_qname: spec}`` (e.g. ``{"obs.metrics.METRICS":
+    "lock=_lock"}``).  A missing file or missing table is an empty
+    registry, not an error — fixture projects have no pyproject.
+    """
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    entries = (
+        data.get("tool", {}).get("repro", {}).get("program", {})
+        .get("shared", [])
+    )
+    registry: dict[str, str] = {}
+    for entry in entries:
+        if not isinstance(entry, str) or ":" not in entry:
+            continue
+        site, _, spec = entry.partition(":")
+        registry[site.strip()] = spec.strip()
+    return registry

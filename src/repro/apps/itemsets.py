@@ -59,7 +59,7 @@ class FrequentItemEstimator:
         self._items_of = items_of
         self.support = support
         self.confidence = confidence
-        self._counts: Counter = Counter()
+        self._counts: Counter = Counter()  # repro: shared[confined] one estimator per stream consumer
         self._n = 0
 
     # -- updates ---------------------------------------------------------------

@@ -380,7 +380,9 @@ class RTree:
         total = self.count(query)
         if total == 0:
             return
-        rng = derive_random(seed, "rtree-sample")
+        # Distinct tag from sample(): the two samplers must not draw
+        # bit-identical streams when ablations run both at one seed.
+        rng = derive_random(seed, "rtree-olken")
         disk = self.leaves.disk
         used: set[tuple[int, int]] = set()
         emitted = 0

@@ -166,6 +166,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only this rule ID (repeatable), e.g. --select TST001 "
         "to apply the test-hygiene rule to tests/",
     )
+    lint.add_argument(
+        "--program",
+        action="store_true",
+        help="run the whole-program pass (call graph, SEED/RACE rules, "
+        "call-level layering) over one package root",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="program mode: baseline file of accepted findings "
+        "(default: analysis/baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="program mode: accept the current findings as the new "
+        "baseline and exit 0",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="program mode: report every finding, ignoring any baseline",
+    )
+    lint.add_argument(
+        "--sarif",
+        metavar="FILE",
+        default=None,
+        help="program mode: also write findings as SARIF 2.1.0 to FILE",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite fixable findings in place (MUT001 None-sentinel); "
+        "opt-in, edits files under PATH",
+    )
 
     bench = sub.add_parser(
         "bench", help="run wall-clock micro-benchmarks of the implementation"
@@ -464,7 +500,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "lint":
         from ..analysis.cli import run_lint
 
-        return run_lint(args.paths, as_json=args.json, select=args.select)
+        return run_lint(
+            args.paths,
+            as_json=args.json,
+            select=args.select,
+            program=args.program,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+            no_baseline=args.no_baseline,
+            sarif=args.sarif,
+            fix=args.fix,
+        )
 
     if args.command == "list":
         for name, spec in FIGURES.items():

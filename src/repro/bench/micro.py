@@ -34,7 +34,7 @@ __all__ = ["MICRO_SCHEMA", "run_micro"]
 #: The relation layout every micro-benchmark uses: an indexed int key, a
 #: float payload, and padding up to a 100-byte record (the paper's scale
 #: experiments use records of roughly this size).
-MICRO_SCHEMA = Schema(
+MICRO_SCHEMA = Schema(  # repro: shared[confined] schema struct memos are engine-thread idempotent caches
     [Field("k", "i8"), Field("v", "f8"), Field("pad", "bytes", 84)]
 )
 
@@ -365,6 +365,31 @@ def _span_overhead_benchmarks(repeat: int) -> dict:
     return result
 
 
+def _program_lint_benchmarks(repeat: int) -> dict:
+    """Wall time of the whole-program analyzer over the live tree.
+
+    ``python -m repro lint --program`` is a blocking CI job; this section
+    keeps its cost visible so the pass stays inside its 5-second budget
+    as the call graph grows.  The structural counts are recorded for
+    context only (they move with every code change, so the regression
+    rules ignore them); the timing gates under the generic wall rules.
+    """
+    from pathlib import Path
+
+    from ..analysis.program import analyze_program
+
+    root = Path(__file__).resolve().parents[1]
+    report = analyze_program(root)
+    wall_s = _best_of(repeat, lambda: None, lambda _: analyze_program(root))
+    return {
+        "wall_seconds": wall_s,
+        "files": report.stats["files"],
+        "functions": report.stats["functions"],
+        "call_edges": report.stats["call_edges"],
+        "findings": report.stats["findings"],
+    }
+
+
 def _slug(name: str) -> str:
     """Sampler display name -> JSON key (``"B+ Tree"`` -> ``"b_tree"``)."""
     import re
@@ -423,6 +448,7 @@ def run_micro(n: int = 20_000, repeat: int = 5, figures: bool = False) -> dict:
         "combine_batch": _combine_batch_benchmarks(n, repeat),
         "ace_query_lazy": _lazy_materialization_benchmarks(n, repeat),
         "span_overhead": _span_overhead_benchmarks(repeat),
+        "program_lint": _program_lint_benchmarks(repeat),
     }
     cache_wall, cache_det = _sample_cache_benchmarks(n, repeat)
     results["ace_query_cache"] = cache_wall

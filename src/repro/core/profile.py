@@ -56,7 +56,7 @@ from typing import Iterator
 __all__ = ["Profiler", "PROFILE"]
 
 
-class Profiler:
+class Profiler:  # repro: shared[lock=_lock] one lock guards every mutation and composite read
     """Named wall-clock timers and counters, accumulated per name.
 
     Safe for concurrent use from multiple threads: a single lock guards
@@ -173,7 +173,7 @@ class Profiler:
 
 
 #: Process-wide profiler that the library's build and query paths report into.
-PROFILE = Profiler()
+PROFILE = Profiler()  # repro: shared[lock=_lock] process-wide; every mutation holds Profiler._lock
 
 # PROFILE consumes the tracer's span stream: every span measured by
 # repro.obs.tracer.TRACER (live or aggregate-only) folds its wall time into

@@ -114,10 +114,10 @@ class Schema:
         # count -> Struct packing `count` records back to back; compiled on
         # demand so common batch sizes (a page's worth) pay the format parse
         # once instead of one struct call per record.
-        self._batch_structs: dict[int, struct.Struct] = {1: self._struct}
+        self._batch_structs: dict[int, struct.Struct] = {1: self._struct}  # repro: shared[confined] idempotent struct memo; same key always maps to an equal Struct
         # field index -> Struct extracting just that column from one record
         # (pad bytes skip the rest), for lazy column decodes.
-        self._column_structs: dict[int, struct.Struct] = {}
+        self._column_structs: dict[int, struct.Struct] = {}  # repro: shared[confined] idempotent struct memo; same key always maps to an equal Struct
         self._numpy_dtype = None
 
     # -- introspection -----------------------------------------------------

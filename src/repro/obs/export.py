@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 # key -> (required, allowed types); floats accept ints too (JSON round-trip).
-SPAN_SCHEMA: dict = {
+SPAN_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
     "kind": (False, (str,)),
     "name": (True, (str,)),
     "span_id": (True, (int,)),
@@ -58,7 +58,7 @@ SPAN_SCHEMA: dict = {
 }
 
 #: Schema for ``"kind": "quality"`` lines (record version inside ``"v"``).
-QUALITY_SCHEMA: dict = {
+QUALITY_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
     "kind": (True, (str,)),
     "v": (True, (int,)),
     "label": (True, (str,)),

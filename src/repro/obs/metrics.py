@@ -87,7 +87,7 @@ class Histogram:
         }
 
 
-class MetricsRegistry:
+class MetricsRegistry:  # repro: shared[lock=_lock] one shared lock serializes every mutation
     """Get-or-create registry of named metrics; one shared lock for mutation."""
 
     __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
@@ -150,4 +150,4 @@ class MetricsRegistry:
             self._histograms.clear()
 
 
-METRICS = MetricsRegistry()
+METRICS = MetricsRegistry()  # repro: shared[lock=_lock] process-wide registry; mutation holds MetricsRegistry._lock

@@ -174,7 +174,7 @@ class UniformityMonitor:
         self._total_counts = [0] * bins
         self.samples = 0
         self.out_of_range = 0
-        self.windows: list[WindowVerdict] = []
+        self.windows: list[WindowVerdict] = []  # repro: shared[confined] one monitor per observed stream
 
     # -- updates -------------------------------------------------------
 

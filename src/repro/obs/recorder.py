@@ -32,7 +32,7 @@ class TraceRecorder:
     """Collect finished spans from a tracer and feed derived histograms."""
 
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
-        self.spans: list[SpanRecord] = []
+        self.spans: list[SpanRecord] = []  # repro: shared[confined] one recorder per capture session
         self.metrics = metrics if metrics is not None else METRICS
         self._tracer: Tracer | None = None
         self._was_enabled = False

@@ -72,6 +72,10 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     MetricRule(r"profile\..*", "ignore"),
     MetricRule(r"metrics\..*", "ignore"),
     MetricRule(r".*\.best_run_profile_seconds\..*", "ignore"),
+    # Whole-program analyzer structure counts: they move with every code
+    # change by design (wall_seconds still gates under the generic rules).
+    MetricRule(r"program_lint\.(files|functions|call_edges|findings.*)",
+               "ignore"),
     # Deterministic: simulated-clock durations and I/O counts ...
     MetricRule(r".*sim_seconds.*", "exact"),
     MetricRule(r".*_sim_s", "exact"),

@@ -125,7 +125,7 @@ class _NoopSpan:
         return False
 
 
-NOOP_SPAN = _NoopSpan()
+NOOP_SPAN = _NoopSpan()  # repro: shared[frozen] stateless sentinel span
 
 
 class _TimerSpan:
@@ -297,4 +297,4 @@ class Tracer:
             listener(record)
 
 
-TRACER = Tracer()
+TRACER = Tracer()  # repro: shared[confined] engine-thread span sink; scheduler PR must shard or lock it

@@ -55,7 +55,7 @@ class _Extent:
     count: int = field(default=1)
 
 
-class SimulatedDisk:
+class SimulatedDisk:  # repro: shared[confined] the clock itself is single-writer; sharding it is the scheduler PR's core problem
     """Fixed-page-size simulated disk with seek-aware timing.
 
     Args:

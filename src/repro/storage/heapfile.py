@@ -75,7 +75,7 @@ def _packed_page_images(
     return images, counts
 
 
-class HeapFile:
+class HeapFile:  # repro: shared[confined] append path is build-time, single engine thread
     """A paged file of fixed-size records with sequential scan support.
 
     Construct with :meth:`create` (empty, append-friendly) or

@@ -71,7 +71,7 @@ class CacheStats:
         }
 
 
-class SampleCache:
+class SampleCache:  # repro: shared[confined] single-writer LRU today; sanitizer-checked, scheduler PR must lock it
     """Byte-budgeted LRU of decoded sample cells (cache-aside).
 
     Args:

@@ -8,6 +8,8 @@ replay payload (JSON) so the exact fault sequence can be re-run::
     python -m repro testkit fuzz --seed 7 --iterations 40
     python -m repro testkit fuzz --mutation combine-drop   # oracle self-test
     python -m repro testkit fuzz --mutation cache-stale    # cache-oracle self-test
+    python -m repro testkit fuzz --mutation shared-memo    # sanitizer self-test
+    python -m repro testkit fuzz --sanitize-access         # confinement proof
     python -m repro testkit replay testkit_failure.json
 """
 
@@ -46,6 +48,9 @@ def add_testkit_parser(sub) -> None:
                         "self-test: the run must FAIL)")
     fuzz_p.add_argument("--max-failures", type=int, default=8,
                         help="stop after this many failing cases (default 8)")
+    fuzz_p.add_argument("--sanitize-access", action="store_true",
+                        help="arm the access-ordinal sanitizer on every run "
+                        "(on by default only for --mutation shared-memo)")
     fuzz_p.add_argument("--out", type=Path, default=Path("testkit_failure.json"),
                         help="replay payload file for the first failing case "
                         "(default testkit_failure.json)")
@@ -68,6 +73,7 @@ def _run_fuzz(args) -> int:
         with_faults=not args.no_faults,
         mutation=args.mutation,
         max_failures=args.max_failures,
+        sanitize=True if args.sanitize_access else None,
     )
     print(f"testkit fuzz: seed={report.seed} scenarios={report.scenarios_run} "
           f"queries={report.queries_checked} "

@@ -143,7 +143,7 @@ class FaultPlan:
             if not 0.0 <= rate <= 1.0:
                 raise FaultPlanError(f"rate for {key!r} must be in [0, 1], got {rate}")
         self.events = list(events) if events is not None else None
-        self.injected: list[FaultEvent] = []
+        self.injected: list[FaultEvent] = []  # repro: shared[confined] one plan per scenario run
         if self.events is not None:
             self._by_slot = {(e.op, e.ordinal): e for e in self.events}
         else:

@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 #: The two-column schema every single-key suite builds on.
-KV_SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])
+KV_SCHEMA = Schema([Field("k", "i8"), Field("v", "f8")])  # repro: shared[confined] schema struct memos are engine-thread idempotent caches
 
 #: Key distributions the scenario generator can draw.
 DISTRIBUTIONS: tuple[str, ...] = ("uniform", "skew", "dups", "sorted")

@@ -21,19 +21,32 @@ streams must be indistinguishable from cold ones.
 
 The harness can also sabotage itself: ``mutation="combine-drop"`` swaps in
 a :class:`BrokenCombineStream` whose Combine silently discards one
-required interval's cells, and ``mutation="cache-stale"`` swaps in a
+required interval's cells, ``mutation="cache-stale"`` swaps in a
 :class:`StaleSampleCache` that serves the wrong leaf's cells on warm
-hits.  The differential oracle must catch both — these are the
-self-tests proving the oracle has teeth.
+hits, and ``mutation="shared-memo"`` interleaves two simulated tenants'
+stream creations over one tree so its shared memos see A-B-A writer
+episodes.  The differential oracle must catch the first two and the
+access-ordinal sanitizer (:mod:`repro.analysis.invariants`) the third —
+these are the self-tests proving the oracle and sanitizer have teeth.
+
+``sanitize=True`` (CLI ``--sanitize-access``) arms the sanitizer on any
+run: the tree's overlap memo, its leaf decode memo, and the attached
+sample cache are wrapped, every stream drains inside a per-stream writer
+context, and single-writer-per-tick plus episode-confinement are asserted
+throughout.  Clean scenarios must pass with it armed — that is the
+runtime proof that the ``shared[confined]`` annotations the program
+analyzer accepts are honest.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..acetree import AceBuildParams, build_ace_tree
 from ..acetree.query import SampleStream
-from ..core.errors import ReproError
+from ..analysis.invariants import AccessOrdinalSanitizer
+from ..core.errors import InvariantViolation, ReproError
 from ..core.rng import derive_random
 from ..storage.cost import CostModel
 from ..storage.heapfile import HeapFile
@@ -53,8 +66,8 @@ __all__ = [
     "run_scenario",
 ]
 
-#: Known sabotage modes for oracle self-tests.
-MUTATIONS: tuple[str, ...] = ("combine-drop", "cache-stale")
+#: Known sabotage modes for oracle/sanitizer self-tests.
+MUTATIONS: tuple[str, ...] = ("combine-drop", "cache-stale", "shared-memo")
 
 #: Replay payload format version.
 REPLAY_VERSION = 1
@@ -154,6 +167,7 @@ def run_scenario(
     scenario: Scenario,
     plan: FaultPlan | None = None,
     mutation: str | None = None,
+    sanitize: bool | None = None,
 ) -> tuple[ScenarioVerdict, FaultPlan]:
     """Build the scenario on a fault-injected disk and judge every sampler.
 
@@ -162,11 +176,16 @@ def run_scenario(
     an injected fault is a *detected* failure — the engine raised a typed
     error instead of corrupting silently — and is only a verdict failure
     when no faults were active.
+
+    ``sanitize`` arms the access-ordinal sanitizer (default: only for the
+    ``"shared-memo"`` mutation, which exists to trip it).
     """
     from ..baselines import build_bplus_tree, build_permuted_file
 
     if mutation is not None and mutation not in MUTATIONS:
         raise ValueError(f"unknown mutation {mutation!r}; expected {MUTATIONS}")
+    if sanitize is None:
+        sanitize = mutation == "shared-memo"
     plan = plan if plan is not None else FaultPlan()
     verdict = ScenarioVerdict(
         scenario=scenario, faults_active=plan.active, mutation=mutation
@@ -193,35 +212,50 @@ def run_scenario(
         verdict.injected = len(plan.injected)
         return verdict, plan
 
+    sanitizer: AccessOrdinalSanitizer | None = None
+    if sanitize:
+        # Instrument *after* the build: the builders own the structures
+        # exclusively, the query phases are what must prove confinement.
+        sanitizer = AccessOrdinalSanitizer(lambda: disk.clock)
+        tree._overlap_memo = sanitizer.wrap_dict(
+            "AceTree._overlap_memo", tree._overlap_memo)
+        tree.leaf_store._memo = sanitizer.wrap(
+            "LeafStore.decode_memo", tree.leaf_store._memo,
+            write_ops=("put", "clear"), read_ops=("get",))
+
+    if mutation == "shared-memo":
+        verdict.reports.append(
+            _shared_memo_mutant(tree, scenario, sanitizer))
+        verdict.injected = len(plan.injected)
+        return verdict, plan
+
     degraded_ok = plan.active
     for query_index, (lo, hi) in enumerate(scenario.queries):
         box = tree.query((lo, hi))
         matching = reference_matching(records, box)
         seed = scenario.seed + query_index
-        if mutation == "combine-drop":
-            ace_stream = BrokenCombineStream(
-                tree, box, seed=seed,
-                lost_leaf_policy="skip" if degraded_ok else "raise",
-            )
-        else:
-            ace_stream = tree.sample(
+
+        def make_ace():
+            if mutation == "combine-drop":
+                return BrokenCombineStream(
+                    tree, box, seed=seed,
+                    lost_leaf_policy="skip" if degraded_ok else "raise",
+                )
+            return tree.sample(
                 box, seed=seed,
                 lost_leaf_policy="skip" if degraded_ok else "raise",
             )
+
         streams = [
-            ("ace", ace_stream),
-            ("bplus", bplus.sample(box, seed=seed)),
-            ("permuted", permuted.sample(box, seed=seed)),
+            ("ace", make_ace),
+            ("bplus", lambda: bplus.sample(box, seed=seed)),
+            ("permuted", lambda: permuted.sample(box, seed=seed)),
         ]
-        for name, stream in streams:
-            report = check_stream(
-                name, stream, matching, query=(lo, hi), degraded_ok=degraded_ok
-            )
-            if report.aborted is not None and not degraded_ok:
-                report.failures.append(
-                    f"stream aborted without faults: {report.aborted}"
-                )
-            verdict.reports.append(report)
+        for name, make_stream in streams:
+            verdict.reports.append(_checked_stream(
+                sanitizer, f"{name}:q{query_index}", name, make_stream,
+                matching, (lo, hi), degraded_ok,
+            ))
 
     # Cold-then-warm differential pass.  Appended *after* the historical
     # phases so their fault access ordinals (and hence every existing
@@ -230,6 +264,10 @@ def run_scenario(
     # a warm pass served from residency — and both face the same oracle:
     # cache-warm streams must be indistinguishable from cold ones.
     cache = StaleSampleCache() if mutation == "cache-stale" else SampleCache()
+    if sanitizer is not None:
+        cache = sanitizer.wrap(
+            "SampleCache", cache,
+            write_ops=("put", "clear"), read_ops=("get", "peek"))
     tree.attach_sample_cache(cache)
     try:
         for query_index, (lo, hi) in enumerate(scenario.queries):
@@ -238,25 +276,95 @@ def run_scenario(
             seed = scenario.seed + query_index
             policy = "skip" if degraded_ok else "raise"
             for name in ("ace-populate", "ace-warm"):
-                stream = tree.sample(box, seed=seed, lost_leaf_policy=policy)
-                report = check_stream(
-                    name, stream, matching, query=(lo, hi),
-                    degraded_ok=degraded_ok,
-                )
-                if report.aborted is not None and not degraded_ok:
-                    report.failures.append(
-                        f"stream aborted without faults: {report.aborted}"
-                    )
-                verdict.reports.append(report)
+                def make_cached():
+                    return tree.sample(box, seed=seed, lost_leaf_policy=policy)
+
+                verdict.reports.append(_checked_stream(
+                    sanitizer, f"{name}:q{query_index}", name, make_cached,
+                    matching, (lo, hi), degraded_ok,
+                ))
     finally:
         tree.detach_sample_cache()
     verdict.injected = len(plan.injected)
     return verdict, plan
 
 
+def _checked_stream(sanitizer, writer_tag, name, make_stream, matching,
+                    query, degraded_ok) -> DifferentialReport:
+    """Create and judge one stream, inside one sanitizer writer episode.
+
+    The writer context covers stream *creation* too — creating a stream
+    writes the tree's overlap memo, and those writes must be attributed.
+    A sanitizer trip is always a verdict failure, even in fault phases
+    where aborted streams are otherwise tolerated: faults never excuse a
+    confinement violation.
+    """
+    try:
+        if sanitizer is not None:
+            with sanitizer.writer(writer_tag):
+                stream = make_stream()
+                report = check_stream(
+                    name, stream, matching, query=query,
+                    degraded_ok=degraded_ok,
+                )
+        else:
+            stream = make_stream()
+            report = check_stream(
+                name, stream, matching, query=query, degraded_ok=degraded_ok
+            )
+    except InvariantViolation as exc:
+        report = DifferentialReport(sampler=name, query=query,
+                                    failures=[str(exc)])
+        return report
+    if report.aborted is not None:
+        if not degraded_ok:
+            report.failures.append(
+                f"stream aborted without faults: {report.aborted}"
+            )
+        elif "sanitizer:" in report.aborted:
+            report.failures.append(
+                f"confinement violated under faults: {report.aborted}"
+            )
+    return report
+
+
+def _shared_memo_mutant(tree, scenario: Scenario,
+                        sanitizer: AccessOrdinalSanitizer | None,
+                        ) -> DifferentialReport:
+    """Interleave two simulated tenants' stream creations on one tree.
+
+    Tenant A creates a stream (writing the shared overlap memo), tenant B
+    creates one, then tenant A creates a third — the A-B-A writer-episode
+    pattern a concurrency-unsafe scheduler would produce.  The sanitizer
+    MUST trip; the trip is reported as the verdict failure that the
+    mutation self-test asserts on (a silent pass means the sanitizer has
+    no teeth).
+    """
+    lo, hi = scenario.queries[0]
+    mid = (lo + hi) // 2
+    # Three distinct query boxes: distinct overlap-memo keys, so every
+    # creation writes the memo (a repeat box would be a memo *hit*).
+    boxes = [tree.query(q) for q in ((lo, hi), (lo, mid), (mid, hi))]
+    report = DifferentialReport(sampler="ace-shared", query=(lo, hi))
+    # With sanitize=False the mutant runs uninstrumented and passes
+    # silently — demonstrating exactly the blindness the sanitizer fixes.
+    owner = sanitizer.writer if sanitizer is not None else (
+        lambda tag: nullcontext())
+    try:
+        with owner("tenant-A"):
+            tree.sample(boxes[0], seed=scenario.seed)
+        with owner("tenant-B"):
+            tree.sample(boxes[1], seed=scenario.seed + 1)
+        with owner("tenant-A"):
+            tree.sample(boxes[2], seed=scenario.seed + 2)
+    except InvariantViolation as exc:
+        report.failures.append(str(exc))
+    return report
+
+
 def _replay_payload(scenario, plan, mutation, verdict, fuzz_seed, iteration,
-                    phase) -> dict:
-    return {
+                    phase, sanitize=None) -> dict:
+    payload = {
         "v": REPLAY_VERSION,
         "kind": "testkit-replay",
         "fuzz_seed": fuzz_seed,
@@ -267,6 +375,11 @@ def _replay_payload(scenario, plan, mutation, verdict, fuzz_seed, iteration,
         "plan": plan.to_replay().as_dict(),
         "failures": verdict.failure_lines,
     }
+    if sanitize is not None:
+        # Optional key: version-1 payloads without it replay unchanged
+        # (run_scenario re-derives the default from the mutation).
+        payload["sanitize"] = sanitize
+    return payload
 
 
 @dataclass
@@ -292,6 +405,7 @@ def fuzz(
     with_faults: bool = True,
     mutation: str | None = None,
     max_failures: int = 8,
+    sanitize: bool | None = None,
 ) -> FuzzReport:
     """Run ``iterations`` generated scenarios, clean and (optionally) faulted.
 
@@ -310,7 +424,8 @@ def fuzz(
                 ("faulted", FaultPlan(seed=case_seed, rates=scenario.rates))
             )
         for phase, plan in phases:
-            verdict, plan = run_scenario(scenario, plan=plan, mutation=mutation)
+            verdict, plan = run_scenario(
+                scenario, plan=plan, mutation=mutation, sanitize=sanitize)
             report.scenarios_run += 1
             report.queries_checked += len(verdict.reports)
             report.injected_events += len(plan.injected)
@@ -318,6 +433,7 @@ def fuzz(
                 report.failures.append(_replay_payload(
                     scenario, plan, mutation, verdict,
                     fuzz_seed=seed, iteration=iteration, phase=phase,
+                    sanitize=sanitize,
                 ))
                 if len(report.failures) >= max_failures:
                     return report
@@ -338,4 +454,5 @@ def replay(payload: dict) -> tuple[ScenarioVerdict, FaultPlan]:
         raise ValueError(f"unsupported replay payload version {payload.get('v')!r}")
     scenario = Scenario.from_dict(payload["scenario"])
     plan = FaultPlan.from_dict(payload["plan"])
-    return run_scenario(scenario, plan=plan, mutation=payload.get("mutation"))
+    return run_scenario(scenario, plan=plan, mutation=payload.get("mutation"),
+                        sanitize=payload.get("sanitize"))

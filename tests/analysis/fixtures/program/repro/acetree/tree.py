@@ -1,0 +1,21 @@
+"""RACE002 fixture: an instance memo mutated on the sampling hot path."""
+
+
+class AceTree:
+    def __init__(self):
+        self._memo = {}
+        self.height = 0
+
+    def sample(self, box, seed=0):
+        self._memo[box] = seed
+        return [box]
+
+
+class ColdIndex:
+    """A container attr mutated only off the hot paths: no finding."""
+
+    def __init__(self):
+        self.entries = []
+
+    def rebuild(self, rows):
+        self.entries.append(rows)

@@ -1,0 +1,22 @@
+"""SEED002 fixture: every way an RNG object escapes its scope."""
+
+from ..core.rng import derive_random
+
+GLOBAL_RNG = derive_random(0, "module-rng")
+
+
+def leak(seed):
+    return derive_random(seed, "leak-tag")
+
+
+def indirect(seed):
+    return leak(seed)
+
+
+def stash(seed, other):
+    other.rng = derive_random(seed, "stash-tag")
+
+
+def confined_ok(seed):
+    rng = derive_random(seed, "local-tag")
+    return rng.random()

@@ -1,0 +1,5 @@
+"""RACE003 fixture: a shared[...] annotation attached to nothing."""
+
+
+def compute():
+    return 1  # repro: shared[confined]

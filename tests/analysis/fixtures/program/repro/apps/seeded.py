@@ -1,0 +1,27 @@
+"""SEED001 fixture: two functions deriving with one constant tag."""
+
+from ..core.rng import derive_random
+
+
+def sample_a(seed):
+    rng = derive_random(seed, "shared-tag")
+    return rng.random()
+
+
+def sample_b(seed):
+    rng = derive_random(seed, "shared-tag")
+    return rng.random()
+
+
+def sample_c(seed):
+    # Distinct tag: not a collision.
+    rng = derive_random(seed, "private-tag")
+    return rng.random()
+
+
+def replay_twice(seed):
+    # Re-deriving one tag inside one function is the sanctioned replay
+    # idiom, not a collision.
+    first = derive_random(seed, "replay-tag").random()
+    second = derive_random(seed, "replay-tag").random()
+    return first == second

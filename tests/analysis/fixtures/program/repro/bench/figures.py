@@ -1,0 +1,5 @@
+"""Callee module for the LAY001 call-layering fixture."""
+
+
+def render():
+    return "figure"

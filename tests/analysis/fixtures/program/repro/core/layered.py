@@ -1,0 +1,7 @@
+"""LAY001 fixture: a core-layer function calling up into bench/."""
+
+from ..bench.figures import render
+
+
+def report():
+    return render()

@@ -1,0 +1,16 @@
+"""Sanctioned RNG module (fixture mirror of ``core.rng``).
+
+Lives at ``core.rng`` so the analyzer's taint sources resolve exactly as
+they do against the real tree; the module itself is exempt from the SEED
+rules.
+"""
+
+import random
+
+
+def derive(seed, *tags):
+    return (seed, tags)
+
+
+def derive_random(seed, *tags):
+    return random.Random((seed, tags))

@@ -1,0 +1,15 @@
+"""RACE001/RACE003 fixture: module state in every annotation relationship."""
+
+REGISTRY = {}  # repro: shared[confined]
+
+MODES = {"fast": 1}  # repro: shared[confined]
+
+_tokens = []  # repro: shared[frozen]
+
+_cache = {}
+
+_scratch = {}  # repro: allow[RACE001] exercised by the suppression test
+
+BANNED = ("a", "b")
+
+LIMITS = {"pages": 64}

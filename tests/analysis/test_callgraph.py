@@ -1,0 +1,179 @@
+"""Call-graph builder tests: cycles, re-exports, dynamic calls, bad input.
+
+The builder's contract is *resolve what can be resolved and never
+crash* — unresolvable calls become ``unknown`` edges, unreadable files
+become AST000 findings, and recursion terminates on cyclic graphs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import (
+    build_call_graph,
+    build_project,
+)
+
+
+def make_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    # module_path_of anchors on a ``repro`` path component, exactly like
+    # the real src/repro layout.
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def edges_by_kind(graph):
+    out = {}
+    for edge in graph.edges:
+        out.setdefault(edge.kind, []).append((edge.caller, edge.callee))
+    return out
+
+
+class TestCycles:
+    def test_mutually_recursive_modules_resolve_and_terminate(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/a.py": (
+                "from .b import g\n"
+                "def f():\n"
+                "    return g()\n"
+            ),
+            "core/b.py": (
+                "from .a import f\n"
+                "def g():\n"
+                "    return f()\n"
+            ),
+        })
+        project = build_project(root)
+        assert project.errors == []
+        graph = build_call_graph(project)
+        direct = edges_by_kind(graph).get("direct", [])
+        assert ("core.a.f", "core.b.g") in direct
+        assert ("core.b.g", "core.a.f") in direct
+        # Reachability over the cycle terminates and closes over both.
+        reachable = graph.reachable(["core.a.f"])
+        assert {"core.a.f", "core.b.g"} <= reachable
+
+    def test_self_recursion(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/loop.py": (
+                "def fact(n):\n"
+                "    return 1 if n <= 1 else n * fact(n - 1)\n"
+            ),
+        })
+        graph = build_call_graph(build_project(root))
+        assert ("core.loop.fact", "core.loop.fact") in (
+            edges_by_kind(graph).get("direct", []))
+
+
+class TestReexports:
+    def test_init_reexport_resolves_to_defining_module(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "storage/__init__.py": "from .impl import helper\n",
+            "storage/impl.py": (
+                "def helper():\n"
+                "    return 1\n"
+            ),
+            "apps/use.py": (
+                "from ..storage import helper\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+        })
+        graph = build_call_graph(build_project(root))
+        assert ("apps.use.run", "storage.impl.helper") in (
+            edges_by_kind(graph).get("direct", []))
+
+    def test_chained_reexports(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "a/__init__.py": "from .b import deep\n",
+            "a/b/__init__.py": "from .c import deep\n",
+            "a/b/c.py": "def deep():\n    return 0\n",
+            "apps/use.py": (
+                "from ..a import deep\n"
+                "def run():\n"
+                "    return deep()\n"
+            ),
+        })
+        graph = build_call_graph(build_project(root))
+        assert ("apps.use.run", "a.b.c.deep") in (
+            edges_by_kind(graph).get("direct", []))
+
+
+class TestDynamicCalls:
+    def test_getattr_call_is_unknown_not_a_crash(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/dyn.py": (
+                "def dispatch(obj, name):\n"
+                "    fn = getattr(obj, name)\n"
+                "    return fn()\n"
+            ),
+        })
+        graph = build_call_graph(build_project(root))
+        kinds = edges_by_kind(graph)
+        unknown_callers = [caller for caller, _ in kinds.get("unknown", [])]
+        assert "core.dyn.dispatch" in unknown_callers
+        assert all(callee is None for _, callee in kinds.get("unknown", []))
+
+    def test_unresolvable_attribute_chain_is_unknown(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/dyn.py": (
+                "def run(registry):\n"
+                "    return registry.handlers[0].fire()\n"
+            ),
+        })
+        graph = build_call_graph(build_project(root))
+        assert "unknown" in edges_by_kind(graph)
+
+
+class TestNeverCrash:
+    def test_syntax_error_becomes_ast000(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/ok.py": "def f():\n    return 1\n",
+            "core/broken.py": "def broken(:\n",
+        })
+        project = build_project(root)
+        (error,) = project.errors
+        assert error.rule == "AST000"
+        assert error.path.endswith("broken.py")
+        # The healthy module is still in the project and still resolves.
+        graph = build_call_graph(project)
+        assert "core.ok.f" in project.functions
+        assert graph is not None
+
+    def test_empty_tree(self, tmp_path):
+        root = tmp_path / "repro"
+        root.mkdir()
+        project = build_project(root)
+        graph = build_call_graph(project)
+        assert project.functions == {}
+        assert graph.edges == []
+        assert graph.reachable(["nothing"]) == set()
+
+
+class TestReachability:
+    @pytest.fixture()
+    def graph_and_project(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "core/chain.py": (
+                "def a():\n"
+                "    return b()\n"
+                "def b():\n"
+                "    return c()\n"
+                "def c():\n"
+                "    return 0\n"
+                "def island():\n"
+                "    return 9\n"
+            ),
+        })
+        project = build_project(root)
+        return build_call_graph(project), project
+
+    def test_transitive_closure(self, graph_and_project):
+        graph, _ = graph_and_project
+        reachable = graph.reachable(["core.chain.a"])
+        assert {"core.chain.a", "core.chain.b", "core.chain.c"} <= reachable
+        assert "core.chain.island" not in reachable

@@ -1,0 +1,170 @@
+"""Round-trip tests for ``lint --fix`` (the MUT001 None-sentinel rewrite).
+
+Every fixed source must (a) re-lint clean of MUT001, (b) still parse,
+and (c) behave correctly — the sentinel block must restore the default
+per call instead of sharing one container across calls (the bug the
+rule exists to prevent).
+"""
+
+from pathlib import Path
+
+from repro.analysis.fix import fix_mut001_source, fix_paths
+from repro.analysis.lint import lint_file
+
+
+def relint_mut001(tmp_path: Path, source: str):
+    target = tmp_path / "repro" / "core"
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / "fixed.py"
+    path.write_text(source)
+    return [f for f in lint_file(path) if f.rule == "MUT001"]
+
+
+def exec_source(source: str) -> dict:
+    namespace: dict = {}
+    exec(compile(source, "<fixed>", "exec"), namespace)
+    return namespace
+
+
+class TestRewrite:
+    def test_plain_list_default(self, tmp_path):
+        result = fix_mut001_source(
+            "def collect(item, acc=[]):\n"
+            "    acc.append(item)\n"
+            "    return acc\n"
+        )
+        assert result.fixed == 1 and result.skipped == []
+        assert relint_mut001(tmp_path, result.source) == []
+        collect = exec_source(result.source)["collect"]
+        # The classic shared-default bug is gone: two calls, two lists.
+        assert collect(1) == [1]
+        assert collect(2) == [2]
+
+    def test_annotation_gains_optional(self, tmp_path):
+        result = fix_mut001_source(
+            "def f(xs: list = [], tag: str = 'a'):\n"
+            "    return xs, tag\n"
+        )
+        assert result.fixed == 1
+        assert "xs: list | None = None" in result.source
+        assert "tag: str = 'a'" in result.source  # untouched
+        assert relint_mut001(tmp_path, result.source) == []
+
+    def test_existing_optional_annotation_not_doubled(self):
+        result = fix_mut001_source(
+            "def f(xs: list | None = []):\n"
+            "    return xs\n"
+        )
+        assert result.fixed == 1
+        assert result.source.count("| None") == 1
+
+    def test_kwonly_and_multiple_defaults(self, tmp_path):
+        result = fix_mut001_source(
+            "def f(a, xs=[], *, seen=set(), n=3):\n"
+            "    return a, xs, seen, n\n"
+        )
+        assert result.fixed == 2
+        assert relint_mut001(tmp_path, result.source) == []
+        f = exec_source(result.source)["f"]
+        assert f(1) == (1, [], set(), 3)
+
+    def test_sentinel_goes_after_docstring(self):
+        result = fix_mut001_source(
+            "def f(xs=[]):\n"
+            '    """Doc."""\n'
+            "    return xs\n"
+        )
+        lines = result.source.splitlines()
+        assert lines[1] == '    """Doc."""'
+        assert lines[2] == "    if xs is None:"
+
+    def test_multiline_default_collapses(self, tmp_path):
+        result = fix_mut001_source(
+            "def f(mapping={\n"
+            "    'a': 1,\n"
+            "}):\n"
+            "    return mapping\n"
+        )
+        assert result.fixed == 1
+        assert relint_mut001(tmp_path, result.source) == []
+        f = exec_source(result.source)["f"]
+        assert f() == {"a": 1}
+
+    def test_nested_function(self, tmp_path):
+        result = fix_mut001_source(
+            "def outer():\n"
+            "    def inner(xs=[]):\n"
+            "        return xs\n"
+            "    return inner\n"
+        )
+        assert result.fixed == 1
+        assert relint_mut001(tmp_path, result.source) == []
+        assert exec_source(result.source)["outer"]()() == []
+
+    def test_idempotent(self):
+        once = fix_mut001_source("def f(xs=[]):\n    return xs\n")
+        twice = fix_mut001_source(once.source)
+        assert twice.fixed == 0
+        assert twice.source == once.source
+
+
+class TestSkips:
+    def test_lambda_skipped_with_reason(self):
+        result = fix_mut001_source("f = lambda xs=[]: xs\n")
+        assert result.fixed == 0
+        (reason,) = result.skipped
+        assert "lambda" in reason
+
+    def test_def_line_body_skipped_with_reason(self):
+        result = fix_mut001_source("def f(xs=[]): return xs\n")
+        assert result.fixed == 0
+        (reason,) = result.skipped
+        assert "def line" in reason
+
+    def test_syntax_error_skipped_not_mangled(self):
+        source = "def broken(:\n"
+        result = fix_mut001_source(source)
+        assert result.source == source
+        assert result.fixed == 0
+        assert "does not parse" in result.skipped[0]
+
+    def test_clean_source_untouched(self):
+        source = "def f(xs=None):\n    return xs\n"
+        result = fix_mut001_source(source)
+        assert result.source == source and result.fixed == 0
+
+
+class TestFixPaths:
+    def test_writes_only_changed_files(self, tmp_path):
+        tree = tmp_path / "repro" / "core"
+        tree.mkdir(parents=True)
+        dirty = tree / "dirty.py"
+        dirty.write_text("def f(xs=[]):\n    return xs\n")
+        clean = tree / "clean.py"
+        clean_src = "def g(n=0):\n    return n\n"
+        clean.write_text(clean_src)
+
+        files_changed, fixed, skipped = fix_paths([tmp_path])
+        assert (files_changed, fixed) == (1, 1)
+        assert skipped == []
+        assert clean.read_text() == clean_src
+        assert "if xs is None:" in dirty.read_text()
+        assert [f for f in lint_file(dirty) if f.rule == "MUT001"] == []
+
+
+class TestCli:
+    def test_fix_flag_fixes_then_lints(self, tmp_path, capsys):
+        from repro.analysis.cli import run_lint
+
+        tree = tmp_path / "repro" / "core"
+        tree.mkdir(parents=True)
+        (tree / "m.py").write_text("def f(xs=[]):\n    return xs\n")
+        assert run_lint([str(tmp_path)], fix=True) == 0
+        out = capsys.readouterr().out
+        assert "rewrote 1 mutable default(s) in 1 file(s)" in out
+
+    def test_fix_program_combination_rejected(self, tmp_path, capsys):
+        from repro.analysis.cli import run_lint
+
+        assert run_lint([str(tmp_path)], fix=True, program=True) == 2
+        assert "--program" in capsys.readouterr().err

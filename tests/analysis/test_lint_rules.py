@@ -181,6 +181,35 @@ class TestSuppression:
         )
         assert lint_file(path) == []
 
+    def test_suppression_covers_whole_multiline_statement(self, tmp_path):
+        # Regression: the allow comment sits on the *closing* line of a
+        # statement whose finding anchors on the opening line.  Suppression
+        # is statement-scoped, so it must still apply.
+        path = tmp_path / "repro" / "apps"
+        path.mkdir(parents=True)
+        target = path / "span.py"
+        target.write_text(
+            "import random\n"
+            "r = random.Random(\n"
+            "    0,\n"
+            ")  # repro: allow[RNG001] seeded demo generator\n"
+        )
+        assert lint_file(target) == []
+
+    def test_suppression_does_not_leak_past_statement_end(self, tmp_path):
+        # The comment's statement ends on its own line; the next statement
+        # must still be flagged.
+        path = tmp_path / "repro" / "apps"
+        path.mkdir(parents=True)
+        target = path / "leak.py"
+        target.write_text(
+            "import random\n"
+            "r = random.Random(0)  # repro: allow[RNG001] this one only\n"
+            "s = random.Random(1)\n"
+        )
+        findings = lint_file(target)
+        assert lines_by_rule(findings) == {"RNG001": [3]}
+
 
 class TestOutput:
     def test_json_fields(self):

@@ -1,0 +1,84 @@
+"""CLI tests for ``lint --program``: baselines, SARIF, exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import run_lint
+
+FIXTURE = Path(__file__).resolve().parent / "fixtures" / "program"
+ROOT = FIXTURE / "repro"
+
+
+def run(tmp_path, **kwargs):
+    kwargs.setdefault("no_baseline", True)
+    return run_lint([str(ROOT)], program=True, **kwargs)
+
+
+class TestExitCodes:
+    def test_findings_without_baseline_exit_1(self, tmp_path, capsys):
+        assert run(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "new finding(s)" in out
+        assert "SEED001" in out
+
+    def test_fully_baselined_exit_0(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert run_lint([str(ROOT)], program=True,
+                        baseline=str(baseline), update_baseline=True) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert run_lint([str(ROOT)], program=True,
+                        baseline=str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+        assert "12 baselined" in out
+
+    def test_multiple_roots_rejected(self, capsys):
+        assert run_lint([str(ROOT), str(ROOT)], program=True) == 2
+        assert "exactly one package root" in capsys.readouterr().err
+
+    def test_file_root_rejected(self, capsys):
+        target = ROOT / "apps" / "seeded.py"
+        assert run_lint([str(target)], program=True) == 2
+
+
+class TestUpdateBaseline:
+    def test_update_writes_and_reports(self, tmp_path, capsys):
+        baseline = tmp_path / "nested" / "baseline.json"
+        assert run_lint([str(ROOT)], program=True,
+                        baseline=str(baseline), update_baseline=True) == 0
+        assert "baselined 12 finding(s)" in capsys.readouterr().out
+        data = json.loads(baseline.read_text())
+        assert data["version"] == 1
+        assert sum(e["count"] for e in data["entries"]) == 12
+
+
+class TestJsonOutput:
+    def test_json_mode_shape(self, tmp_path, capsys):
+        assert run(tmp_path, as_json=True) == 1
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["baselined"] == 0
+        assert len(decoded["fresh"]) == 12
+        assert decoded["stats"]["files"] == 8
+        first = decoded["fresh"][0]
+        assert set(first) >= {"rule", "path", "line", "col", "message"}
+
+
+class TestSarifOutput:
+    def test_sarif_written_with_parents(self, tmp_path):
+        sarif = tmp_path / "deep" / "out.sarif"
+        assert run(tmp_path, sarif=str(sarif)) == 1
+        log = json.loads(sarif.read_text())
+        (sarif_run,) = log["runs"]
+        assert len(sarif_run["results"]) == 12
+        assert all(r["level"] == "error" for r in sarif_run["results"])
+
+    def test_sarif_marks_baselined_as_note(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_lint([str(ROOT)], program=True, baseline=str(baseline),
+                 update_baseline=True)
+        sarif = tmp_path / "out.sarif"
+        assert run_lint([str(ROOT)], program=True, baseline=str(baseline),
+                        sarif=str(sarif)) == 0
+        (sarif_run,) = json.loads(sarif.read_text())["runs"]
+        assert all(r["level"] == "note" for r in sarif_run["results"])

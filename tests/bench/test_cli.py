@@ -61,6 +61,20 @@ class TestBench:
         assert overhead["noop_ns_per_span"] < 5_000  # near-free when disabled
         assert overhead["detail_ns_per_span"] < 5_000
         assert results["ace_query"]["samples_per_s"] > 0
+        program = results["program_lint"]
+        # The blocking CI pass must stay inside its 5-second budget.
+        assert program["wall_seconds"] < 5.0
+        assert program["files"] > 50
+        assert program["call_edges"] > 0
+
+    def test_program_lint_counts_ignored_by_regress_rules(self):
+        from repro.obs.regress import classify
+
+        assert classify("program_lint.files") == "ignore"
+        assert classify("program_lint.functions") == "ignore"
+        assert classify("program_lint.call_edges") == "ignore"
+        assert classify("program_lint.findings") == "ignore"
+        assert classify("program_lint.wall_seconds") == "lower_better"
 
     def test_invalid_args_rejected(self, capsys):
         assert main(["bench", "--n", "0"]) == 2

@@ -31,6 +31,20 @@ class TestFuzzExitCodes:
         assert payload["mutation"] == "combine-drop"
         assert payload["failures"]
 
+    def test_sanitize_access_clean_exits_zero(self, tmp_path, capsys):
+        status, out = _fuzz(tmp_path, "--sanitize-access")
+        assert status == 0
+        assert not out.exists()
+
+    def test_shared_memo_mutant_exits_one_with_sanitizer_payload(
+            self, tmp_path, capsys):
+        status, out = _fuzz(tmp_path, "--no-faults", "--mutation",
+                            "shared-memo", "--max-failures", "1")
+        assert status == 1
+        assert "sanitizer:" in capsys.readouterr().err
+        payload = json.loads(out.read_text())
+        assert payload["mutation"] == "shared-memo"
+
     def test_nonpositive_iterations_exit_two(self, tmp_path):
         status, _ = _fuzz(tmp_path, "--iterations", "0")
         assert status == 2

@@ -101,6 +101,48 @@ class TestFuzz:
         assert FuzzReport(seed=0, iterations=0).ok
 
 
+class TestSanitizer:
+    """The access-ordinal sanitizer under the real harness workload."""
+
+    def test_sanitized_clean_fuzz_is_green(self):
+        # The confinement proof: real traversals, cold and cache-warm,
+        # clean and faulted, never trip the sanitizer.
+        report = fuzz(seed=0, iterations=3, sanitize=True)
+        assert report.ok, report.failures
+
+    def test_shared_memo_mutant_trips_deterministically(self):
+        report = fuzz(seed=0, iterations=2, with_faults=False,
+                      mutation="shared-memo", max_failures=1)
+        assert not report.ok
+        (payload,) = report.failures
+        (line,) = payload["failures"]
+        assert line.startswith("ace-shared")
+        assert "sanitizer:" in line
+
+    def test_shared_memo_names_both_tenants(self):
+        scenario = generate_scenario(0, with_faults=False)
+        verdict, _ = run_scenario(scenario, mutation="shared-memo")
+        assert not verdict.ok
+        (line,) = verdict.failure_lines
+        assert "tenant-A" in line and "tenant-B" in line
+
+    def test_shared_memo_without_sanitizer_is_rejected_by_default_logic(self):
+        # sanitize=None auto-arms for the shared-memo mutation; forcing it
+        # off turns the mutant into a silent pass — the exact blindness
+        # the self-test exists to rule out.
+        scenario = generate_scenario(0, with_faults=False)
+        verdict, _ = run_scenario(scenario, mutation="shared-memo",
+                                  sanitize=False)
+        assert verdict.ok
+
+    def test_sanitized_clean_scenario_reports_match_unsanitized(self):
+        scenario = generate_scenario(2, with_faults=False)
+        plain, _ = run_scenario(scenario)
+        sanitized, _ = run_scenario(scenario, sanitize=True)
+        assert plain.ok and sanitized.ok
+        assert len(plain.reports) == len(sanitized.reports)
+
+
 class TestReplay:
     def _first_failure(self, mutation="combine-drop"):
         report = fuzz(seed=0, iterations=4, with_faults=False,
@@ -108,7 +150,8 @@ class TestReplay:
         assert report.failures
         return report.failures[0]
 
-    @pytest.mark.parametrize("mutation", ["combine-drop", "cache-stale"])
+    @pytest.mark.parametrize("mutation",
+                             ["combine-drop", "cache-stale", "shared-memo"])
     def test_replay_reproduces_verdict_and_events(self, mutation):
         payload = self._first_failure(mutation)
         verdict, plan = replay(payload)
