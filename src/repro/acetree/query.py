@@ -63,6 +63,8 @@ from ..core.errors import QueryError, SerializationError, StorageError
 from ..core.intervals import Box
 from ..core.records import Record
 from ..core.rng import derive
+from ..obs.context import CONTEXT
+from ..obs.flight import FLIGHT
 from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 from .nodes import LeafView
@@ -524,18 +526,24 @@ class SampleStream:  # repro: shared[confined] one stream per traversal; never h
         self.lost_leaves.append(leaf_index)
         TRACER.count("ace_query.lost_leaves")
         if TRACER.enabled:
-            METRICS.counter("query.lost_leaves").inc()
+            METRICS.counter("query.lost_leaves").labels(**CONTEXT.labels()).inc()
         if sp is not None:
             sp.attrs["lost_leaf"] = leaf_index
+        # A lost leaf means recovery already exhausted its retries (or hit
+        # unrecoverable corruption): snapshot the last moments if armed.
+        FLIGHT.trip("lost-leaf")
 
     def _record_query_metrics(self) -> None:
         """Per-batch metric updates; only called while tracing is enabled."""
-        METRICS.gauge("query.buffered_records").set(self.stats.buffered_records)
+        labels = CONTEXT.labels()
+        METRICS.gauge("query.buffered_records").labels(**labels).set(
+            self.stats.buffered_records
+        )
         if not self._first_k_recorded and self.stats.records_emitted >= _FIRST_K:
             self._first_k_recorded = True
             METRICS.histogram(
                 f"query.time_to_first_{_FIRST_K}_sim_s", _TTFK_BOUNDS
-            ).observe(self.tree.disk.clock - self._start_clock)
+            ).labels(**labels).observe(self.tree.disk.clock - self._start_clock)
 
     def population_estimate(self) -> float:
         """Estimated matching-record count, from internal-node counts."""
@@ -642,13 +650,18 @@ class SampleStream:  # repro: shared[confined] one stream per traversal; never h
                     raise QueryError("stab reached a fully-done subtree")
                 if tracing:
                     branch = "overlap" if pool else "drain"
-                    METRICS.counter(f"stab.level.{level}.{branch}").inc()
+                    labels = CONTEXT.labels()
+                    METRICS.counter(
+                        f"stab.level.{level}.{branch}"
+                    ).labels(**labels).inc()
                     pruned = len(alive) - len(pool)
                     if pool and pruned:
                         # Children deferred because a query-overlapping
                         # sibling won the descent: the pruned subtrees of
                         # this stab.
-                        METRICS.counter(f"stab.level.{level}.pruned").inc(pruned)
+                        METRICS.counter(
+                            f"stab.level.{level}.pruned"
+                        ).labels(**labels).inc(pruned)
                 if not pool:
                     pool = alive
             if len(pool) == 1 or not alternate:
@@ -667,9 +680,9 @@ class SampleStream:  # repro: shared[confined] one stream per traversal; never h
                 next_child[(level, index)] = (choice + 1) % arity
             level, index = child_level, base + choice
         if tracing:
-            METRICS.histogram("query.stab_depth", _STAB_DEPTH_BOUNDS).observe(
-                self._height - 1
-            )
+            METRICS.histogram(
+                "query.stab_depth", _STAB_DEPTH_BOUNDS
+            ).labels(**CONTEXT.labels()).observe(self._height - 1)
         return index
 
     def _mark_done(self, leaf_index: int) -> None:

@@ -22,6 +22,10 @@ HOT001   the columnar query hot path (``acetree/query.py``,
          ``acetree/storage.py``, ``storage/sample_cache.py``) must not
          materialize record tuples eagerly outside the sanctioned
          consumer-boundary functions.
+OBS001   literal metric names passed to the metrics registry must be
+         dot-namespaced ``subsystem.name``; ``.labels()`` keyword keys
+         must come from the registered label vocabulary
+         (``repro.obs.context.LABEL_KEYS``).
 =======  ==================================================================
 
 Rules only see one module at a time; whole-program invariants (sample
@@ -489,3 +493,75 @@ def check_test_disk_patching(ctx: LintContext) -> Iterator[Finding]:
                         message.format(what=f"setattr of {arg.value!r}"),
                     )
                     break
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — metric naming and label vocabulary
+# ---------------------------------------------------------------------------
+
+#: Metric-family constructor methods on the metrics registry.
+_OBS_FAMILY_METHODS = {"counter", "gauge", "histogram"}
+
+#: ``subsystem.name``: lowercase dot-separated segments, at least two.
+_OBS_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: The registered label vocabulary (mirrors ``repro.obs.context.LABEL_KEYS``;
+#: kept literal so the analyzer never imports the library it is checking).
+_OBS_LABEL_KEYS = {"tenant", "query", "sampler", "shard", "section"}
+
+
+def _is_metrics_receiver(node: ast.AST) -> bool:
+    """True when the call receiver looks like a metrics registry.
+
+    Matches ``METRICS``, ``metrics``, ``self.metrics``/``self._metrics`` and
+    other dotted chains whose final segment names a registry.  Keeping the
+    check name-based (rather than type-based) is what lets the rule run on
+    one module at a time.
+    """
+    name = canonical_name(node, {})
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower().lstrip("_")
+    return tail in {"metrics", "registry"} or name.endswith("METRICS")
+
+
+@register("OBS001", "metric name / label key outside the registered scheme")
+def check_obs_naming(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _OBS_FAMILY_METHODS and _is_metrics_receiver(
+            func.value
+        ):
+            if not node.args:
+                continue
+            first = node.args[0]
+            # Dynamic names (f-strings, variables) are checked at runtime
+            # by the registry; the lint pins only literal names.
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            if not _OBS_NAME_RE.match(first.value):
+                yield ctx.finding(
+                    "OBS001",
+                    node,
+                    f"metric name {first.value!r} is not dot-namespaced; "
+                    "use 'subsystem.name' (e.g. 'query.lost_leaves')",
+                )
+        elif func.attr == "labels":
+            for kw in node.keywords:
+                if kw.arg is None:  # **CONTEXT.labels() expansion
+                    continue
+                if kw.arg not in _OBS_LABEL_KEYS:
+                    allowed = ", ".join(sorted(_OBS_LABEL_KEYS))
+                    yield ctx.finding(
+                        "OBS001",
+                        node,
+                        f"label key {kw.arg!r} is not in the registered "
+                        f"vocabulary ({allowed}); extend "
+                        "repro.obs.context.LABEL_KEYS first",
+                    )

@@ -26,6 +26,8 @@ from scipy import stats
 
 from ..core.errors import EstimatorError
 from ..core.records import Record
+from ..obs.context import CONTEXT
+from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 
 __all__ = ["OnlineAggregator", "ProgressPoint", "aggregate_stream"]
@@ -162,6 +164,10 @@ def aggregate_stream(
         with TRACER.span("online_agg.tick", detail=True) as sp:
             aggregator.update(batch.records)
             low, high = aggregator.mean_interval()
+            if TRACER.enabled:
+                METRICS.counter("online_agg.records").labels(
+                    **CONTEXT.labels()
+                ).inc(len(batch.records))
             if sp is not None:
                 sp.attrs["sample_size"] = aggregator.sample_size
                 sp.attrs["mean"] = aggregator.mean

@@ -25,6 +25,8 @@ from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box
 from ..core.records import Record
 from ..core.rng import derive_random
+from ..obs.context import CONTEXT
+from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 from ..storage.buffer import RecordPageCache
 from ..storage.external_sort import external_sort_to_sink
@@ -272,6 +274,10 @@ class RankedBPlusTree:
         if r1 >= r2:
             return
         rng = derive_random(seed, "bplus-sample")
+        emitted = (
+            METRICS.counter("baseline.records").labels(**CONTEXT.labels())
+            if TRACER.enabled else None
+        )
         used: set[int] = set()
         total = r2 - r1
         while len(used) < total:
@@ -282,6 +288,8 @@ class RankedBPlusTree:
             used.add(rank)
             with TRACER.span("bplus.fetch", disk=disk, detail=True):
                 record = self.record_at_rank(rank)
+            if emitted is not None:
+                emitted.inc()
             yield Batch(records=(record,), clock=disk.clock)
 
     # -- block-based sampling (paper Section II.C) --------------------------------
@@ -312,6 +320,10 @@ class RankedBPlusTree:
         pages = list(range(first_page, last_page + 1))
         rng = derive_random(seed, "bplus-blocks")
         rng.shuffle(pages)
+        emitted = (
+            METRICS.counter("baseline.records").labels(**CONTEXT.labels())
+            if TRACER.enabled else None
+        )
         side = query.sides[0]
         for page_index in pages:
             with TRACER.span("bplus.fetch", disk=disk, detail=True) as sp:
@@ -323,6 +335,8 @@ class RankedBPlusTree:
                 )
                 if sp is not None:
                     sp.attrs["matched"] = len(matching)
+            if emitted is not None and matching:
+                emitted.inc(len(matching))
             yield Batch(records=matching, clock=disk.clock)
 
     # -- lifecycle -------------------------------------------------------------

@@ -22,6 +22,8 @@ from ..core.errors import QueryError
 from ..core.intervals import Box
 from ..core.records import Field, Record, Schema
 from ..core.rng import derive_random
+from ..obs.context import CONTEXT
+from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 from ..storage.external_sort import external_sort_to_sink
 from ..storage.heapfile import HeapFile
@@ -105,6 +107,10 @@ class PermutedFile:
         # span must wrap the explicit ``next()`` — and close before the
         # yield (a span never stays open across a generator suspension).
         views = iter(self.heap.scan_page_views())
+        emitted = (
+            METRICS.counter("baseline.records").labels(**CONTEXT.labels())
+            if TRACER.enabled else None
+        )
         while True:
             with TRACER.span("permuted.page", disk=disk, detail=True) as sp:
                 view = next(views, None)
@@ -131,6 +137,8 @@ class PermutedFile:
                     matching = tuple(view.record(i) for i in matching_idx)
                 if sp is not None:
                     sp.attrs["matched"] = len(matching)
+            if emitted is not None and matching:
+                emitted.inc(len(matching))
             yield Batch(records=matching, clock=disk.clock)
 
     def free(self) -> None:

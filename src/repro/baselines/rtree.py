@@ -26,6 +26,8 @@ from ..core.errors import IndexBuildError, QueryError
 from ..core.intervals import Box, Interval
 from ..core.records import Field, Record, Schema
 from ..core.rng import derive_random
+from ..obs.context import CONTEXT
+from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 from ..storage.buffer import RecordPageCache
 from ..storage.external_sort import external_sort, external_sort_to_sink
@@ -346,6 +348,10 @@ class RTree:
         if candidates == 0:
             return
         rng = derive_random(seed, "rtree-sample")
+        emitted = (
+            METRICS.counter("baseline.records").labels(**CONTEXT.labels())
+            if TRACER.enabled else None
+        )
         used: set[int] = set()
         while len(used) < candidates:
             rank = rng.randrange(candidates)
@@ -361,6 +367,8 @@ class RTree:
             record = records[slot]
             if not query.contains_point(self._key_of(record)):
                 continue  # candidate rank outside the predicate: rejected
+            if emitted is not None:
+                emitted.inc()
             yield Batch(records=(record,), clock=disk.clock)
 
     # -- Olken accept/reject sampling (alternative, kept for ablation) ------------

@@ -3,8 +3,7 @@
 Submodules are imported lazily (PEP 562) so that importing ``repro.bench``
 for a single symbol does not drag in the figure harness (which itself
 imports the whole library).  ``PROFILE``/``Profiler`` are re-exported from
-their real home, :mod:`repro.core.profile`; the old ``repro.bench.profile``
-shim still resolves but emits a :class:`DeprecationWarning`.
+their real home, :mod:`repro.core.profile`.
 """
 
 from typing import TYPE_CHECKING
@@ -75,8 +74,6 @@ def __getattr__(name: str):
     elif name in _REPORT_EXPORTS:
         from . import report as module
     elif name in _PROFILE_EXPORTS:
-        # Straight from core: routing through the deprecated .profile shim
-        # would raise its DeprecationWarning on every repro.bench.PROFILE use.
         from ..core import profile as module
     else:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

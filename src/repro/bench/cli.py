@@ -13,6 +13,8 @@ Usage::
     python -m repro lint --select TST001 tests  # one rule over the tests
     python -m repro trace query             # dual-clock trace + report
     python -m repro trace validate FILE     # schema-check a JSONL trace
+    python -m repro obs expose --text       # Prometheus text snapshot
+    python -m repro obs expose --from trace.jsonl --watch  # live dashboard
     python -m repro testkit fuzz --seed 7   # fault-injection differential fuzz
     python -m repro testkit replay FILE     # re-run a recorded failing case
 
@@ -259,6 +261,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --compare: also write the machine-readable verdict JSON",
     )
 
+    obs = sub.add_parser(
+        "obs",
+        help="telemetry exposition: Prometheus text or a live terminal "
+        "dashboard (see docs/OBSERVABILITY.md)",
+    )
+    obs_mode = obs.add_subparsers(dest="obs_command", required=True)
+    expose = obs_mode.add_parser(
+        "expose",
+        help="render a metrics snapshot from the live registry or a "
+        "JSONL trace/flight file",
+    )
+    expose.add_argument(
+        "--text",
+        action="store_true",
+        help="emit the Prometheus text exposition format (default: the "
+        "terminal dashboard)",
+    )
+    expose.add_argument(
+        "--watch",
+        action="store_true",
+        help="redraw the dashboard every --interval seconds for --frames "
+        "frames",
+    )
+    expose.add_argument(
+        "--from",
+        dest="source",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSONL file to read the metrics snapshot, quality records, "
+        "and event tail from (default: this process's registry)",
+    )
+    expose.add_argument(
+        "--check",
+        action="store_true",
+        help="with --text: re-parse the emitted text with the strict "
+        "Prometheus parser and fail on any malformed line",
+    )
+    expose.add_argument(
+        "--frames", type=int, default=5,
+        help="dashboard frames to render with --watch (default 5)",
+    )
+    expose.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch frames (default 2.0)",
+    )
+    expose.add_argument(
+        "--top", type=int, default=8,
+        help="rows per dashboard table (default 8)",
+    )
+
     from ..testkit.cli import add_testkit_parser
 
     add_testkit_parser(sub)
@@ -282,7 +335,14 @@ def _run_compare(args, results: dict) -> int:
         args.verdict.write_text(
             json.dumps(report.verdict(), indent=2, sort_keys=True) + "\n"
         )
-    return report.exit_code()
+    code = report.exit_code()
+    if code != 0:
+        from ..obs.flight import FLIGHT
+
+        # Deterministic regression: snapshot the run's last moments when a
+        # recorder is armed (no-op otherwise).
+        FLIGHT.trip("regress-gate")
+    return code
 
 
 def _run_bench(args) -> int:
@@ -366,7 +426,8 @@ def _export_trace(recorder, out: Path, top: int = 12, quality=None) -> int:
 
     records = quality.records() if quality is not None else None
     chrome = out.with_suffix(".chrome.json")
-    lines = export_jsonl(recorder.spans, out, quality=records)
+    snapshot = recorder.metrics.snapshot() if recorder.metrics is not None else None
+    lines = export_jsonl(recorder.spans, out, quality=records, metrics=snapshot)
     events = export_chrome_trace(recorder.spans, chrome, quality=records)
     errors = validate_jsonl(out)
     if errors:
@@ -378,6 +439,84 @@ def _export_trace(recorder, out: Path, top: int = 12, quality=None) -> int:
     print()
     print(render_report(recorder.spans, recorder.metrics, top=top,
                         quality=records))
+    return 0
+
+
+def _load_exposition_source(path: Path):
+    """(snapshot, quality records, event tail) from one JSONL file.
+
+    Works for ordinary traces (the appended ``"kind": "metrics"`` record
+    supplies the snapshot) and for flight dumps (the event lines supply
+    the tail); missing pieces degrade to empty.
+    """
+    from ..obs import load_metrics_snapshot, load_quality_jsonl
+
+    snapshot = load_metrics_snapshot(path) or {}
+    quality = load_quality_jsonl(path)
+    events = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if isinstance(record, dict) and record.get("kind") in (
+            "span", "metric", "fault", "quality"
+        ):
+            events.append(record)
+    return snapshot, quality, events
+
+
+def _run_obs(args) -> int:
+    """``python -m repro obs expose``: Prometheus text or terminal dashboard."""
+    from ..obs import (
+        FLIGHT,
+        METRICS,
+        evaluate_slos,
+        parse_prometheus_text,
+        prometheus_text,
+        render_dashboard,
+    )
+
+    def load():
+        if args.source is not None:
+            return _load_exposition_source(args.source)
+        return METRICS.snapshot(), [], FLIGHT.snapshot()
+
+    try:
+        snapshot, quality, events = load()
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs expose: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.text:
+        text = prometheus_text(snapshot)
+        if args.check:
+            try:
+                parse_prometheus_text(text)
+            except ValueError as exc:
+                print(f"obs expose: emitted text failed to parse: {exc}",
+                      file=sys.stderr)
+                return 1
+        sys.stdout.write(text)
+        return 0
+
+    frames = max(1, args.frames) if args.watch else 1
+    for frame in range(frames):
+        if frame:
+            time.sleep(max(0.0, args.interval))
+            try:
+                snapshot, quality, events = load()
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"obs expose: cannot read {args.source}: {exc}",
+                      file=sys.stderr)
+                return 2
+            # ANSI home+clear between frames: a stable in-place redraw.
+            sys.stdout.write("\x1b[H\x1b[2J")
+        statuses = evaluate_slos(quality=quality, metrics=snapshot)
+        sys.stdout.write(render_dashboard(
+            snapshot, slo_statuses=statuses, flight_events=events,
+            top=args.top,
+        ))
+        sys.stdout.flush()
     return 0
 
 
@@ -408,7 +547,7 @@ def _run_validate(paths) -> int:
 def _run_trace(args) -> int:
     """``python -m repro trace <build|query|figure|validate>``."""
     from ..acetree import AceBuildParams, build_ace_tree
-    from ..obs import METRICS, QualitySession, TraceRecorder
+    from ..obs import CONTEXT, METRICS, QualitySession, TraceRecorder
     from ..storage.cost import CostModel
     from ..storage.disk import SimulatedDisk
     from ..workloads import generate_sale_1d, queries_1d
@@ -462,23 +601,28 @@ def _run_trace(args) -> int:
     with recorder:
         for query_index, query in enumerate(queries_1d(0.025, 3, seed=args.seed)):
             side = query.sides[0]
-            monitor = quality.monitor(
-                f"query{query_index}",
-                key_of=key_of,
-                lo=side.lo,
-                hi=side.hi,
-                group="ACE Tree",
-                population=tree.estimate_count(query),
-            )
-            start = disk.clock
-            stream = tree.sample(query, seed=args.seed + query_index)
-            # Same break condition as SampleStream.take(2000) — the wrap
-            # generator only observes, so the simulated clock is untouched.
-            taken = 0
-            for batch in monitor.wrap(stream, start_sim=start):
-                taken += len(batch.records)
-                if taken >= 2000:
-                    break
+            # Alternate a synthetic tenant per query: the exported trace
+            # then carries genuine multi-tenant labeled series for the
+            # exposition surface and the per-label report breakdown.
+            with CONTEXT.push(tenant=f"t{query_index % 2}",
+                              query=f"q{query_index}"):
+                monitor = quality.monitor(
+                    f"query{query_index}",
+                    key_of=key_of,
+                    lo=side.lo,
+                    hi=side.hi,
+                    group="ACE Tree",
+                    population=tree.estimate_count(query),
+                )
+                start = disk.clock
+                stream = tree.sample(query, seed=args.seed + query_index)
+                # Same break condition as SampleStream.take(2000) — the wrap
+                # generator only observes, so the simulated clock is untouched.
+                taken = 0
+                for batch in monitor.wrap(stream, start_sim=start):
+                    taken += len(batch.records)
+                    if taken >= 2000:
+                        break
     quality.finalize()
     return _export_trace(recorder, args.out, top=args.top, quality=quality)
 
@@ -491,6 +635,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+
+    if args.command == "obs":
+        return _run_obs(args)
 
     if args.command == "testkit":
         from ..testkit.cli import run_testkit

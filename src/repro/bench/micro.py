@@ -365,6 +365,59 @@ def _span_overhead_benchmarks(repeat: int) -> dict:
     return result
 
 
+def _label_overhead_benchmarks(repeat: int) -> dict:
+    """Per-update cost of labeled vs. unlabeled counter increments, in ns.
+
+    Both loops go through ``family.labels(**labels).inc()`` — exactly what
+    instrumented call sites do with ``**CONTEXT.labels()`` — so the ratio
+    isolates what a pushed telemetry context adds: child resolution (memo
+    hit) plus the double value update.  A private registry keeps the
+    global ``METRICS`` clean; the cardinality cap is exercised here too,
+    and ``dropped_label_sets`` reports the *global* registry's overflow
+    counter, which the regression rules gate at exactly zero.
+    """
+    from ..obs.metrics import DROPPED_LABEL_SETS, METRICS, MetricsRegistry
+
+    incs = 50_000
+    registry = MetricsRegistry()
+    family = registry.counter("micro.label_overhead")
+
+    def loop_unlabeled(_state) -> None:
+        labels: dict = {}
+        for _ in range(incs):
+            family.labels(**labels).inc()
+
+    def loop_labeled(_state) -> None:
+        labels = {"tenant": "t0", "query": "q0"}
+        for _ in range(incs):
+            family.labels(**labels).inc()
+
+    unlabeled_s = _best_of(repeat, lambda: None, loop_unlabeled)
+    labeled_s = _best_of(repeat, lambda: None, loop_labeled)
+
+    # Deterministic cap check on a throwaway registry: two admitted label
+    # sets, the third falls back to the family and counts one drop.
+    capped = MetricsRegistry(max_label_sets=2)
+    counter = capped.counter("micro.capped")
+    for tenant in ("t0", "t1", "t2"):
+        counter.labels(tenant=tenant).inc()
+    cap_ok = (
+        counter.value == 3
+        and capped.snapshot()["counters"].get(DROPPED_LABEL_SETS, 0) == 1
+    )
+
+    return {
+        "incs_per_run": incs,
+        "unlabeled_ns_per_inc": unlabeled_s / incs * 1e9,
+        "labeled_ns_per_inc": labeled_s / incs * 1e9,
+        "labeled_overhead_ratio": labeled_s / unlabeled_s,
+        "cap_fallback_ok": int(cap_ok),
+        "dropped_label_sets": METRICS.snapshot()["counters"].get(
+            DROPPED_LABEL_SETS, 0
+        ),
+    }
+
+
 def _program_lint_benchmarks(repeat: int) -> dict:
     """Wall time of the whole-program analyzer over the live tree.
 
@@ -448,6 +501,7 @@ def run_micro(n: int = 20_000, repeat: int = 5, figures: bool = False) -> dict:
         "combine_batch": _combine_batch_benchmarks(n, repeat),
         "ace_query_lazy": _lazy_materialization_benchmarks(n, repeat),
         "span_overhead": _span_overhead_benchmarks(repeat),
+        "obs_label_overhead": _label_overhead_benchmarks(repeat),
         "program_lint": _program_lint_benchmarks(repeat),
     }
     cache_wall, cache_det = _sample_cache_benchmarks(n, repeat)

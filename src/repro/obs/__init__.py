@@ -14,7 +14,20 @@ the modeled hardware would charge).  This package provides that view:
   wall-clock aggregate path (feeding :data:`repro.core.profile.PROFILE`) or
   to a shared no-op object, so instrumentation can stay in hot paths.
 * :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
-  (records-per-page-read, stab depth, time-to-first-k-samples, ...).
+  (records-per-page-read, stab depth, time-to-first-k-samples, ...), each
+  a *family* whose ``labels()`` children break the value down by dimension
+  while the unlabeled aggregate stays bit-identical.
+* :mod:`repro.obs.context` — the thread-local telemetry context:
+  ``CONTEXT.push(tenant=..., query=...)`` scopes baggage that labeled
+  metrics and spans pick up automatically (bounded key vocabulary).
+* :mod:`repro.obs.flight` — the flight recorder: a bounded ring of recent
+  spans/metric updates/faults/quality records, auto-dumped (valid JSONL)
+  when the oracle, storage recovery, or the regression gate trips.
+* :mod:`repro.obs.slo` — multi-window burn-rate SLO evaluation on the
+  simulated clock, per label set (deterministic per seed).
+* :mod:`repro.obs.expose` — Prometheus text exposition (with a strict
+  parser for CI round-trips) and the terminal dashboard behind
+  ``python -m repro obs expose``.
 * :mod:`repro.obs.recorder` — :class:`TraceRecorder` collects finished
   spans and derives histogram observations from them.
 * :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` exporters
@@ -34,14 +47,18 @@ one on the simulated clock, and golden figure outputs do not move.
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and how to read traces.
 """
 
+from .context import CONTEXT, LABEL_KEYS, TelemetryContext
 from .export import (
     export_chrome_trace,
     export_jsonl,
     load_jsonl,
+    load_metrics_snapshot,
     load_quality_jsonl,
     to_chrome_trace,
     validate_jsonl,
 )
+from .expose import parse_prometheus_text, prometheus_text, render_dashboard
+from .flight import FLIGHT, FlightRecorder
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
 from .quality import (
     QualityConfig,
@@ -56,30 +73,45 @@ from .report import (
     render_report,
     span_aggregates,
 )
+from .slo import BurnWindow, Objective, SloStatus, default_objectives, evaluate_slos
 from .tracer import NOOP_SPAN, TRACER, SpanRecord, Tracer
 
 __all__ = [
+    "BurnWindow",
+    "CONTEXT",
     "Counter",
+    "FLIGHT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LABEL_KEYS",
     "METRICS",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "Objective",
     "QualityConfig",
     "QualitySession",
     "RegressionReport",
+    "SloStatus",
     "SpanRecord",
     "StreamQualityMonitor",
     "TRACER",
+    "TelemetryContext",
     "TraceRecorder",
     "Tracer",
     "compare_benchmarks",
+    "default_objectives",
+    "evaluate_slos",
     "export_chrome_trace",
     "export_jsonl",
     "load_jsonl",
+    "load_metrics_snapshot",
     "load_quality_jsonl",
     "page_read_attribution",
+    "parse_prometheus_text",
+    "prometheus_text",
     "quality_sections",
+    "render_dashboard",
     "render_diff",
     "render_report",
     "span_aggregates",

@@ -1,0 +1,117 @@
+"""Thread-local telemetry context: tenant/query/sampler baggage.
+
+Dimensional metrics only pay off if the *same* label values reach every
+signal a request touches — the ``ace_query`` spans, the ``sample_cache``
+counters, the recovery retries, the quality record.  Threading a
+``tenant=`` argument through every call site would couple the whole
+engine to the telemetry layer, so instead the baggage rides here: a
+per-thread stack of label dicts that instrumented call sites read
+ambiently.
+
+::
+
+    with CONTEXT.push(tenant="t0", query="q3"):
+        run_query(...)            # every labeled metric inside gets both labels
+
+* Pushes **merge**: an inner ``push(sampler="ace")`` sees the outer
+  tenant/query too; the inner frame pops on exit.
+* Keys are validated against the registered label vocabulary
+  (:data:`LABEL_KEYS`) — the same vocabulary the metrics registry and the
+  OBS001 lint rule enforce.  Values are stringified on push.
+* The stack is ``threading.local``: concurrent request threads carry
+  disjoint baggage, which is exactly the propagation model ROADMAP
+  item 1's scheduler needs (one tenant per traversal step).
+
+An empty context yields an empty label dict, and
+``metric.labels()`` with no labels returns the unlabeled aggregate — so
+code instrumented with ``.labels(**CONTEXT.labels())`` behaves
+bit-identically to the unlabeled PR 3 form when nothing was pushed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from threading import local
+
+__all__ = [
+    "CONTEXT",
+    "LABEL_KEYS",
+    "TelemetryContext",
+    "canonical_label_set",
+    "render_label_set",
+]
+
+#: The registered label vocabulary, in canonical rendering order.  The
+#: order is fixed (not alphabetical) so label sets serialize identically
+#: everywhere: ``tenant=t0,query=q1,sampler=ace`` never permutes.
+LABEL_KEYS = ("tenant", "query", "sampler", "shard", "section")
+
+_LABEL_RANK = {key: rank for rank, key in enumerate(LABEL_KEYS)}  # repro: shared[frozen] derived vocabulary index, read-only
+
+
+def canonical_label_set(labels: dict) -> tuple:
+    """Validate *labels* and return the canonical ``((key, str(value)), ...)``.
+
+    Raises :class:`ValueError` for keys outside :data:`LABEL_KEYS`; the
+    result tuple is ordered by vocabulary rank, so equal label dicts map
+    to equal (hashable) tuples regardless of construction order.
+    """
+    for key in labels:
+        if key not in _LABEL_RANK:
+            raise ValueError(
+                f"unknown label key {key!r}; the registered vocabulary is "
+                f"{', '.join(LABEL_KEYS)}"
+            )
+    return tuple(
+        sorted(
+            ((key, str(value)) for key, value in labels.items()),
+            key=lambda pair: _LABEL_RANK[pair[0]],
+        )
+    )
+
+
+def render_label_set(label_set: tuple) -> str:
+    """Canonical text form of a label-set tuple: ``tenant=t0,query=q1``."""
+    return ",".join(f"{key}={value}" for key, value in label_set)
+
+
+class TelemetryContext:
+    """Per-thread stack of merged label dicts (see module docstring)."""
+
+    __slots__ = ("_local",)
+
+    def __init__(self) -> None:
+        self._local = local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [{}]
+        return stack
+
+    def current(self) -> dict:
+        """The active merged baggage (treat as read-only; ``{}`` when empty)."""
+        return self._stack()[-1]
+
+    #: Alias: the baggage *is* the label dict instrumented sites splat
+    #: into ``metric.labels(**CONTEXT.labels())``.
+    labels = current
+
+    @contextmanager
+    def push(self, **baggage):
+        """Push *baggage* merged over the current frame for the ``with`` body."""
+        canonical_label_set(baggage)  # validate keys before mutating the stack
+        stack = self._stack()
+        merged = {**stack[-1], **{k: str(v) for k, v in baggage.items()}}
+        stack.append(merged)
+        try:
+            yield merged
+        finally:
+            stack.pop()
+
+    def clear(self) -> None:
+        """Drop every frame on the calling thread (test isolation hook)."""
+        self._local.stack = [{}]
+
+
+CONTEXT = TelemetryContext()  # repro: shared[confined] per-thread baggage stack (threading.local)

@@ -5,11 +5,17 @@ kind*: a line without a ``"kind"`` key (or with ``"kind": "span"``) is a
 span record under :data:`SPAN_SCHEMA` (children are reconstructed from
 ``parent_id`` on load); ``"kind": "quality"`` lines carry the statistical
 quality summaries of :mod:`repro.obs.quality` under
-:data:`QUALITY_SCHEMA`, with their own ``"v"`` record version.  Any other
-``kind`` is a validation error — readers of version-1 files (spans only)
-keep working unchanged.  :func:`validate_jsonl` checks a file against the
-schemas (the CI trace smoke job and ``python -m repro trace validate``
-run this).
+:data:`QUALITY_SCHEMA`, with their own ``"v"`` record version.  Flight
+dumps (:mod:`repro.obs.flight`) add four more kinds, each with its own
+``"v"``: a ``"flight"`` header (:data:`FLIGHT_SCHEMA`), per-update
+``"metric"`` events (:data:`METRIC_EVENT_SCHEMA`), injected-storage
+``"fault"`` events (:data:`FAULT_EVENT_SCHEMA`), and a full registry
+``"metrics"`` snapshot (:data:`METRICS_SNAPSHOT_SCHEMA` — also appended
+to ordinary traces so ``python -m repro obs expose --from FILE`` can
+re-render a finished run).  Any other ``kind`` is a validation error —
+readers of version-1 files (spans only) keep working unchanged.
+:func:`validate_jsonl` checks a file against the schemas (the CI trace
+smoke job and ``python -m repro trace validate`` run this).
 
 Chrome format — a ``{"traceEvents": [...]}`` object of complete (``"X"``)
 events, loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Each
@@ -32,11 +38,16 @@ from pathlib import Path
 from .tracer import SpanRecord
 
 __all__ = [
+    "FAULT_EVENT_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "METRIC_EVENT_SCHEMA",
+    "METRICS_SNAPSHOT_SCHEMA",
     "QUALITY_SCHEMA",
     "SPAN_SCHEMA",
     "export_chrome_trace",
     "export_jsonl",
     "load_jsonl",
+    "load_metrics_snapshot",
     "load_quality_jsonl",
     "to_chrome_trace",
     "validate_jsonl",
@@ -73,6 +84,48 @@ QUALITY_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
     "uniformity": (True, (dict,)),
     "coverage": (True, (dict,)),
     "estimator": (True, (dict,)),
+    "labels": (False, (dict,)),
+}
+
+#: Schema for the ``"kind": "flight"`` dump header line.
+FLIGHT_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "reason": (True, (str,)),
+    "events": (True, (int,)),
+    "dropped": (True, (int,)),
+}
+
+#: Schema for ``"kind": "metric"`` flight events (one metric update).
+METRIC_EVENT_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "name": (True, (str,)),
+    "metric": (True, (str,)),
+    "value": (True, (float, int)),
+    "labels": (False, (dict,)),
+}
+
+#: Schema for ``"kind": "fault"`` flight events (one injected fault; the
+#: fault's own kind — transient/corrupt/torn/latency — rides in ``fault``).
+FAULT_EVENT_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "op": (True, (str,)),
+    "ordinal": (True, (int,)),
+    "fault": (True, (str,)),
+    "page": (True, (int,)),
+    "detail": (False, (dict,)),
+}
+
+#: Schema for the ``"kind": "metrics"`` whole-registry snapshot record.
+METRICS_SNAPSHOT_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "counters": (True, (dict,)),
+    "gauges": (True, (dict,)),
+    "histograms": (True, (dict,)),
+    "labeled": (False, (dict,)),
 }
 
 
@@ -95,16 +148,23 @@ def span_to_dict(record: SpanRecord) -> dict:
     return out
 
 
-def export_jsonl(spans, path, quality=None) -> int:
+def export_jsonl(spans, path, quality=None, metrics=None) -> int:
     """Write *spans* (plus optional quality records) to *path*.
 
     ``quality`` is an iterable of already-serializable quality record
     dictionaries (:meth:`~repro.obs.quality.StreamQualityMonitor.summary`);
-    they are appended after the spans.  Returns the total line count.
+    they are appended after the spans.  ``metrics`` is an optional
+    registry snapshot dict (:meth:`~repro.obs.metrics.MetricsRegistry.
+    snapshot`), appended last as one ``"kind": "metrics"`` record so the
+    exposition CLI can re-render the run.  Returns the total line count.
     """
     lines = [json.dumps(span_to_dict(span), sort_keys=True) for span in spans]
     if quality:
         lines.extend(json.dumps(record, sort_keys=True) for record in quality)
+    if metrics is not None:
+        lines.append(
+            json.dumps({"kind": "metrics", "v": 1, **metrics}, sort_keys=True)
+        )
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
     return len(lines)
 
@@ -170,6 +230,14 @@ def validate_span_dict(obj, line_no: int = 0) -> list[str]:
     kind = obj.get("kind", "span")
     if kind == "quality":
         return _check_schema(obj, QUALITY_SCHEMA, where)
+    if kind == "flight":
+        return _check_schema(obj, FLIGHT_SCHEMA, where)
+    if kind == "metric":
+        return _check_schema(obj, METRIC_EVENT_SCHEMA, where)
+    if kind == "fault":
+        return _check_schema(obj, FAULT_EVENT_SCHEMA, where)
+    if kind == "metrics":
+        return _check_schema(obj, METRICS_SNAPSHOT_SCHEMA, where)
     if kind != "span":
         return [f"{where}unknown record kind {kind!r}"]
     errors = _check_schema(obj, SPAN_SCHEMA, where)
@@ -196,6 +264,21 @@ def validate_jsonl(path) -> list[str]:
                 errors.append(f"line {line_no}: duplicate span_id {obj['span_id']}")
             seen_ids.add(obj["span_id"])
     return errors
+
+
+def load_metrics_snapshot(path) -> dict | None:
+    """The last ``"kind": "metrics"`` snapshot in a JSONL file, if any."""
+    snapshot = None
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if isinstance(obj, dict) and obj.get("kind") == "metrics":
+            snapshot = {
+                key: value for key, value in obj.items()
+                if key not in ("kind", "v")
+            }
+    return snapshot
 
 
 def load_quality_jsonl(path) -> list[dict]:

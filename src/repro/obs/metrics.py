@@ -9,10 +9,31 @@ overflow.  Bucket placement is ``bisect_left``, so a value equal to a bound
 lands in that bound's own bucket: bounds are *inclusive* upper edges,
 matching the report's ``<= bound`` bucket labels.
 
+**Dimensional labels.**  Every metric doubles as a family:
+``counter("ace_query.cache_hits").labels(tenant="t0", sampler="ace")``
+returns a *child* sharing the parent's name and lock.  A child update
+always updates the unlabeled parent too, so the aggregate value is
+bit-identical whether or not call sites label — labeling is pure
+refinement, never a fork.  The rules:
+
+* label keys come from the registered vocabulary
+  (:data:`repro.obs.context.LABEL_KEYS`; lint rule OBS001 enforces this
+  statically) and serialize in fixed vocabulary order;
+* ``labels()`` with no labels returns the parent itself — call sites can
+  splat ``**CONTEXT.labels()`` unconditionally;
+* each family admits at most ``max_label_sets`` distinct label sets
+  (default :data:`DEFAULT_MAX_LABEL_SETS`).  Past the cap, ``labels()``
+  falls back to the parent (the aggregate never loses updates) and the
+  registry's ``obs.metrics.dropped_label_sets`` counter is bumped once
+  per rejected call — the regress rules gate it at exactly zero on bench
+  runs, so silent cardinality overflow cannot ship.
+
 Instrumentation that feeds the registry from hot paths guards on
 ``TRACER.enabled`` so an untraced run pays nothing.  All mutation is
-lock-protected (the same guarantee :class:`repro.core.profile.Profiler`
-gives), making the registry safe to share across threads.
+lock-protected — one lock per metric family, shared between the parent
+and its children, making concurrent ``.labels().inc()`` exact.  Armed
+flight recorders (:mod:`repro.obs.flight`) see every update as a
+``"metric"`` event.
 """
 
 from __future__ import annotations
@@ -20,41 +41,212 @@ from __future__ import annotations
 from bisect import bisect_left
 from threading import Lock
 
-__all__ = ["Counter", "Gauge", "Histogram", "METRICS", "MetricsRegistry"]
+from .context import canonical_label_set, render_label_set
+from .flight import FLIGHT
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MAX_LABEL_SETS",
+    "DROPPED_LABEL_SETS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+]
+
+#: Per-family cardinality cap: distinct label sets admitted per metric.
+DEFAULT_MAX_LABEL_SETS = 64
+
+#: Registry counter bumped when a ``labels()`` call exceeds the cap.
+DROPPED_LABEL_SETS = "obs.metrics.dropped_label_sets"
+
+
+def _resolve_child(parent, labels: dict, factory):
+    """Family-level ``labels()``: get-or-create the child for *labels*.
+
+    Falls back to *parent* (and fires its drop hook) when the family is
+    at its cardinality cap; the hook runs outside the family lock so the
+    registry's overflow counter can be bumped without lock nesting.
+
+    Hot-path note: instrumented sites resolve the same label set once per
+    record, so admitted resolutions are memoized by the *raw* kwargs
+    tuple, skipping canonicalization and the lock on repeat lookups (the
+    memo is written under the lock, read lock-free under the GIL, and
+    bounded at a few entries per admitted child — differently-ordered or
+    unstringified duplicates of a label set alias the same child).
+    Overflowing label sets are never memoized, so each dropped call keeps
+    firing the drop hook.
+    """
+    if not labels:
+        return parent
+    raw = tuple(labels.items())
+    memo = parent._memo
+    if memo is not None:
+        child = memo.get(raw)
+        if child is not None:
+            return child
+    if parent._parent is not None:
+        raise ValueError(
+            f"metric {parent.name!r} is already labeled; call labels() on "
+            "the unlabeled family"
+        )
+    key = canonical_label_set(labels)
+    dropped = False
+    with parent._lock:
+        children = parent._children
+        if children is None:
+            children = parent._children = {}
+        child = children.get(key)
+        if child is None:
+            if len(children) >= parent._max_label_sets:
+                dropped = True
+            else:
+                child = children[key] = factory(key)
+        if not dropped:
+            memo = parent._memo
+            if memo is None:
+                memo = parent._memo = {}
+            if len(memo) < 4 * parent._max_label_sets:
+                memo[raw] = child
+    if dropped:
+        if parent._on_drop is not None:
+            parent._on_drop(parent.name)
+        return parent
+    return child
+
+
+def _labeled_values(metric) -> dict:
+    """``rendered label set -> value`` for a family's children (sorted)."""
+    with metric._lock:
+        children = metric._children
+        if not children:
+            return {}
+        return {
+            render_label_set(key): child.value
+            for key, child in sorted(children.items())
+        }
 
 
 class Counter:
-    """Monotonically increasing named count."""
+    """Monotonically increasing named count (family root or labeled child)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = (
+        "name", "value", "label_set",
+        "_lock", "_parent", "_children", "_max_label_sets", "_on_drop",
+        "_memo",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        on_drop=None,
+        _lock=None,
+        _parent=None,
+        label_set: tuple | None = None,
+    ) -> None:
         self.name = name
         self.value = 0
+        self.label_set = label_set
+        self._lock = Lock() if _lock is None else _lock
+        self._parent = _parent
+        self._children: dict | None = None
+        self._max_label_sets = max_label_sets
+        self._on_drop = on_drop
+        self._memo: dict | None = None
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
+            parent = self._parent
+            if parent is not None:
+                parent.value += amount
+        if FLIGHT.enabled:
+            FLIGHT.record_metric(self.name, "counter", amount, self.label_set)
+
+    def labels(self, **labels) -> "Counter":
+        """The child counter for this label set (``self`` when unlabeled)."""
+        return _resolve_child(
+            self,
+            labels,
+            lambda key: Counter(
+                self.name, max_label_sets=0,
+                _lock=self._lock, _parent=self, label_set=key,
+            ),
+        )
 
 
 class Gauge:
-    """Last-write-wins named value."""
+    """Last-write-wins named value (family root or labeled child)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = (
+        "name", "value", "label_set",
+        "_lock", "_parent", "_children", "_max_label_sets", "_on_drop",
+        "_memo",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        on_drop=None,
+        _lock=None,
+        _parent=None,
+        label_set: tuple | None = None,
+    ) -> None:
         self.name = name
         self.value = 0.0
+        self.label_set = label_set
+        self._lock = Lock() if _lock is None else _lock
+        self._parent = _parent
+        self._children: dict | None = None
+        self._max_label_sets = max_label_sets
+        self._on_drop = on_drop
+        self._memo: dict | None = None
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+            parent = self._parent
+            if parent is not None:
+                parent.value = value
+        if FLIGHT.enabled:
+            FLIGHT.record_metric(self.name, "gauge", value, self.label_set)
+
+    def labels(self, **labels) -> "Gauge":
+        """The child gauge for this label set (``self`` when unlabeled)."""
+        return _resolve_child(
+            self,
+            labels,
+            lambda key: Gauge(
+                self.name, max_label_sets=0,
+                _lock=self._lock, _parent=self, label_set=key,
+            ),
+        )
 
 
 class Histogram:
     """Fixed-bucket histogram with inclusive upper bounds plus overflow."""
 
-    __slots__ = ("name", "bounds", "counts", "total", "count")
+    __slots__ = (
+        "name", "bounds", "counts", "total", "count", "label_set",
+        "_lock", "_parent", "_children", "_max_label_sets", "_on_drop",
+        "_memo",
+    )
 
-    def __init__(self, name: str, bounds: tuple) -> None:
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple,
+        *,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        on_drop=None,
+        _lock=None,
+        _parent=None,
+        label_set: tuple | None = None,
+    ) -> None:
         if not bounds:
             raise ValueError(f"histogram {name!r} needs at least one bucket bound")
         ordered = tuple(bounds)
@@ -67,15 +259,42 @@ class Histogram:
         self.counts = [0] * (len(ordered) + 1)
         self.total = 0.0
         self.count = 0
+        self.label_set = label_set
+        self._lock = Lock() if _lock is None else _lock
+        self._parent = _parent
+        self._children: dict | None = None
+        self._max_label_sets = max_label_sets
+        self._on_drop = on_drop
+        self._memo: dict | None = None
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.total += value
-        self.count += 1
+        bucket = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.total += value
+            self.count += 1
+            parent = self._parent
+            if parent is not None:
+                parent.counts[bucket] += 1
+                parent.total += value
+                parent.count += 1
+        if FLIGHT.enabled:
+            FLIGHT.record_metric(self.name, "histogram", value, self.label_set)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def labels(self, **labels) -> "Histogram":
+        """The child histogram (same bounds) for this label set."""
+        return _resolve_child(
+            self,
+            labels,
+            lambda key: Histogram(
+                self.name, self.bounds, max_label_sets=0,
+                _lock=self._lock, _parent=self, label_set=key,
+            ),
+        )
 
     def snapshot(self) -> dict:
         return {
@@ -87,29 +306,47 @@ class Histogram:
         }
 
 
-class MetricsRegistry:  # repro: shared[lock=_lock] one shared lock serializes every mutation
-    """Get-or-create registry of named metrics; one shared lock for mutation."""
+class MetricsRegistry:  # repro: shared[lock=_lock] registry map mutation holds _lock; families hold their own shared lock
+    """Get-or-create registry of named metric families.
 
-    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
+    ``max_label_sets`` caps the per-family label cardinality; overflow is
+    counted in this registry's own :data:`DROPPED_LABEL_SETS` counter.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock", "max_label_sets")
+
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = Lock()
+        self.max_label_sets = max_label_sets
+
+    def _note_dropped(self, name: str) -> None:
+        if name == DROPPED_LABEL_SETS:  # the overflow counter cannot overflow itself
+            return
+        self.counter(DROPPED_LABEL_SETS).inc()
 
     def counter(self, name: str) -> Counter:
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
-                metric = self._counters[name] = Counter(name)
+                metric = self._counters[name] = Counter(
+                    name,
+                    max_label_sets=self.max_label_sets,
+                    on_drop=self._note_dropped,
+                )
             return metric
 
     def gauge(self, name: str) -> Gauge:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
-                metric = self._gauges[name] = Gauge(name)
+                metric = self._gauges[name] = Gauge(
+                    name,
+                    max_label_sets=self.max_label_sets,
+                    on_drop=self._note_dropped,
+                )
             return metric
 
     def histogram(self, name: str, bounds: tuple | None = None) -> Histogram:
@@ -124,7 +361,12 @@ class MetricsRegistry:  # repro: shared[lock=_lock] one shared lock serializes e
             if metric is None:
                 if bounds is None:
                     raise ValueError(f"histogram {name!r} not registered; pass bounds")
-                metric = self._histograms[name] = Histogram(name, bounds)
+                metric = self._histograms[name] = Histogram(
+                    name,
+                    bounds,
+                    max_label_sets=self.max_label_sets,
+                    on_drop=self._note_dropped,
+                )
             elif bounds is not None and tuple(bounds) != metric.bounds:
                 raise ValueError(
                     f"histogram {name!r} already registered with bounds "
@@ -133,15 +375,52 @@ class MetricsRegistry:  # repro: shared[lock=_lock] one shared lock serializes e
             return metric
 
     def snapshot(self) -> dict:
-        """Plain-dict view of everything (JSON-serializable)."""
+        """Plain-dict view of everything (JSON-serializable).
+
+        The ``counters``/``gauges``/``histograms`` sections carry the
+        unlabeled aggregates exactly as before labels existed; a fourth
+        ``labeled`` section appears only when at least one family has
+        admitted a label set, keyed by the canonical rendered label set.
+        """
         with self._lock:
-            return {
+            snap = {
                 "counters": {n: c.value for n, c in sorted(self._counters.items())},
                 "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
                 "histograms": {
                     n: h.snapshot() for n, h in sorted(self._histograms.items())
                 },
             }
+            labeled_counters = {
+                n: _labeled_values(c)
+                for n, c in sorted(self._counters.items())
+                if c._children
+            }
+            labeled_gauges = {
+                n: _labeled_values(g)
+                for n, g in sorted(self._gauges.items())
+                if g._children
+            }
+            labeled_histograms = {}
+            for n, h in sorted(self._histograms.items()):
+                with h._lock:
+                    if not h._children:
+                        continue
+                    labeled_histograms[n] = {
+                        render_label_set(key): child.snapshot()
+                        for key, child in sorted(h._children.items())
+                    }
+            labeled = {
+                section: values
+                for section, values in (
+                    ("counters", labeled_counters),
+                    ("gauges", labeled_gauges),
+                    ("histograms", labeled_histograms),
+                )
+                if values
+            }
+            if labeled:
+                snap["labeled"] = labeled
+            return snap
 
     def reset(self) -> None:
         with self._lock:

@@ -70,7 +70,16 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     MetricRule(r"meta\..*", "ignore"),
     MetricRule(r"seed_comparison\..*", "ignore"),
     MetricRule(r"profile\..*", "ignore"),
+    # Dropped label sets must stay exactly zero: silent cardinality
+    # overflow would quietly unlabel per-tenant series.  Matched before
+    # the blanket metrics-snapshot ignore below.
+    MetricRule(r"metrics\.counters\.obs\.metrics\.dropped_label_sets",
+               "exact"),
     MetricRule(r"metrics\..*", "ignore"),
+    MetricRule(r"obs_label_overhead\.(dropped_label_sets|cap_fallback_ok"
+               r"|incs_per_run)", "exact"),
+    MetricRule(r"obs_label_overhead\.labeled_overhead_ratio",
+               "lower_better"),
     MetricRule(r".*\.best_run_profile_seconds\..*", "ignore"),
     # Whole-program analyzer structure counts: they move with every code
     # change by design (wall_seconds still gates under the generic rules).
@@ -93,7 +102,7 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     MetricRule(r"sample_cache\..*", "exact"),
     # Wall-clock: throughputs up, durations down.
     MetricRule(r".*_per_s", "higher_better"),
-    MetricRule(r".*(seconds|_ns_per_span)", "lower_better"),
+    MetricRule(r".*(seconds|_ns_per_span|_ns_per_inc)", "lower_better"),
 )
 
 

@@ -25,6 +25,7 @@ registry snapshot) into the report printed by ``python -m repro trace``:
 
 from __future__ import annotations
 
+from .context import canonical_label_set, render_label_set
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -309,6 +310,51 @@ def _quality_timeline(groups: dict[str, list[dict]], buckets: int = 10) -> list[
     return [line for line in out if line is not None]
 
 
+def _quality_labels(quality: list[dict]) -> list[str]:
+    """Per-label-set gain breakdown from the records' telemetry baggage.
+
+    Streams whose monitors were created under a pushed context carry a
+    ``"labels"`` dict; grouping by the canonical rendering gives the
+    per-tenant/per-query view of samples delivered and time-to-accuracy
+    (ROADMAP item 1's serving surface).  Unlabeled records are skipped —
+    the aggregate view is the rest of the report.
+    """
+    by_label: dict[str, list[dict]] = {}
+    for record in quality:
+        labels = record.get("labels")
+        if not labels:
+            continue
+        rendered = render_label_set(canonical_label_set(labels))
+        by_label.setdefault(rendered, []).append(record)
+    if not by_label:
+        return []
+    rows = []
+    for rendered, records in sorted(by_label.items()):
+        samples = sum(r["uniformity"]["samples"] for r in records)
+        failed = sum(r["uniformity"]["windows_failed"] for r in records)
+        degraded = sum(1 for r in records if r.get("degraded"))
+        tta5 = [
+            tta["sim_seconds"]
+            for r in records
+            for tta in r["estimator"]["tta"]
+            if tta["epsilon"] == 0.05
+        ]
+        rows.append([
+            rendered, str(len(records)), str(samples), str(failed),
+            str(degraded),
+            f"{_median(tta5):.4f}" if tta5 else "-",
+            f"{max(tta5):.4f}" if tta5 else "-",
+        ])
+    return [
+        "== quality: per-label-set breakdown (telemetry context) ==",
+        _fmt_table(
+            ["labels", "streams", "samples", "failed windows", "degraded",
+             "tta(5%) p50 sim s", "tta(5%) max sim s"],
+            rows,
+        ),
+    ]
+
+
 def quality_sections(quality: list[dict]) -> list[str]:
     """Render the quality records' report sections (empty list if none)."""
     if not quality:
@@ -316,7 +362,8 @@ def quality_sections(quality: list[dict]) -> list[str]:
     groups = _group_quality(quality)
     sections = _quality_uniformity(groups)
     sections += [""] + _quality_coverage(groups)
-    for extra in (_quality_tta(groups), _quality_timeline(groups)):
+    for extra in (_quality_tta(groups), _quality_labels(quality),
+                  _quality_timeline(groups)):
         if extra:
             sections += [""] + extra
     return sections

@@ -44,6 +44,8 @@ from __future__ import annotations
 from threading import Lock, local
 from time import perf_counter
 
+from .context import CONTEXT
+
 __all__ = ["NOOP_SPAN", "SpanRecord", "TRACER", "Tracer"]
 
 
@@ -169,6 +171,13 @@ class _LiveSpan:
             record.parent_id = parent_record.span_id
             if self._disk is None:
                 self._disk = parent_disk
+        baggage = CONTEXT.current()
+        if baggage:
+            # Telemetry-context propagation: the live path only — explicit
+            # span attributes win over ambient baggage.
+            attrs = record.attrs
+            for key, value in baggage.items():
+                attrs.setdefault(key, value)
         record.span_id = tracer._next_span_id()
         disk = self._disk
         if disk is not None:

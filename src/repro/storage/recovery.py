@@ -29,8 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import TransientPageError
+from ..obs.context import CONTEXT
+from ..obs.flight import FLIGHT
+from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
+
+
+def _count_retry() -> None:
+    """One retry tick: profile counter always, labeled metric when tracing."""
+    TRACER.count("storage.read_retries")
+    if TRACER.enabled:
+        METRICS.counter("storage.read_retries").labels(**CONTEXT.labels()).inc()
 
 __all__ = [
     "DEFAULT_RETRY",
@@ -88,12 +98,13 @@ def read_page_resilient(
             return disk.read_page(pid)
         except TransientPageError as exc:
             last_error = exc
-            TRACER.count("storage.read_retries")
+            _count_retry()
             if attempt + 1 >= policy.max_attempts:
                 break
             disk.charge_io(delay)
             delay *= policy.multiplier
     assert last_error is not None
+    FLIGHT.trip("recovery-exhausted")
     raise last_error
 
 
@@ -117,10 +128,11 @@ def touch_page_resilient(
             return
         except TransientPageError as exc:
             last_error = exc
-            TRACER.count("storage.read_retries")
+            _count_retry()
             if attempt + 1 >= policy.max_attempts:
                 break
             disk.charge_io(delay)
             delay *= policy.multiplier
     assert last_error is not None
+    FLIGHT.trip("recovery-exhausted")
     raise last_error

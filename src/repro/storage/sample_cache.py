@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..core.errors import BufferPoolError
+from ..obs.context import CONTEXT
 from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
 
@@ -104,12 +105,12 @@ class SampleCache:  # repro: shared[confined] single-writer LRU today; sanitizer
         if entry is None:
             self.stats.misses += 1
             if TRACER.enabled:
-                METRICS.counter("sample_cache.misses").inc()
+                METRICS.counter("sample_cache.misses").labels(**CONTEXT.labels()).inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
         if TRACER.enabled:
-            METRICS.counter("sample_cache.hits").inc()
+            METRICS.counter("sample_cache.hits").labels(**CONTEXT.labels()).inc()
         return entry[0]
 
     def peek(self, key: tuple):
@@ -137,7 +138,7 @@ class SampleCache:  # repro: shared[confined] single-writer LRU today; sanitizer
             self.stats.bytes_cached -= dropped
             self.stats.evictions += 1
             if TRACER.enabled:
-                METRICS.counter("sample_cache.evictions").inc()
+                METRICS.counter("sample_cache.evictions").labels(**CONTEXT.labels()).inc()
         entries[key] = (value, nbytes)
         self.stats.bytes_cached += nbytes
         self.stats.insertions += 1

@@ -19,6 +19,7 @@ import json
 import sys
 from pathlib import Path
 
+from ..obs.flight import write_dump
 from .faults import FaultPlanError
 from .harness import MUTATIONS, fuzz, replay
 
@@ -87,6 +88,12 @@ def _run_fuzz(args) -> int:
         print(f"testkit fuzz: FAIL {line}", file=sys.stderr)
     args.out.write_text(json.dumps(first, indent=2, sort_keys=True) + "\n")
     print(f"testkit fuzz: replay payload -> {args.out}", file=sys.stderr)
+    flight = first.get("flight")
+    if flight and flight.get("events"):
+        dump_path = args.out.with_suffix(".flight.jsonl")
+        write_dump(flight["events"], dump_path, flight["reason"],
+                   dropped=flight.get("dropped", 0))
+        print(f"testkit fuzz: flight dump -> {dump_path}", file=sys.stderr)
     return 1
 
 

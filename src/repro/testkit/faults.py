@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 from ..core.errors import ReproError, TransientPageError
 from ..core.rng import derive_random
+from ..obs.flight import FLIGHT
 from ..storage.cost import CostModel
 from ..storage.disk import SimulatedDisk
 
@@ -195,6 +196,8 @@ class FaultPlan:
     def record(self, event: FaultEvent) -> None:
         """Note that ``event`` actually fired against the workload."""
         self.injected.append(event)
+        if FLIGHT.enabled:
+            FLIGHT.record_fault(event.as_dict())
 
     def _rng_for(self, op: str):
         if op == "read":

@@ -48,6 +48,8 @@ from ..acetree.query import SampleStream
 from ..analysis.invariants import AccessOrdinalSanitizer
 from ..core.errors import InvariantViolation, ReproError
 from ..core.rng import derive_random
+from ..obs.context import CONTEXT
+from ..obs.flight import FLIGHT, FLIGHT_VERSION
 from ..storage.cost import CostModel
 from ..storage.heapfile import HeapFile
 from ..storage.sample_cache import SampleCache
@@ -252,10 +254,11 @@ def run_scenario(
             ("permuted", lambda: permuted.sample(box, seed=seed)),
         ]
         for name, make_stream in streams:
-            verdict.reports.append(_checked_stream(
-                sanitizer, f"{name}:q{query_index}", name, make_stream,
-                matching, (lo, hi), degraded_ok,
-            ))
+            with CONTEXT.push(sampler=name, query=f"q{query_index}"):
+                verdict.reports.append(_checked_stream(
+                    sanitizer, f"{name}:q{query_index}", name, make_stream,
+                    matching, (lo, hi), degraded_ok,
+                ))
 
     # Cold-then-warm differential pass.  Appended *after* the historical
     # phases so their fault access ordinals (and hence every existing
@@ -279,10 +282,11 @@ def run_scenario(
                 def make_cached():
                     return tree.sample(box, seed=seed, lost_leaf_policy=policy)
 
-                verdict.reports.append(_checked_stream(
-                    sanitizer, f"{name}:q{query_index}", name, make_cached,
-                    matching, (lo, hi), degraded_ok,
-                ))
+                with CONTEXT.push(sampler=name, query=f"q{query_index}"):
+                    verdict.reports.append(_checked_stream(
+                        sanitizer, f"{name}:q{query_index}", name, make_cached,
+                        matching, (lo, hi), degraded_ok,
+                    ))
     finally:
         tree.detach_sample_cache()
     verdict.injected = len(plan.injected)
@@ -351,11 +355,11 @@ def _shared_memo_mutant(tree, scenario: Scenario,
     owner = sanitizer.writer if sanitizer is not None else (
         lambda tag: nullcontext())
     try:
-        with owner("tenant-A"):
+        with owner("tenant-A"), CONTEXT.push(tenant="tenant-A"):
             tree.sample(boxes[0], seed=scenario.seed)
-        with owner("tenant-B"):
+        with owner("tenant-B"), CONTEXT.push(tenant="tenant-B"):
             tree.sample(boxes[1], seed=scenario.seed + 1)
-        with owner("tenant-A"):
+        with owner("tenant-A"), CONTEXT.push(tenant="tenant-A"):
             tree.sample(boxes[2], seed=scenario.seed + 2)
     except InvariantViolation as exc:
         report.failures.append(str(exc))
@@ -424,17 +428,36 @@ def fuzz(
                 ("faulted", FaultPlan(seed=case_seed, rates=scenario.rates))
             )
         for phase, plan in phases:
-            verdict, plan = run_scenario(
-                scenario, plan=plan, mutation=mutation, sanitize=sanitize)
+            # Each phase flies with the recorder armed (arming clears the
+            # ring): on an oracle failure the last-moments event window is
+            # attached to the replay payload.  Recording is read-only on
+            # the simulated clock, so verdicts are unaffected.
+            with FLIGHT.recording():
+                verdict, plan = run_scenario(
+                    scenario, plan=plan, mutation=mutation, sanitize=sanitize)
+                flight = None
+                if not verdict.ok:
+                    reason = f"oracle-failure:{phase}"
+                    FLIGHT.trip(reason)
+                    flight = {
+                        "v": FLIGHT_VERSION,
+                        "reason": reason,
+                        "events": FLIGHT.snapshot(),
+                        "dropped": FLIGHT.dropped,
+                    }
             report.scenarios_run += 1
             report.queries_checked += len(verdict.reports)
             report.injected_events += len(plan.injected)
             if not verdict.ok:
-                report.failures.append(_replay_payload(
+                payload = _replay_payload(
                     scenario, plan, mutation, verdict,
                     fuzz_seed=seed, iteration=iteration, phase=phase,
                     sanitize=sanitize,
-                ))
+                )
+                # Optional key: version-1 payloads without it replay
+                # unchanged; replay() ignores it entirely.
+                payload["flight"] = flight
+                report.failures.append(payload)
                 if len(report.failures) >= max_failures:
                     return report
     return report

@@ -2,7 +2,7 @@
 
 import time
 
-from ..bench.profile import PROFILE
+from ..bench.micro import PROFILE
 
 
 def slurp(path):

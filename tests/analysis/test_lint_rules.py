@@ -34,7 +34,7 @@ class TestRegistry:
     def test_all_project_rules_registered(self):
         assert {
             "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
-            "TST001", "HOT001",
+            "TST001", "HOT001", "OBS001",
         } <= set(RULES)
 
     def test_duplicate_registration_rejected(self):
@@ -148,6 +148,43 @@ class TestTst001:
         assert 12 not in [f.line for f in findings]
 
 
+class TestObs001:
+    def test_bad_names_and_label_keys_flagged(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_metrics.py")
+        assert lines_by_rule(findings) == {"OBS001": [7, 9, 10]}
+
+    def test_messages_name_the_fix(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_metrics.py")
+        by_line = {f.line: f.message for f in findings}
+        assert "dot-namespaced" in by_line[7]
+        assert "dot-namespaced" in by_line[9]
+        assert "LABEL_KEYS" in by_line[10]
+
+    def test_dynamic_names_and_splat_labels_exempt(self, tmp_path):
+        target = tmp_path / "repro" / "apps"
+        target.mkdir(parents=True)
+        path = target / "dyn.py"
+        path.write_text(
+            "from repro.obs import CONTEXT, METRICS\n"
+            "def f(level):\n"
+            "    METRICS.counter(f'stab.level.{level}').inc()\n"
+            "    METRICS.counter('app.ok').labels(**CONTEXT.labels()).inc()\n"
+        )
+        assert lint_file(path) == []
+
+    def test_non_registry_receivers_exempt(self, tmp_path):
+        # PROFILE.counter() *reads* a profiler counter; only registry
+        # constructors are name-checked.
+        target = tmp_path / "repro" / "apps"
+        target.mkdir(parents=True)
+        path = target / "prof.py"
+        path.write_text(
+            "from repro.core.profile import PROFILE\n"
+            "n = PROFILE.counter('pages')\n"
+        )
+        assert lint_file(path) == []
+
+
 class TestGoodFixture:
     def test_sanctioned_patterns_lint_clean(self):
         findings = lint_file(FIXTURES / "view" / "good.py")
@@ -246,7 +283,7 @@ class TestOutput:
         rules_seen = {f.rule for f in findings}
         assert {
             "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
-            "TST001", "HOT001",
+            "TST001", "HOT001", "OBS001",
         } == rules_seen
 
 

@@ -132,3 +132,24 @@ def drain(batches):
     for batch in batches:
         out.extend(batch.records)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Global telemetry isolation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Keep process-global observability state from leaking across tests.
+
+    METRICS, CONTEXT and FLIGHT are module singletons; a test that labels a
+    counter or arms the flight ring must not change what the next test sees.
+    """
+    yield
+    from repro.obs import CONTEXT, FLIGHT, METRICS
+
+    METRICS.reset()
+    CONTEXT.clear()
+    if FLIGHT.enabled:
+        FLIGHT.disarm()

@@ -1,8 +1,7 @@
-"""Profiler registry: aggregation, thread-safety, tracer integration, shim."""
+"""Profiler registry: aggregation, thread-safety, tracer integration."""
 
 from __future__ import annotations
 
-import sys
 import threading
 import time  # repro: allow[CLK001] tests sleep to widen timer windows
 
@@ -134,19 +133,9 @@ class TestTracerIntegration:
         assert PROFILE.calls("integration.live") == before + 1
 
 
-class TestDeprecatedShim:
-    def test_bench_profile_import_warns_and_aliases(self):
-        sys.modules.pop("repro.bench.profile", None)
-        with pytest.warns(DeprecationWarning, match="repro.core.profile"):
-            import repro.bench.profile as shim
-        assert shim.PROFILE is PROFILE
-        assert shim.Profiler is Profiler
-
-    def test_bench_reexport_does_not_warn(self):
-        import warnings
-
+class TestBenchReexport:
+    def test_bench_reexport_aliases_core(self):
         import repro.bench
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            assert repro.bench.PROFILE is PROFILE
+        assert repro.bench.PROFILE is PROFILE
+        assert repro.bench.Profiler is Profiler

@@ -1,0 +1,111 @@
+"""Exposition: Prometheus text round-trip and the terminal dashboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.expose import (
+    parse_prometheus_text,
+    prometheus_text,
+    render_dashboard,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloStatus
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("query.records").labels(tenant="t0", query="q1").inc(3)
+    registry.counter("query.records").labels(tenant="t1").inc(4)
+    registry.counter("sample_cache.hits").inc(10)
+    registry.gauge("query.buffered_records").labels(tenant="t0").set(17.5)
+    hist = registry.histogram("query.lat_sim_s", bounds=(0.1, 1.0))
+    hist.labels(sampler="ace").observe(0.05)
+    hist.labels(sampler="ace").observe(0.5)
+    hist.observe(2.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_round_trips_through_shipped_parser(self):
+        snapshot = _populated_registry().snapshot()
+        text = prometheus_text(snapshot)
+        parsed = parse_prometheus_text(text)
+        assert parsed["types"]["query_records"] == "counter"
+        assert parsed["types"]["query_buffered_records"] == "gauge"
+        assert parsed["types"]["query_lat_sim_s"] == "histogram"
+        samples = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in parsed["samples"]
+        }
+        assert samples[("query_records", ())] == 7.0
+        assert samples[
+            ("query_records", (("query", "q1"), ("tenant", "t0")))
+        ] == 3.0
+        assert samples[("query_records", (("tenant", "t1"),))] == 4.0
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        snapshot = _populated_registry().snapshot()
+        parsed = parse_prometheus_text(prometheus_text(snapshot))
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in parsed["samples"]
+            if name == "query_lat_sim_s_bucket" and "sampler" not in labels
+        }
+        assert buckets["0.1"] == 1.0
+        assert buckets["1"] == 2.0
+        assert buckets["+Inf"] == 3.0
+        count = [
+            value for name, labels, value in parsed["samples"]
+            if name == "query_lat_sim_s_count" and not labels
+        ]
+        assert count == [3.0]
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("query.records").labels(tenant='a"b\\c').inc()
+        text = prometheus_text(registry.snapshot())
+        parsed = parse_prometheus_text(text)
+        labeled = [
+            labels for name, labels, _ in parsed["samples"]
+            if name == "query_records" and labels
+        ]
+        assert labeled == [{"tenant": 'a"b\\c'}]
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text({}) == ""
+        assert parse_prometheus_text("") == {"types": {}, "samples": []}
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is not prometheus\n")
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE broken\n")
+        with pytest.raises(ValueError, match="malformed sample value"):
+            parse_prometheus_text("x nan_but_worse\n")
+
+
+class TestDashboard:
+    def test_sections_render_for_populated_registry(self):
+        snapshot = _populated_registry().snapshot()
+        statuses = [
+            SloStatus("tta_rel_halfwidth_5pct", "tta", "tenant=t0", 0.97),
+            SloStatus(
+                "sample_cache_hit_rate", "ratio", "", 0.4, firing=True
+            ),
+        ]
+        events = [
+            {"kind": "metric", "name": "query.records", "metric": "counter",
+             "value": 1.0, "labels": {"tenant": "t0"}},
+        ]
+        frame = render_dashboard(
+            snapshot, slo_statuses=statuses, flight_events=events
+        )
+        assert "query.records" in frame
+        assert "tenant=t0" in frame
+        assert "sample_cache_hit_rate" in frame
+        assert "FIRING" in frame
+
+    def test_empty_snapshot_says_so(self):
+        frame = render_dashboard({})
+        assert "no metrics recorded" in frame

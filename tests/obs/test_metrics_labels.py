@@ -1,0 +1,139 @@
+"""Label families: aggregate invariance, cardinality caps, thread safety."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import DROPPED_LABEL_SETS, MetricsRegistry
+
+
+class TestFamilySemantics:
+    def test_no_labels_returns_the_family_itself(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("query.records")
+        assert counter.labels() is counter
+
+    def test_same_label_set_resolves_to_same_child(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("query.records")
+        a = counter.labels(tenant="t0", query="q1")
+        b = counter.labels(query="q1", tenant="t0")  # insertion order differs
+        assert a is b
+
+    def test_child_inc_updates_parent_aggregate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("query.records")
+        counter.labels(tenant="t0").inc(3)
+        counter.labels(tenant="t1").inc(4)
+        assert counter.value == 7
+        assert counter.labels(tenant="t0").value == 3
+
+    def test_labeling_a_child_is_an_error(self):
+        registry = MetricsRegistry()
+        child = registry.counter("query.records").labels(tenant="t0")
+        with pytest.raises(ValueError, match="already labeled"):
+            child.labels(tenant="t1")
+
+    def test_gauge_child_set_writes_parent_too(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("tree.depth")
+        gauge.labels(tenant="t0").set(5.0)
+        assert gauge.value == 5.0
+        assert gauge.labels(tenant="t0").value == 5.0
+
+    def test_histogram_child_observe_updates_both(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("query.lat", bounds=(1.0, 10.0))
+        hist.labels(tenant="t0").observe(0.5)
+        hist.labels(tenant="t1").observe(5.0)
+        assert hist.snapshot()["count"] == 2
+        assert hist.labels(tenant="t0").snapshot()["count"] == 1
+
+    def test_snapshot_has_labeled_section_only_when_labeled(self):
+        registry = MetricsRegistry()
+        registry.counter("query.records").inc()
+        assert "labeled" not in registry.snapshot()
+        registry.counter("query.records").labels(tenant="t0").inc()
+        snap = registry.snapshot()
+        assert snap["labeled"]["counters"]["query.records"] == {"tenant=t0": 1}
+        # The unlabeled aggregate keeps counting everything.
+        assert snap["counters"]["query.records"] == 2
+
+
+class TestCardinalityCap:
+    def test_overflow_falls_back_to_parent_and_counts_drop(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("query.records")
+        counter.labels(tenant="t0").inc()
+        counter.labels(tenant="t1").inc()
+        overflow = counter.labels(tenant="t2")
+        assert overflow is counter  # fallback: the unlabeled family
+        overflow.inc()
+        assert counter.value == 3
+        assert registry.snapshot()["counters"][DROPPED_LABEL_SETS] == 1
+
+    def test_existing_children_still_resolve_at_cap(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        counter = registry.counter("query.records")
+        child = counter.labels(tenant="t0")
+        assert counter.labels(tenant="t0") is child
+        assert DROPPED_LABEL_SETS not in registry.snapshot()["counters"]
+
+    def test_drop_counter_cannot_overflow_itself(self):
+        registry = MetricsRegistry(max_label_sets=0)
+        registry.counter("query.records").labels(tenant="t0").inc()
+        snap = registry.snapshot()
+        assert snap["counters"][DROPPED_LABEL_SETS] == 1
+        assert snap["counters"]["query.records"] == 1
+
+
+class TestLabeledThreadSafety:
+    def test_concurrent_labeled_incs_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("query.records")
+        workers, updates = 8, 2000
+        tenants = [f"t{i % 4}" for i in range(workers)]
+
+        def work(tenant):
+            for _ in range(updates):
+                counter.labels(tenant=tenant).inc()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(work, tenants))
+
+        assert counter.value == workers * updates
+        for tenant in set(tenants):
+            share = tenants.count(tenant) * updates
+            assert counter.labels(tenant=tenant).value == share
+
+    def test_concurrent_child_creation_single_winner(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("query.records")
+
+        def resolve(i):
+            return counter.labels(tenant=f"t{i % 8}")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            children = list(pool.map(resolve, range(400)))
+
+        by_tenant = {c.label_set: c for c in children}
+        assert len(by_tenant) == 8
+        for child in children:
+            assert by_tenant[child.label_set] is child
+
+    def test_concurrent_histogram_observes_count_exactly(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("query.lat", bounds=(1.0,))
+        workers, updates = 6, 1000
+
+        def work(i):
+            child = hist.labels(query=f"q{i % 3}")
+            for _ in range(updates):
+                child.observe(0.5)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(work, range(workers)))
+
+        assert hist.snapshot()["count"] == workers * updates

@@ -47,8 +47,15 @@ class TestClassification:
         ("codec.pack_many_mb_per_s", "higher_better"),
         ("external_sort.key_field_seconds", "lower_better"),
         ("span_overhead.noop_ns_per_span", "lower_better"),
+        ("obs_label_overhead.unlabeled_ns_per_inc", "lower_better"),
+        ("obs_label_overhead.labeled_ns_per_inc", "lower_better"),
+        ("obs_label_overhead.labeled_overhead_ratio", "lower_better"),
+        ("obs_label_overhead.dropped_label_sets", "exact"),
+        ("obs_label_overhead.cap_fallback_ok", "exact"),
+        ("metrics.counters.obs.metrics.dropped_label_sets", "exact"),
         ("meta.n_records", "ignore"),
         ("profile.ace_build.phase1", "ignore"),
+        ("metrics.counters.buffer.hit", "ignore"),
     ])
     def test_default_rules(self, path, kind):
         assert classify(path) == kind

@@ -57,8 +57,8 @@ class TestRendering:
         root = _span("root", 1, reads=10, children=(child,))
         registry = MetricsRegistry()
         registry.counter("buffer.hit").inc(7)
-        registry.gauge("depth").set(3)
-        registry.histogram("lat", bounds=(1, 2)).observe(1.5)
+        registry.gauge("tree.depth").set(3)
+        registry.histogram("query.lat", bounds=(1, 2)).observe(1.5)
         text = render_report([child, root], registry)
         assert "== top spans by wall-clock time (cumulative) ==" in text
         assert "== top spans by simulated time (cumulative) ==" in text
@@ -66,7 +66,7 @@ class TestRendering:
         assert "== counters ==" in text
         assert "buffer.hit" in text
         assert "== gauges ==" in text
-        assert "== histogram lat" in text
+        assert "== histogram query.lat" in text
         assert "<= 2" in text
         # no stab counters / emitted attrs -> those sections are absent
         assert "per-level stab table" not in text
