@@ -26,6 +26,10 @@ OBS001   literal metric names passed to the metrics registry must be
          dot-namespaced ``subsystem.name``; ``.labels()`` keyword keys
          must come from the registered label vocabulary
          (``repro.obs.context.LABEL_KEYS``).
+OBS002   exemplar and cost capture go through the sanctioned boundary:
+         only the obs substrate and the storage charge points may mutate
+         the cost accountant's ledger, call ``current_span_id()``, or
+         pass an explicit ``span_id=`` to ``observe()``.
 =======  ==================================================================
 
 Rules only see one module at a time; whole-program invariants (sample
@@ -565,3 +569,76 @@ def check_obs_naming(ctx: LintContext) -> Iterator[Finding]:
                         f"vocabulary ({allowed}); extend "
                         "repro.obs.context.LABEL_KEYS first",
                     )
+
+
+# ---------------------------------------------------------------------------
+# OBS002 — exemplar / cost capture stays behind the sanctioned boundary
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to capture span ids or mutate the cost accountant's
+#: ledger: the obs substrate itself plus the storage charge points.  Any
+#: other call site must let ``Histogram.observe`` resolve the ambient
+#: span and let the disk layer attribute its own charges — ad-hoc
+#: capture would fork the attribution path and break the conservation
+#: check.
+_OBS2_SANCTIONED = {
+    "obs.analyze",
+    "obs.cost",
+    "obs.export",
+    "obs.expose",
+    "obs.flight",
+    "obs.metrics",
+    "obs.recorder",
+    "obs.report",
+    "obs.tracer",
+    "storage.disk",
+    "storage.recovery",
+}
+
+#: Ledger mutators on the cost accountant.
+_OBS2_COST_METHODS = {"record_reads", "record_writes", "record_io"}
+
+
+def _is_cost_receiver(node: ast.AST) -> bool:
+    """True when the call receiver looks like the cost accountant."""
+    name = canonical_name(node, {})
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lstrip("_").lower()
+    return tail in {"cost", "accountant"}
+
+
+@register("OBS002", "exemplar/cost capture outside the sanctioned boundary")
+def check_obs_boundary(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.module in _OBS2_SANCTIONED:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _OBS2_COST_METHODS and _is_cost_receiver(func.value):
+            yield ctx.finding(
+                "OBS002",
+                node,
+                f"direct COST.{func.attr}() outside the storage charge "
+                "points; page attribution flows through repro.storage.disk "
+                "and repro.storage.recovery only",
+            )
+        elif func.attr == "current_span_id":
+            yield ctx.finding(
+                "OBS002",
+                node,
+                "ad-hoc span-id capture via current_span_id(); exemplars "
+                "are recorded inside Histogram.observe (repro.obs.metrics)",
+            )
+        elif func.attr == "observe" and any(
+            kw.arg == "span_id" for kw in node.keywords
+        ):
+            yield ctx.finding(
+                "OBS002",
+                node,
+                "explicit span_id= on observe() outside the trace "
+                "recorder; let the histogram resolve the ambient span",
+            )

@@ -13,6 +13,10 @@ Usage::
     python -m repro lint --select TST001 tests  # one rule over the tests
     python -m repro trace query             # dual-clock trace + report
     python -m repro trace validate FILE     # schema-check a JSONL trace
+    python -m repro trace diff A.jsonl B.jsonl    # align two runs, exit 1 on divergence
+    python -m repro trace critical-path FILE      # costliest root-to-leaf chain
+    python -m repro trace flame FILE > out.folded # collapsed flamegraph stacks
+    python -m repro trace report FILE       # re-render the text report
     python -m repro obs expose --text       # Prometheus text snapshot
     python -m repro obs expose --from trace.jsonl --watch  # live dashboard
     python -m repro testkit fuzz --seed 7   # fault-injection differential fuzz
@@ -36,6 +40,18 @@ uniformity/coverage/time-to-accuracy sections.  ``figures --trace FILE``
 does the same around a normal figure run.  ``trace validate FILE``
 re-checks an existing JSONL trace against the schemas and exits non-zero
 on any violation.
+
+The analytics operations (:mod:`repro.obs.analyze`) work on *existing*
+trace files: ``trace diff A B`` aligns two runs by stable span path key
+and exits 0 when every replay-stable field matches, 1 on divergence
+(naming the first divergent span), 2 on malformed input; ``trace
+critical-path FILE`` and ``trace flame FILE`` extract the max-cost
+descent and collapsed flamegraph stacks on ``--clock sim|wall|reads``;
+``trace report FILE`` re-renders the text report (including cost and
+exemplar sections) from a file.  ``bench --compare --trace-baseline
+FILE`` auto-invokes the diff on deterministic regressions, and ``trace
+query --sabotage combine-drop`` records a deliberately broken run for
+the CI smoke test.
 """
 
 from __future__ import annotations
@@ -110,18 +126,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "operation",
-        choices=("build", "query", "figure", "validate"),
+        choices=("build", "query", "figure", "validate", "diff",
+                 "critical-path", "flame", "report"),
         help="what to trace: a small ACE-Tree build, a query workload over a "
         "pre-built (untraced) tree, or figure experiments; 'validate' "
-        "instead schema-checks existing JSONL trace file(s) and exits "
-        "non-zero on any violation",
+        "instead schema-checks existing JSONL trace file(s); 'diff' "
+        "aligns two existing traces and exits 1 on divergence; "
+        "'critical-path', 'flame' and 'report' analyze one existing trace",
     )
     trace.add_argument(
         "names",
         nargs="*",
         metavar="FIG|FILE",
         help="figure names for the 'figure' operation (default: fig12); "
-        "JSONL file paths for 'validate'",
+        "JSONL file paths for 'validate', 'diff' (exactly two), "
+        "'critical-path', 'flame' and 'report' (exactly one)",
     )
     trace.add_argument(
         "--scale",
@@ -144,6 +163,30 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=12,
         help="rows per 'top spans' report table (default 12)",
+    )
+    trace.add_argument(
+        "--clock",
+        choices=("sim", "wall", "reads"),
+        default="sim",
+        help="cost dimension for 'critical-path' and 'flame': simulated "
+        "seconds, wall seconds, or charged page reads (default: sim)",
+    )
+    trace.add_argument(
+        "--verdict",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="'diff': also write the machine-readable verdict record "
+        "(a \"kind\": \"diff\" JSON object) to FILE",
+    )
+    trace.add_argument(
+        "--sabotage",
+        choices=("combine-drop",),
+        default=None,
+        help="'query': sample through a deliberately broken Shuttle "
+        "(the testkit's combine-drop mutation) so the exported trace "
+        "diverges from a clean same-seed run — the CI trace-diff smoke "
+        "test's divergent half",
     )
 
     lint = sub.add_parser(
@@ -260,6 +303,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="with --compare: also write the machine-readable verdict JSON",
     )
+    bench.add_argument(
+        "--trace-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="with --compare: on a deterministic regression, record a "
+        "fresh 'trace query' run (seed 0) and diff it against this "
+        "committed trace, naming the first divergent span",
+    )
 
     obs = sub.add_parser(
         "obs",
@@ -342,7 +394,30 @@ def _run_compare(args, results: dict) -> int:
         # Deterministic regression: snapshot the run's last moments when a
         # recorder is armed (no-op otherwise).
         FLIGHT.trip("regress-gate")
+        if code == 1 and args.trace_baseline is not None:
+            _trace_baseline_diff(args.trace_baseline)
     return code
+
+
+def _trace_baseline_diff(baseline: Path) -> None:
+    """Deterministic regression triage: diff a fresh query trace vs FILE.
+
+    ``bench --compare --trace-baseline FILE`` lands here when the exact
+    gate fails: a fresh seed-0 ``trace query`` workload is recorded
+    in-process and aligned against the committed trace, so the failure
+    message names the first divergent span instead of just a metric path.
+    """
+    from ..obs import diff_traces, render_trace_diff
+
+    records = _load_trace(baseline)
+    if records is None:
+        return
+    recorder, _ = _traced_query_workload(0)
+    diff = diff_traces(records, recorder.spans)
+    print()
+    print("bench: deterministic regression -> trace diff vs committed baseline")
+    print(render_trace_diff(diff, a=str(baseline), b="fresh trace query"),
+          end="")
 
 
 def _run_bench(args) -> int:
@@ -418,6 +493,9 @@ def _run_sanitize(seed: int) -> int:
 def _export_trace(recorder, out: Path, top: int = 12, quality=None) -> int:
     """Write JSONL + Chrome files for a finished recorder, validate, report."""
     from ..obs import (
+        COST,
+        cost_record,
+        exemplar_records,
         export_chrome_trace,
         export_jsonl,
         render_report,
@@ -427,7 +505,12 @@ def _export_trace(recorder, out: Path, top: int = 12, quality=None) -> int:
     records = quality.records() if quality is not None else None
     chrome = out.with_suffix(".chrome.json")
     snapshot = recorder.metrics.snapshot() if recorder.metrics is not None else None
-    lines = export_jsonl(recorder.spans, out, quality=records, metrics=snapshot)
+    # The accountant was disarmed (not reset) at recorder uninstall, so
+    # its ledger still holds this run's attribution + conservation check.
+    cost = COST.snapshot()
+    extra = exemplar_records(snapshot) + [cost_record(cost)]
+    lines = export_jsonl(recorder.spans, out, quality=records,
+                         metrics=snapshot, extra=extra)
     events = export_chrome_trace(recorder.spans, chrome, quality=records)
     errors = validate_jsonl(out)
     if errors:
@@ -438,7 +521,7 @@ def _export_trace(recorder, out: Path, top: int = 12, quality=None) -> int:
           f"{events} events -> {chrome}")
     print()
     print(render_report(recorder.spans, recorder.metrics, top=top,
-                        quality=records))
+                        quality=records, cost=cost))
     return 0
 
 
@@ -544,62 +627,122 @@ def _run_validate(paths) -> int:
     return 1 if failed else 0
 
 
-def _run_trace(args) -> int:
-    """``python -m repro trace <build|query|figure|validate>``."""
+def _load_trace(path: Path):
+    """Validated span records from one JSONL trace; None after printing errors."""
+    from ..obs import load_jsonl, validate_jsonl
+
+    try:
+        errors = validate_jsonl(path)
+    except OSError as exc:
+        print(f"trace: INVALID {path}: {exc}", file=sys.stderr)
+        return None
+    if errors:
+        for error in errors:
+            print(f"trace: INVALID {path}: {error}", file=sys.stderr)
+        return None
+    return load_jsonl(path)
+
+
+def _run_trace_diff(args) -> int:
+    """``trace diff A.jsonl B.jsonl``: exit 0 identical, 1 divergent, 2 bad."""
+    from ..obs import diff_traces, diff_verdict_record, render_trace_diff
+
+    if len(args.names) != 2:
+        print("trace diff: need exactly two JSONL trace files",
+              file=sys.stderr)
+        return 2
+    path_a, path_b = (Path(name) for name in args.names)
+    records_a = _load_trace(path_a)
+    records_b = _load_trace(path_b)
+    if records_a is None or records_b is None:
+        return 2
+    diff = diff_traces(records_a, records_b)
+    print(render_trace_diff(diff, a=str(path_a), b=str(path_b)), end="")
+    if args.verdict is not None:
+        args.verdict.write_text(json.dumps(
+            diff_verdict_record(diff, a=path_a, b=path_b),
+            indent=2, sort_keys=True,
+        ) + "\n")
+    return 0 if diff.identical else 1
+
+
+def _run_trace_analysis(args) -> int:
+    """``trace critical-path|flame|report FILE`` over one existing trace."""
+    if len(args.names) != 1:
+        print(f"trace {args.operation}: need exactly one JSONL trace file",
+              file=sys.stderr)
+        return 2
+    path = Path(args.names[0])
+    records = _load_trace(path)
+    if records is None:
+        return 2
+    if args.operation == "critical-path":
+        from ..obs import critical_path, render_critical_path
+
+        rows = critical_path(records, clock=args.clock)
+        print(render_critical_path(rows, clock=args.clock), end="")
+        return 0
+    if args.operation == "flame":
+        from ..obs import flamegraph_lines, render_flamegraph_summary
+
+        lines = flamegraph_lines(records, clock=args.clock)
+        for line in lines:
+            print(line)
+        print(render_flamegraph_summary(lines, clock=args.clock),
+              file=sys.stderr)
+        return 0
+    # 'report': re-render the full text report from the file's records.
+    from ..obs import (
+        load_cost_record,
+        load_metrics_snapshot,
+        load_quality_jsonl,
+        render_report,
+    )
+
+    print(render_report(
+        records, load_metrics_snapshot(path), top=args.top,
+        quality=load_quality_jsonl(path), cost=load_cost_record(path),
+    ))
+    return 0
+
+
+def _traced_query_workload(seed: int, sabotage: str | None = None):
+    """The standard traced query workload; returns ``(recorder, quality)``.
+
+    Shared by ``trace query`` and bench's ``--trace-baseline`` auto-diff
+    so both produce path-alignable traces.  ``sabotage="combine-drop"``
+    swaps the sampler for the testkit's deliberately broken Shuttle,
+    producing a run that a diff against a clean same-seed trace must
+    flag.
+    """
     from ..acetree import AceBuildParams, build_ace_tree
     from ..obs import CONTEXT, METRICS, QualitySession, TraceRecorder
     from ..storage.cost import CostModel
     from ..storage.disk import SimulatedDisk
     from ..workloads import generate_sale_1d, queries_1d
 
-    if args.operation == "validate":
-        return _run_validate(args.names)
-    if args.operation != "figure" and args.names:
-        print("trace: figure names only apply to the 'figure' operation",
-              file=sys.stderr)
-        return 2
-
     METRICS.reset()
     recorder = TraceRecorder(metrics=METRICS)
-
-    if args.operation == "figure":
-        from .figures import clear_context_cache
-
-        names = args.names or ["fig12"]
-        unknown = [name for name in names if name not in FIGURES]
-        if unknown:
-            print(f"unknown figure(s): {', '.join(unknown)}; "
-                  f"known: {', '.join(FIGURES)}", file=sys.stderr)
-            return 2
-        quality = QualitySession(metrics=METRICS)
-        clear_context_cache()  # so the context build is traced too
-        try:
-            with recorder:
-                for name in names:
-                    run_figure(name, scale=args.scale, seed=args.seed,
-                               quality=quality)
-        finally:
-            clear_context_cache()
-        quality.finalize()
-        return _export_trace(recorder, args.out, top=args.top, quality=quality)
-
     disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
-    sale = generate_sale_1d(disk, num_records=8000, seed=args.seed)
-    params = AceBuildParams(key_fields=("day",), seed=args.seed)
-    if args.operation == "build":
-        with recorder:
-            build_ace_tree(sale, params)
-        return _export_trace(recorder, args.out, top=args.top)
-
-    # 'query': build untraced so the trace isolates the query path — every
-    # page read then happens under a stab/flush span and the report's
+    sale = generate_sale_1d(disk, num_records=8000, seed=seed)
+    params = AceBuildParams(key_fields=("day",), seed=seed)
+    # Build untraced so the trace isolates the query path — every page
+    # read then happens under a stab/flush span and the report's
     # leaf-span attribution covers (essentially) all of them.
     tree = build_ace_tree(sale, params)
     disk.reset_clock()
     quality = QualitySession(metrics=METRICS)
     key_of = tree.schema.key_getter("day")
+
+    def make_stream(query, stream_seed):
+        if sabotage == "combine-drop":
+            from ..testkit.harness import BrokenCombineStream
+
+            return BrokenCombineStream(tree, query, seed=stream_seed)
+        return tree.sample(query, seed=stream_seed)
+
     with recorder:
-        for query_index, query in enumerate(queries_1d(0.025, 3, seed=args.seed)):
+        for query_index, query in enumerate(queries_1d(0.025, 3, seed=seed)):
             side = query.sides[0]
             # Alternate a synthetic tenant per query: the exported trace
             # then carries genuine multi-tenant labeled series for the
@@ -615,7 +758,7 @@ def _run_trace(args) -> int:
                     population=tree.estimate_count(query),
                 )
                 start = disk.clock
-                stream = tree.sample(query, seed=args.seed + query_index)
+                stream = make_stream(query, seed + query_index)
                 # Same break condition as SampleStream.take(2000) — the wrap
                 # generator only observes, so the simulated clock is untouched.
                 taken = 0
@@ -624,6 +767,68 @@ def _run_trace(args) -> int:
                     if taken >= 2000:
                         break
     quality.finalize()
+    return recorder, quality
+
+
+def _run_trace(args) -> int:
+    """``python -m repro trace <build|query|figure|validate|...>``."""
+    from ..acetree import AceBuildParams, build_ace_tree
+    from ..obs import METRICS, TraceRecorder
+    from ..storage.cost import CostModel
+    from ..storage.disk import SimulatedDisk
+    from ..workloads import generate_sale_1d
+
+    if args.operation == "validate":
+        return _run_validate(args.names)
+    if args.operation == "diff":
+        return _run_trace_diff(args)
+    if args.operation in ("critical-path", "flame", "report"):
+        return _run_trace_analysis(args)
+    if args.operation != "figure" and args.names:
+        print("trace: figure names only apply to the 'figure' operation",
+              file=sys.stderr)
+        return 2
+    if args.sabotage is not None and args.operation != "query":
+        print("trace: --sabotage only applies to the 'query' operation",
+              file=sys.stderr)
+        return 2
+
+    if args.operation == "figure":
+        from ..obs import QualitySession
+        from .figures import clear_context_cache
+
+        names = args.names or ["fig12"]
+        unknown = [name for name in names if name not in FIGURES]
+        if unknown:
+            print(f"unknown figure(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(FIGURES)}", file=sys.stderr)
+            return 2
+        METRICS.reset()
+        recorder = TraceRecorder(metrics=METRICS)
+        quality = QualitySession(metrics=METRICS)
+        clear_context_cache()  # so the context build is traced too
+        try:
+            with recorder:
+                for name in names:
+                    run_figure(name, scale=args.scale, seed=args.seed,
+                               quality=quality)
+        finally:
+            clear_context_cache()
+        quality.finalize()
+        return _export_trace(recorder, args.out, top=args.top, quality=quality)
+
+    if args.operation == "build":
+        METRICS.reset()
+        recorder = TraceRecorder(metrics=METRICS)
+        disk = SimulatedDisk(page_size=4096, cost=CostModel.scaled(4096))
+        sale = generate_sale_1d(disk, num_records=8000, seed=args.seed)
+        with recorder:
+            build_ace_tree(sale, AceBuildParams(key_fields=("day",),
+                                                seed=args.seed))
+        return _export_trace(recorder, args.out, top=args.top)
+
+    recorder, quality = _traced_query_workload(args.seed,
+                                               sabotage=args.sabotage)
     return _export_trace(recorder, args.out, top=args.top, quality=quality)
 
 

@@ -418,6 +418,75 @@ def _label_overhead_benchmarks(repeat: int) -> dict:
     }
 
 
+def _obs_analyze_benchmarks(repeat: int) -> dict:
+    """Trace-analytics invariants plus the analyzer's own wall cost.
+
+    Three small traced sampling runs over one tree: two clean same-seed
+    runs (their diff must be empty — ``diff_identical`` gates exact) and
+    one through the testkit's deliberately broken Shuttle (the diff must
+    flag it — ``diff_detects_sabotage``).  The first run's cost ledger
+    must conserve (attributed == charged page reads), its exemplar
+    retention, critical-path length and flame-stack count are pure
+    functions of the seed, and the diff/flame wall timings stay advisory
+    under the generic rules.  A private registry and a final
+    ``COST.reset()`` keep the process-global telemetry clean.
+    """
+    from ..obs.analyze import critical_path, diff_traces, exemplar_records, flamegraph_lines
+    from ..obs.context import CONTEXT
+    from ..obs.cost import COST
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.recorder import TraceRecorder
+    from ..testkit.harness import BrokenCombineStream
+
+    relation = _fresh_relation(4000)
+    tree = build_ace_tree(
+        relation, AceBuildParams(key_fields=("k",), height=6, seed=3)
+    )
+    query = Box.of(Interval(0.0, 1e8))
+
+    def traced_run(broken: bool = False):
+        registry = MetricsRegistry()
+        recorder = TraceRecorder(metrics=registry)
+        # Same-seed runs must align on *absolute* simulated timestamps
+        # (the diff's comparison basis), so each run starts from a zeroed
+        # clock just like a fresh ``trace query`` process.
+        relation.disk.reset_clock()
+        with recorder:
+            with CONTEXT.push(tenant="t0", query="q0"):
+                stream = (
+                    BrokenCombineStream(tree, query, seed=7) if broken
+                    else tree.sample(query, seed=7)
+                )
+                stream.take(500)
+        return recorder.spans, registry.snapshot(), COST.snapshot()
+
+    spans_a, snapshot_a, cost_a = traced_run()
+    spans_b, _, _ = traced_run()
+    spans_c, _, _ = traced_run(broken=True)
+    COST.reset()
+
+    diff_same = diff_traces(spans_a, spans_b)
+    diff_other = diff_traces(spans_a, spans_c)
+    diff_wall = _best_of(
+        repeat, lambda: None, lambda _: diff_traces(spans_a, spans_b)
+    )
+    flame_wall = _best_of(
+        repeat, lambda: None, lambda _: flamegraph_lines(spans_a)
+    )
+    return {
+        "diff_identical": int(diff_same.identical),
+        "diff_detects_sabotage": int(not diff_other.identical),
+        "cost_conserved": int(cost_a["conserved"]),
+        "cost_attributed_reads": cost_a["attributed_reads"],
+        "cost_charged_reads": cost_a["charged_reads"],
+        "exemplar_count": len(exemplar_records(snapshot_a)),
+        "critical_path_steps": len(critical_path(spans_a)),
+        "flame_lines": len(flamegraph_lines(spans_a)),
+        "diff_wall_seconds": diff_wall,
+        "flame_wall_seconds": flame_wall,
+    }
+
+
 def _program_lint_benchmarks(repeat: int) -> dict:
     """Wall time of the whole-program analyzer over the live tree.
 
@@ -502,6 +571,7 @@ def run_micro(n: int = 20_000, repeat: int = 5, figures: bool = False) -> dict:
         "ace_query_lazy": _lazy_materialization_benchmarks(n, repeat),
         "span_overhead": _span_overhead_benchmarks(repeat),
         "obs_label_overhead": _label_overhead_benchmarks(repeat),
+        "obs_analyze": _obs_analyze_benchmarks(repeat),
         "program_lint": _program_lint_benchmarks(repeat),
     }
     cache_wall, cache_det = _sample_cache_benchmarks(n, repeat)

@@ -36,6 +36,12 @@ the modeled hardware would charge).  This package provides that view:
 * :mod:`repro.obs.report` — the text report behind ``python -m repro
   trace``: top spans by wall and simulated cost, page-read attribution,
   the per-level stab table, and the sampling-rate timeline.
+* :mod:`repro.obs.analyze` — trace analytics: stable span path keys, the
+  run-divergence diff behind ``python -m repro trace diff``, critical-path
+  extraction, and collapsed-stack flamegraph export on either clock.
+* :mod:`repro.obs.cost` — the cost accountant: attributes every charged
+  page read/write to the ambient tenant/query/sampler context with a
+  conservation check against the simulated disks' own totals.
 
 Layering: ``obs`` sits beside ``core`` at the bottom of the package graph
 (lint rule LAY001) and imports nothing from the rest of the library — every
@@ -47,13 +53,31 @@ one on the simulated clock, and golden figure outputs do not move.
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and how to read traces.
 """
 
+from .analyze import (
+    TraceDiff,
+    cost_record,
+    critical_path,
+    diff_event_views,
+    diff_traces,
+    diff_verdict_record,
+    exemplar_records,
+    flamegraph_lines,
+    render_critical_path,
+    render_flamegraph_summary,
+    render_trace_diff,
+    span_paths,
+    trace_roots,
+)
 from .context import CONTEXT, LABEL_KEYS, TelemetryContext
+from .cost import COST, CostAccountant
 from .export import (
     export_chrome_trace,
     export_jsonl,
+    load_cost_record,
     load_jsonl,
     load_metrics_snapshot,
     load_quality_jsonl,
+    strip_wall_keys,
     to_chrome_trace,
     validate_jsonl,
 )
@@ -79,6 +103,8 @@ from .tracer import NOOP_SPAN, TRACER, SpanRecord, Tracer
 __all__ = [
     "BurnWindow",
     "CONTEXT",
+    "COST",
+    "CostAccountant",
     "Counter",
     "FLIGHT",
     "FlightRecorder",
@@ -97,13 +123,22 @@ __all__ = [
     "StreamQualityMonitor",
     "TRACER",
     "TelemetryContext",
+    "TraceDiff",
     "TraceRecorder",
     "Tracer",
     "compare_benchmarks",
+    "cost_record",
+    "critical_path",
     "default_objectives",
+    "diff_event_views",
+    "diff_traces",
+    "diff_verdict_record",
     "evaluate_slos",
+    "exemplar_records",
     "export_chrome_trace",
     "export_jsonl",
+    "flamegraph_lines",
+    "load_cost_record",
     "load_jsonl",
     "load_metrics_snapshot",
     "load_quality_jsonl",
@@ -111,10 +146,16 @@ __all__ = [
     "parse_prometheus_text",
     "prometheus_text",
     "quality_sections",
+    "render_critical_path",
     "render_dashboard",
+    "render_flamegraph_summary",
     "render_diff",
     "render_report",
+    "render_trace_diff",
     "span_aggregates",
+    "span_paths",
+    "strip_wall_keys",
     "to_chrome_trace",
+    "trace_roots",
     "validate_jsonl",
 ]

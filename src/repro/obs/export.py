@@ -12,10 +12,22 @@ dumps (:mod:`repro.obs.flight`) add four more kinds, each with its own
 ``"fault"`` events (:data:`FAULT_EVENT_SCHEMA`), and a full registry
 ``"metrics"`` snapshot (:data:`METRICS_SNAPSHOT_SCHEMA` — also appended
 to ordinary traces so ``python -m repro obs expose --from FILE`` can
-re-render a finished run).  Any other ``kind`` is a validation error —
+re-render a finished run).  The trace-analytics layer
+(:mod:`repro.obs.analyze` / :mod:`repro.obs.cost`) adds three more
+kinds, each ``v`` = 1: ``"exemplar"`` tail-sample records linking
+histogram buckets to span ids (:data:`EXEMPLAR_SCHEMA`), a ``"cost"``
+per-label-set page-cost attribution record with its conservation verdict
+(:data:`COST_SCHEMA`), and a ``"diff"`` trace-diff verdict
+(:data:`DIFF_SCHEMA`).  Any other ``kind`` is a validation error —
 readers of version-1 files (spans only) keep working unchanged.
 :func:`validate_jsonl` checks a file against the schemas (the CI trace
 smoke job and ``python -m repro trace validate`` run this).
+
+Wall-clock keys (:data:`WALL_KEYS`) are the one part of a record that is
+*not* replay-stable; :func:`strip_wall_keys` is the shared projection
+used both by the flight recorder's deterministic view and by the
+trace-diff normalizer, so the two layers can never disagree about what
+"deterministic" means.
 
 Chrome format — a ``{"traceEvents": [...]}`` object of complete (``"X"``)
 events, loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Each
@@ -38,20 +50,36 @@ from pathlib import Path
 from .tracer import SpanRecord
 
 __all__ = [
+    "COST_SCHEMA",
+    "DIFF_SCHEMA",
+    "EXEMPLAR_SCHEMA",
     "FAULT_EVENT_SCHEMA",
     "FLIGHT_SCHEMA",
     "METRIC_EVENT_SCHEMA",
     "METRICS_SNAPSHOT_SCHEMA",
     "QUALITY_SCHEMA",
     "SPAN_SCHEMA",
+    "WALL_KEYS",
     "export_chrome_trace",
     "export_jsonl",
+    "load_cost_record",
     "load_jsonl",
     "load_metrics_snapshot",
     "load_quality_jsonl",
+    "strip_wall_keys",
     "to_chrome_trace",
     "validate_jsonl",
 ]
+
+#: Record keys whose values are wall-clock measurements (never
+#: replay-stable).  Shared by ``flight.deterministic_view`` and the
+#: trace-diff normalizer so both strip exactly the same fields.
+WALL_KEYS = ("start_wall", "end_wall", "wall_seconds")
+
+
+def strip_wall_keys(record: dict) -> dict:
+    """A copy of *record* without any :data:`WALL_KEYS` entries."""
+    return {key: value for key, value in record.items() if key not in WALL_KEYS}
 
 # key -> (required, allowed types); floats accept ints too (JSON round-trip).
 SPAN_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
@@ -128,6 +156,52 @@ METRICS_SNAPSHOT_SCHEMA: dict = {  # repro: shared[frozen] constant validation t
     "labeled": (False, (dict,)),
 }
 
+#: Schema for ``"kind": "exemplar"`` records: one retained histogram
+#: observation linking a bucket (``le`` upper bound, ``"+Inf"`` for the
+#: overflow bucket) to the span that produced it and the label set it
+#: carried.
+EXEMPLAR_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "metric": (True, (str,)),
+    "bucket": (True, (int,)),
+    "le": (True, (str,)),
+    "value": (True, (float, int)),
+    "span_id": (True, (int,)),
+    "labels": (False, (dict,)),
+}
+
+#: Schema for the ``"kind": "cost"`` attribution record: charged page
+#: reads/writes broken down by rendered label set, plus the conservation
+#: verdict against the simulated disks' own counters.
+COST_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "page_reads": (True, (dict,)),
+    "page_writes": (False, (dict,)),
+    "retry_io_seconds": (False, (dict,)),
+    "attributed_reads": (True, (int,)),
+    "charged_reads": (True, (int,)),
+    "attributed_writes": (False, (int,)),
+    "charged_writes": (False, (int,)),
+    "conserved": (True, (bool,)),
+}
+
+#: Schema for the ``"kind": "diff"`` trace-diff verdict record.
+DIFF_SCHEMA: dict = {  # repro: shared[frozen] constant validation table
+    "kind": (True, (str,)),
+    "v": (True, (int,)),
+    "a": (False, (str,)),
+    "b": (False, (str,)),
+    "identical": (True, (bool,)),
+    "aligned": (True, (int,)),
+    "only_a": (True, (int,)),
+    "only_b": (True, (int,)),
+    "divergences": (True, (int,)),
+    "first_divergent": (True, (str, type(None))),
+    "reason": (False, (str, type(None))),
+}
+
 
 def span_to_dict(record: SpanRecord) -> dict:
     """Flat JSON-serializable view of one span (children omitted)."""
@@ -148,19 +222,23 @@ def span_to_dict(record: SpanRecord) -> dict:
     return out
 
 
-def export_jsonl(spans, path, quality=None, metrics=None) -> int:
+def export_jsonl(spans, path, quality=None, metrics=None, extra=None) -> int:
     """Write *spans* (plus optional quality records) to *path*.
 
     ``quality`` is an iterable of already-serializable quality record
     dictionaries (:meth:`~repro.obs.quality.StreamQualityMonitor.summary`);
-    they are appended after the spans.  ``metrics`` is an optional
-    registry snapshot dict (:meth:`~repro.obs.metrics.MetricsRegistry.
-    snapshot`), appended last as one ``"kind": "metrics"`` record so the
-    exposition CLI can re-render the run.  Returns the total line count.
+    they are appended after the spans.  ``extra`` is an iterable of
+    further kind-versioned record dicts (exemplar/cost/diff) appended
+    next.  ``metrics`` is an optional registry snapshot dict
+    (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`), appended last
+    as one ``"kind": "metrics"`` record so the exposition CLI can
+    re-render the run.  Returns the total line count.
     """
     lines = [json.dumps(span_to_dict(span), sort_keys=True) for span in spans]
     if quality:
         lines.extend(json.dumps(record, sort_keys=True) for record in quality)
+    if extra:
+        lines.extend(json.dumps(record, sort_keys=True) for record in extra)
     if metrics is not None:
         lines.append(
             json.dumps({"kind": "metrics", "v": 1, **metrics}, sort_keys=True)
@@ -238,6 +316,21 @@ def validate_span_dict(obj, line_no: int = 0) -> list[str]:
         return _check_schema(obj, FAULT_EVENT_SCHEMA, where)
     if kind == "metrics":
         return _check_schema(obj, METRICS_SNAPSHOT_SCHEMA, where)
+    if kind == "exemplar":
+        return _check_schema(obj, EXEMPLAR_SCHEMA, where)
+    if kind == "cost":
+        errors = _check_schema(obj, COST_SCHEMA, where)
+        if not errors and obj["conserved"] and (
+            obj["attributed_reads"] != obj["charged_reads"]
+        ):
+            errors.append(
+                f"{where}cost record claims conservation but attributed "
+                f"({obj['attributed_reads']}) != charged "
+                f"({obj['charged_reads']})"
+            )
+        return errors
+    if kind == "diff":
+        return _check_schema(obj, DIFF_SCHEMA, where)
     if kind != "span":
         return [f"{where}unknown record kind {kind!r}"]
     errors = _check_schema(obj, SPAN_SCHEMA, where)
@@ -259,7 +352,14 @@ def validate_jsonl(path) -> list[str]:
             errors.append(f"line {line_no}: not valid JSON ({exc.msg})")
             continue
         errors.extend(validate_span_dict(obj, line_no))
-        if isinstance(obj, dict) and isinstance(obj.get("span_id"), int):
+        # Only span records *declare* ids; exemplar records carry a
+        # span_id that references an existing span, so they are exempt
+        # from the uniqueness check.
+        if (
+            isinstance(obj, dict)
+            and obj.get("kind", "span") == "span"
+            and isinstance(obj.get("span_id"), int)
+        ):
             if obj["span_id"] in seen_ids:
                 errors.append(f"line {line_no}: duplicate span_id {obj['span_id']}")
             seen_ids.add(obj["span_id"])
@@ -279,6 +379,21 @@ def load_metrics_snapshot(path) -> dict | None:
                 if key not in ("kind", "v")
             }
     return snapshot
+
+
+def load_cost_record(path) -> dict | None:
+    """The last ``"kind": "cost"`` record in a JSONL file, if any."""
+    record = None
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if isinstance(obj, dict) and obj.get("kind") == "cost":
+            record = {
+                key: value for key, value in obj.items()
+                if key not in ("kind", "v")
+            }
+    return record
 
 
 def load_quality_jsonl(path) -> list[dict]:

@@ -8,9 +8,12 @@ trace file):
   (``# TYPE`` comments, labeled series, cumulative ``_bucket``/``_sum``/
   ``_count`` histogram series with an ``+Inf`` bucket).  Metric names are
   sanitized (dots become underscores); label values are escaped per the
-  spec.  :func:`parse_prometheus_text` is the matching strict parser —
-  the test suite and the CI smoke job round-trip through it, so the
-  emitted format is verified, not assumed.
+  spec.  Histogram snapshots that retained exemplars emit them in
+  OpenMetrics syntax on the matching ``_bucket`` line —
+  ``name_bucket{le="4"} 7 # {span_id="42",tenant="t0"} 3.5`` — one (the
+  most recently retained) per bucket.  :func:`parse_prometheus_text` is
+  the matching strict parser — the test suite and the CI smoke job
+  round-trip through it, so the emitted format is verified, not assumed.
 * :func:`render_dashboard` — the ``obs expose --watch`` terminal view:
   top-k counter tables (aggregate and per label set), gauges, SLO status
   rows, and the flight-recorder tail.
@@ -35,7 +38,8 @@ __all__ = [
 _NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 _SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*?)\})?\s+(\S+)"
+    r"(?:\s+#\s+\{(.*)\}\s+(\S+))?$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 _TYPE_RE = re.compile(
@@ -80,15 +84,34 @@ def _prom_labels(pairs: list[tuple[str, str]]) -> str:
     return "{" + body + "}"
 
 
+def _exemplar_suffixes(hist: dict) -> dict[int, str]:
+    """Bucket index -> OpenMetrics exemplar suffix (last retained wins)."""
+    suffixes: dict[int, str] = {}
+    for row in hist.get("exemplars", ()):
+        pairs = [("span_id", str(row["span_id"]))]
+        pairs.extend((key, value) for key, value in (row.get("labels") or {}).items())
+        suffixes[row["bucket"]] = (
+            f" # {_prom_labels(pairs)} {_prom_value(row['value'])}"
+        )
+    return suffixes
+
+
 def _histogram_lines(name: str, hist: dict, pairs: list[tuple[str, str]]) -> list[str]:
+    exemplars = _exemplar_suffixes(hist)
     lines = []
     cumulative = 0
-    for bound, count in zip(hist["bounds"], hist["counts"]):
+    for bucket, (bound, count) in enumerate(zip(hist["bounds"], hist["counts"])):
         cumulative += count
         le_pairs = pairs + [("le", _prom_value(bound))]
-        lines.append(f"{name}_bucket{_prom_labels(le_pairs)} {cumulative}")
+        lines.append(
+            f"{name}_bucket{_prom_labels(le_pairs)} {cumulative}"
+            f"{exemplars.get(bucket, '')}"
+        )
     cumulative += hist["counts"][-1]
-    lines.append(f"{name}_bucket{_prom_labels(pairs + [('le', '+Inf')])} {cumulative}")
+    lines.append(
+        f"{name}_bucket{_prom_labels(pairs + [('le', '+Inf')])} {cumulative}"
+        f"{exemplars.get(len(hist['bounds']), '')}"
+    )
     lines.append(f"{name}_sum{_prom_labels(pairs)} {_prom_value(hist['total'])}")
     lines.append(f"{name}_count{_prom_labels(pairs)} {hist['count']}")
     return lines
@@ -149,13 +172,17 @@ def _parse_labels(body: str, line_no: int) -> dict[str, str]:
 def parse_prometheus_text(text: str) -> dict:
     """Strictly parse Prometheus text format.
 
-    Returns ``{"types": {name: type}, "samples": [(name, labels, value)]}``
-    and raises :class:`ValueError` on any line that is neither a valid
+    Returns ``{"types": {name: type}, "samples": [(name, labels, value)],
+    "exemplars": [(name, labels, exemplar_labels, exemplar_value)]}`` and
+    raises :class:`ValueError` on any line that is neither a valid
     comment nor a valid sample — the CI smoke job feeds ``obs expose
-    --text`` output through this.
+    --text`` output through this.  OpenMetrics exemplar suffixes
+    (``... # {span_id="42"} 3.5``) are accepted on any sample line and
+    land in the ``exemplars`` list.
     """
     types: dict[str, str] = {}
     samples: list[tuple[str, dict, float]] = []
+    exemplars: list[tuple[str, dict, dict, float]] = []
     for line_no, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -169,7 +196,7 @@ def parse_prometheus_text(text: str) -> dict:
         match = _SAMPLE_RE.match(line)
         if match is None:
             raise ValueError(f"line {line_no}: malformed sample: {line!r}")
-        name, label_body, raw_value = match.groups()
+        name, label_body, raw_value, exemplar_body, exemplar_raw = match.groups()
         labels = _parse_labels(label_body, line_no) if label_body else {}
         try:
             value = float(raw_value)
@@ -178,7 +205,18 @@ def parse_prometheus_text(text: str) -> dict:
                 f"line {line_no}: malformed sample value {raw_value!r}"
             ) from exc
         samples.append((name, labels, value))
-    return {"types": types, "samples": samples}
+        if exemplar_raw is not None:
+            exemplar_labels = (
+                _parse_labels(exemplar_body, line_no) if exemplar_body else {}
+            )
+            try:
+                exemplar_value = float(exemplar_raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {line_no}: malformed exemplar value {exemplar_raw!r}"
+                ) from exc
+            exemplars.append((name, labels, exemplar_labels, exemplar_value))
+    return {"types": types, "samples": samples, "exemplars": exemplars}
 
 
 # ---------------------------------------------------------------------------

@@ -42,7 +42,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from threading import Lock
 
-from .export import span_to_dict
+from .export import span_to_dict, strip_wall_keys
 from .tracer import TRACER
 
 __all__ = [
@@ -56,9 +56,6 @@ __all__ = [
 FLIGHT_VERSION = 1
 
 DEFAULT_CAPACITY = 256
-
-#: Span keys whose values are wall-clock measurements (never replay-stable).
-_WALL_KEYS = ("start_wall", "end_wall", "wall_seconds")
 
 
 def write_dump(events, path, reason: str, dropped: int = 0) -> Path:
@@ -80,10 +77,12 @@ def write_dump(events, path, reason: str, dropped: int = 0) -> Path:
 def deterministic_view(events) -> list[dict]:
     """Events projected onto their replay-stable fields.
 
-    Strips wall-clock measurements and renumbers span ids densely in
-    arrival order: the tracer's id counter is process-global, so raw ids
-    differ between two otherwise identical runs.  Parent links are
-    remapped consistently (an out-of-ring parent becomes ``None``).
+    Strips wall-clock measurements (the :func:`~repro.obs.export.strip_wall_keys`
+    projection shared with the trace-diff normalizer) and renumbers span
+    ids densely in arrival order: the tracer's id counter is
+    process-global, so raw ids differ between two otherwise identical
+    runs.  Parent links are remapped consistently (an out-of-ring parent
+    becomes ``None``).
     """
     id_map: dict = {}
     for event in events:
@@ -92,7 +91,7 @@ def deterministic_view(events) -> list[dict]:
             id_map[span_id] = len(id_map) + 1
     view = []
     for event in events:
-        cleaned = {k: v for k, v in event.items() if k not in _WALL_KEYS}
+        cleaned = strip_wall_keys(event)
         if "span_id" in cleaned:
             cleaned["span_id"] = id_map.get(cleaned["span_id"])
         if "parent_id" in cleaned:

@@ -28,6 +28,17 @@ refinement, never a fork.  The rules:
   per rejected call — the regress rules gate it at exactly zero on bench
   runs, so silent cardinality overflow cannot ship.
 
+**Exemplars.**  While tracing is on, every histogram observation may
+carry a pointer back to the span that produced it: a bounded
+per-bucket ring (:data:`EXEMPLARS_PER_BUCKET` entries, oldest
+overwritten) of ``(value, span id, label set)`` triples kept on the
+family root.  Capture is gated on ``TRACER.enabled`` and never touches
+the bucket counters, so unlabeled aggregates stay bit-identical whether
+or not exemplars are recorded; untraced runs skip the branch entirely.
+The sanctioned capture path is ``observe(value, span_id=...)`` or the
+ambient :meth:`Tracer.current_span_id` fallback — lint rule OBS002 pins
+ad-hoc span-id plumbing outside this module.
+
 Instrumentation that feeds the registry from hot paths guards on
 ``TRACER.enabled`` so an untraced run pays nothing.  All mutation is
 lock-protected — one lock per metric family, shared between the parent
@@ -41,13 +52,15 @@ from __future__ import annotations
 from bisect import bisect_left
 from threading import Lock
 
-from .context import canonical_label_set, render_label_set
+from .context import CONTEXT, canonical_label_set, render_label_set
 from .flight import FLIGHT
+from .tracer import TRACER
 
 __all__ = [
     "Counter",
     "DEFAULT_MAX_LABEL_SETS",
     "DROPPED_LABEL_SETS",
+    "EXEMPLARS_PER_BUCKET",
     "Gauge",
     "Histogram",
     "METRICS",
@@ -59,6 +72,9 @@ DEFAULT_MAX_LABEL_SETS = 64
 
 #: Registry counter bumped when a ``labels()`` call exceeds the cap.
 DROPPED_LABEL_SETS = "obs.metrics.dropped_label_sets"
+
+#: Exemplar ring size per histogram bucket (oldest entry overwritten).
+EXEMPLARS_PER_BUCKET = 4
 
 
 def _resolve_child(parent, labels: dict, factory):
@@ -233,7 +249,7 @@ class Histogram:
     __slots__ = (
         "name", "bounds", "counts", "total", "count", "label_set",
         "_lock", "_parent", "_children", "_max_label_sets", "_on_drop",
-        "_memo",
+        "_memo", "_exemplars", "_exemplar_seq",
     )
 
     def __init__(
@@ -266,8 +282,10 @@ class Histogram:
         self._max_label_sets = max_label_sets
         self._on_drop = on_drop
         self._memo: dict | None = None
+        self._exemplars: dict | None = None
+        self._exemplar_seq: dict | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, span_id: int | None = None) -> None:
         bucket = bisect_left(self.bounds, value)
         with self._lock:
             self.counts[bucket] += 1
@@ -278,8 +296,44 @@ class Histogram:
                 parent.counts[bucket] += 1
                 parent.total += value
                 parent.count += 1
+        if TRACER.enabled:
+            self._record_exemplar(bucket, value, span_id)
         if FLIGHT.enabled:
             FLIGHT.record_metric(self.name, "histogram", value, self.label_set)
+
+    def _record_exemplar(
+        self, bucket: int, value: float, span_id: int | None
+    ) -> None:
+        """Link this observation to its span in the family's bucket ring.
+
+        Runs only while tracing is enabled and never touches the bucket
+        counters, so aggregates are bit-identical with or without it.
+        Observations outside any live span (and without an explicit
+        ``span_id``) are silently skipped.
+        """
+        if span_id is None:
+            span_id = TRACER.current_span_id()
+            if span_id is None:
+                return
+        label_set = self.label_set
+        if label_set is None:
+            label_set = canonical_label_set(CONTEXT.current())
+        root = self._parent if self._parent is not None else self
+        with root._lock:
+            rings = root._exemplars
+            if rings is None:
+                rings = root._exemplars = {}
+                root._exemplar_seq = {}
+            ring = rings.get(bucket)
+            if ring is None:
+                ring = rings[bucket] = []
+            seq = root._exemplar_seq.get(bucket, 0)
+            entry = (value, span_id, label_set)
+            if len(ring) < EXEMPLARS_PER_BUCKET:
+                ring.append(entry)
+            else:
+                ring[seq % EXEMPLARS_PER_BUCKET] = entry
+            root._exemplar_seq[bucket] = seq + 1
 
     @property
     def mean(self) -> float:
@@ -296,14 +350,34 @@ class Histogram:
             ),
         )
 
+    def _bucket_le(self, bucket: int) -> str:
+        """OpenMetrics ``le`` text for *bucket* (``"+Inf"`` for overflow)."""
+        if bucket < len(self.bounds):
+            return f"{self.bounds[bucket]:g}"
+        return "+Inf"
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
         }
+        rings = self._exemplars
+        if rings:
+            rows = []
+            for bucket in sorted(rings):
+                for value, span_id, label_set in rings[bucket]:
+                    rows.append({
+                        "bucket": bucket,
+                        "le": self._bucket_le(bucket),
+                        "value": value,
+                        "span_id": span_id,
+                        "labels": dict(label_set),
+                    })
+            snap["exemplars"] = rows
+        return snap
 
 
 class MetricsRegistry:  # repro: shared[lock=_lock] registry map mutation holds _lock; families hold their own shared lock

@@ -14,10 +14,21 @@ the text report and ``bench --json`` surface:
 
 (The stab-depth and time-to-first-k histograms are observed at the query
 call sites themselves, where the values are in scope.)
+
+The recorder also brackets the cost accountant
+(:data:`~repro.obs.cost.COST`): ``install`` arms it so the storage
+charge points attribute every page read to the ambient
+tenant/query/sampler context, and ``uninstall`` publishes the ledger as
+``obs.cost.*`` labeled counters before disarming (the ledger itself
+stays readable for reports).  Derived histogram observations pass the
+finished span's own id so exemplars point at the span that produced the
+value — the listener runs after the span popped off the stack, so the
+ambient ``current_span_id`` would name the parent instead.
 """
 
 from __future__ import annotations
 
+from .cost import COST
 from .metrics import METRICS, MetricsRegistry
 from .tracer import TRACER, SpanRecord, Tracer
 
@@ -46,6 +57,7 @@ class TraceRecorder:
         self._was_enabled = tracer.enabled
         tracer.add_listener(self.on_span)
         tracer.enable()
+        COST.arm()
         return self
 
     def uninstall(self) -> None:
@@ -57,6 +69,8 @@ class TraceRecorder:
         if not self._was_enabled:
             tracer.disable()
         self._tracer = None
+        COST.publish(self.metrics)
+        COST.disarm()
 
     def __enter__(self) -> "TraceRecorder":
         return self.install()
@@ -77,19 +91,19 @@ class TraceRecorder:
             metrics = self.metrics
             reads = record.page_reads
             metrics.histogram("query.pages_per_stab", _PAGES_PER_STAB_BOUNDS).observe(
-                reads
+                reads, span_id=record.span_id
             )
             emitted = record.attrs.get("emitted")
             if emitted is not None and reads > 0:
                 metrics.histogram(
                     "query.records_per_page_read", _RECORDS_PER_PAGE_BOUNDS
-                ).observe(emitted / reads)
+                ).observe(emitted / reads, span_id=record.span_id)
         elif name == "leaf_store.read_leaf":
             pages = record.attrs.get("pages")
             if pages is not None:
                 self.metrics.histogram(
                     "leaf.pages_per_read", _LEAF_PAGES_BOUNDS
-                ).observe(pages)
+                ).observe(pages, span_id=record.span_id)
 
     # -- views ---------------------------------------------------------
 

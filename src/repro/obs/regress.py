@@ -80,6 +80,15 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
                r"|incs_per_run)", "exact"),
     MetricRule(r"obs_label_overhead\.labeled_overhead_ratio",
                "lower_better"),
+    # Trace-analytics invariants: same-seed diffs must stay empty,
+    # sabotage must stay detected, and the cost accountant must conserve
+    # charged pages — all pure functions of code + seed, gated exact.
+    # (diff_wall_seconds / flame_wall_seconds fall through to the generic
+    # wall rules below and stay advisory.)
+    MetricRule(r"obs_analyze\.(diff_identical|diff_detects_sabotage"
+               r"|cost_conserved|cost_attributed_reads|cost_charged_reads"
+               r"|exemplar_count|critical_path_steps|flame_lines)",
+               "exact"),
     MetricRule(r".*\.best_run_profile_seconds\..*", "ignore"),
     # Whole-program analyzer structure counts: they move with every code
     # change by design (wall_seconds still gates under the generic rules).

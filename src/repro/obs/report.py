@@ -20,7 +20,12 @@ registry snapshot) into the report printed by ``python -m repro trace``:
    per-window uniformity verdicts, stratum coverage, the time-to-accuracy
    table, and the CI-half-width timeline (the statistical twin of the
    sampling-rate timeline).
-6. **Metrics** — counters, gauges, and histogram tables.
+6. **Cost attribution** — when the run carried a cost-accountant ledger
+   (:mod:`repro.obs.cost`): charged page reads/writes per label set and
+   the conservation verdict against the simulated disks' own totals.
+7. **Metrics** — counters, gauges, and histogram tables; histograms that
+   retained exemplars additionally list their tail-bucket → span links,
+   resolving span ids to names when the spans are in scope.
 """
 
 from __future__ import annotations
@@ -369,6 +374,62 @@ def quality_sections(quality: list[dict]) -> list[str]:
     return sections
 
 
+def _section_cost(cost: dict | None) -> list[str]:
+    """Per-label-set charged-page table + the conservation verdict."""
+    if not cost:
+        return []
+    reads = cost.get("page_reads", {})
+    writes = cost.get("page_writes", {})
+    io = cost.get("retry_io_seconds", {})
+    rows = []
+    for rendered in sorted(reads.keys() | writes.keys() | io.keys()):
+        rows.append([
+            rendered or "(unlabeled)",
+            str(reads.get(rendered, 0)),
+            str(writes.get(rendered, 0)),
+            f"{io.get(rendered, 0.0):.4f}",
+        ])
+    verdict = "CONSERVED" if cost.get("conserved") else "LEAK"
+    out = ["== cost attribution (charged pages per label set) =="]
+    if rows:
+        out.append(_fmt_table(
+            ["labels", "page reads", "page writes", "retry io s"], rows
+        ))
+    out.append(
+        f"conservation: attributed {cost.get('attributed_reads', 0)} / "
+        f"charged {cost.get('charged_reads', 0)} page reads -> {verdict}"
+    )
+    return out
+
+
+def _section_exemplars(metrics_snapshot: dict, spans) -> list[str]:
+    """Tail-bucket → span links for histograms that retained exemplars."""
+    rows = []
+    names = {span.span_id: span.name for span in spans}
+    for metric, hist in sorted(metrics_snapshot.get("histograms", {}).items()):
+        exemplars = hist.get("exemplars")
+        if not exemplars:
+            continue
+        # The tail buckets are the interesting ones: show the highest
+        # occupied bucket per metric, newest exemplars last.
+        tail = max(row["bucket"] for row in exemplars)
+        for row in exemplars:
+            if row["bucket"] != tail:
+                continue
+            labels = ",".join(f"{k}={v}" for k, v in row.get("labels", {}).items())
+            rows.append([
+                metric, f"<= {row['le']}", f"{row['value']:g}",
+                f"#{row['span_id']} {names.get(row['span_id'], '?')}",
+                labels or "-",
+            ])
+    if not rows:
+        return []
+    return [
+        "== exemplars (tail bucket -> span links) ==",
+        _fmt_table(["histogram", "bucket", "value", "span", "labels"], rows),
+    ]
+
+
 def _section_metrics(metrics_snapshot: dict) -> list[str]:
     out = []
     counters = metrics_snapshot.get("counters", {})
@@ -394,12 +455,17 @@ def _section_metrics(metrics_snapshot: dict) -> list[str]:
 
 
 def render_report(spans, metrics: MetricsRegistry | dict | None = None,
-                  top: int = 12, quality: list | None = None) -> str:
+                  top: int = 12, quality: list | None = None,
+                  cost: dict | None = None) -> str:
     """Render the full text report for a flat list of :class:`SpanRecord`.
 
     ``quality`` is an optional list of versioned quality records (see
     :meth:`repro.obs.quality.StreamQualityMonitor.summary`); when present
     the quality sections render between the timeline and the metrics.
+    ``cost`` is an optional cost-accountant ledger snapshot
+    (:meth:`repro.obs.cost.CostAccountant.snapshot` or a loaded
+    ``"kind": "cost"`` record); when present the per-label attribution
+    table and conservation verdict render before the metrics.
     """
     spans = list(spans)
     if not spans:
@@ -413,7 +479,9 @@ def render_report(spans, metrics: MetricsRegistry | dict | None = None,
     for extra in (_section_stab_levels(snapshot),
                   _section_timeline(spans),
                   quality_sections(quality or []),
-                  _section_metrics(snapshot)):
+                  _section_cost(cost),
+                  _section_metrics(snapshot),
+                  _section_exemplars(snapshot, spans)):
         if extra:
             sections += [""] + extra
     return "\n".join(sections) + "\n"

@@ -287,6 +287,16 @@ class Tracer:
         if profile is not None:
             profile.count(name, value)
 
+    def current_span_id(self) -> int | None:
+        """The id of this thread's innermost live span, if any.
+
+        This is the sanctioned way for exemplar capture to learn which
+        span an observation belongs to (lint rule OBS002); it touches
+        only thread-local state, so no lock is taken.
+        """
+        stack = self._span_stack()
+        return stack[-1][0].span_id if stack else None
+
     # -- internals -----------------------------------------------------
 
     def _span_stack(self) -> list:

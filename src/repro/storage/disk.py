@@ -9,6 +9,13 @@ asymmetry that the paper's evaluation is built on.
 The disk also owns page allocation.  Contiguous extents keep files physically
 sequential, so scans of bulk-loaded files run at transfer speed just like a
 real system.
+
+Every charge point reports to the cost accountant
+(:data:`repro.obs.cost.COST`) when it is armed (i.e. during traced runs):
+the page just charged is attributed to the ambient tenant/query context,
+**after** the counters moved so the accountant's conservation check can
+reconcile its ledger against :class:`DiskStats` exactly.  Disarmed (the
+default), each charge pays one attribute load.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Iterator
 from zlib import crc32
 
 from ..core.errors import PageCorruptionError, PageError
+from ..obs.cost import COST
 from .cost import CostModel
 
 __all__ = ["DiskStats", "SimulatedDisk"]
@@ -145,6 +153,10 @@ class SimulatedDisk:  # repro: shared[confined] the clock itself is single-write
         self._charge_access(pid)
         self.stats.page_reads += 1
         self.stats.bytes_read += self.page_size
+        if COST.enabled:
+            # Attributed before the checksum verdict: the read was
+            # charged whether or not the data turns out corrupt.
+            COST.record_reads(self.stats)
         data = self._pages.get(pid, bytes(self.page_size))
         if self.checksums:
             stored = self._checksums.get(pid)
@@ -171,6 +183,8 @@ class SimulatedDisk:  # repro: shared[confined] the clock itself is single-write
         self._charge_access(pid)
         self.stats.page_reads += 1
         self.stats.bytes_read += self.page_size
+        if COST.enabled:
+            COST.record_reads(self.stats)
 
     def touch_pages(self, pids) -> None:
         """Charge a run of page reads (:meth:`touch_page` for each id).
@@ -215,6 +229,8 @@ class SimulatedDisk:  # repro: shared[confined] the clock itself is single-write
         count = len(pids)
         stats.page_reads += count
         stats.bytes_read += count * page_size
+        if count and COST.enabled:
+            COST.record_reads(stats, count)
 
     def write_page(self, pid: int, data: bytes) -> None:
         """Write one page (padded to the page size), charging like a read."""
@@ -229,6 +245,8 @@ class SimulatedDisk:  # repro: shared[confined] the clock itself is single-write
         self._charge_access(pid)
         self.stats.page_writes += 1
         self.stats.bytes_written += self.page_size
+        if COST.enabled:
+            COST.record_writes(self.stats)
         self._pages[pid] = data
         # The checksum always covers the *intended* bytes: a torn write
         # injected underneath (repro.testkit.faults) leaves it stale, which

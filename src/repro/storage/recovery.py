@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from ..core.errors import TransientPageError
 from ..obs.context import CONTEXT
+from ..obs.cost import COST
 from ..obs.flight import FLIGHT
 from ..obs.metrics import METRICS
 from ..obs.tracer import TRACER
@@ -102,6 +103,8 @@ def read_page_resilient(
             if attempt + 1 >= policy.max_attempts:
                 break
             disk.charge_io(delay)
+            if COST.enabled:
+                COST.record_io(delay)
             delay *= policy.multiplier
     assert last_error is not None
     FLIGHT.trip("recovery-exhausted")
@@ -132,6 +135,8 @@ def touch_page_resilient(
             if attempt + 1 >= policy.max_attempts:
                 break
             disk.charge_io(delay)
+            if COST.enabled:
+                COST.record_io(delay)
             delay *= policy.multiplier
     assert last_error is not None
     FLIGHT.trip("recovery-exhausted")

@@ -94,7 +94,40 @@ def _run_fuzz(args) -> int:
         write_dump(flight["events"], dump_path, flight["reason"],
                    dropped=flight.get("dropped", 0))
         print(f"testkit fuzz: flight dump -> {dump_path}", file=sys.stderr)
+        _diff_replay_flight(first)
     return 1
+
+
+def _diff_replay_flight(first: dict) -> None:
+    """Classify the first failure: does a replay fly the same way?
+
+    Re-runs the failing case under a fresh flight recording and
+    lockstep-diffs the deterministic views of the two event sequences
+    (:func:`repro.obs.analyze.diff_event_views`, wall keys stripped).
+    An empty diff means the failure replays event-for-event — a
+    deterministic bug, not flaky fault timing; a non-empty one names the
+    first divergent event.  Advisory only: the exit code is already 1.
+    """
+    from ..obs.analyze import diff_event_views
+    from ..obs.flight import FLIGHT
+
+    recorded = first["flight"]["events"]
+    try:
+        with FLIGHT.recording():
+            replay(first)
+            FLIGHT.trip(first["flight"]["reason"])
+            replayed = FLIGHT.snapshot()
+    except (ValueError, FaultPlanError, KeyError) as exc:
+        print(f"testkit fuzz: flight diff skipped ({exc})", file=sys.stderr)
+        return
+    verdict = diff_event_views(recorded, replayed)
+    if verdict["identical"]:
+        print("testkit fuzz: flight diff: replay is event-identical over "
+              f"{verdict['aligned']} event(s) — deterministic failure",
+              file=sys.stderr)
+    else:
+        print("testkit fuzz: flight diff: replay DIVERGED — first divergent "
+              f"{verdict['first_divergent']}", file=sys.stderr)
 
 
 def _run_replay(args) -> int:

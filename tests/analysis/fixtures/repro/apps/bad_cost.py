@@ -1,0 +1,11 @@
+"""Known-bad fixture: OBS002 triggers (tests pin line numbers)."""
+
+from repro.obs import COST, METRICS, TRACER
+
+
+def account(stats, batch):
+    COST.record_reads(stats)
+    COST.record_io(0.5)
+    span = TRACER.current_span_id()
+    METRICS.histogram("app.lat_sim_s").observe(0.5, span_id=span)
+    return span

@@ -34,7 +34,7 @@ class TestRegistry:
     def test_all_project_rules_registered(self):
         assert {
             "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
-            "TST001", "HOT001", "OBS001",
+            "TST001", "HOT001", "OBS001", "OBS002",
         } <= set(RULES)
 
     def test_duplicate_registration_rejected(self):
@@ -185,6 +185,46 @@ class TestObs001:
         assert lint_file(path) == []
 
 
+class TestObs002:
+    def test_every_capture_site_flagged(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_cost.py")
+        assert lines_by_rule(findings) == {"OBS002": [7, 8, 9, 10]}
+
+    def test_messages_name_the_boundary(self):
+        findings = lint_file(FIXTURES / "apps" / "bad_cost.py")
+        by_line = {f.line: f.message for f in findings}
+        assert "storage charge points" in by_line[7]
+        assert "storage charge points" in by_line[8]
+        assert "current_span_id" in by_line[9]
+        assert "span_id=" in by_line[10]
+
+    def test_sanctioned_modules_exempt(self, tmp_path):
+        # The same calls inside a storage charge point lint clean.
+        target = tmp_path / "repro" / "storage"
+        target.mkdir(parents=True)
+        path = target / "disk.py"
+        path.write_text(
+            "from repro.obs.cost import COST\n"
+            "def read(stats):\n"
+            "    COST.record_reads(stats)\n"
+        )
+        assert lint_file(path) == []
+
+    def test_snapshot_and_reset_not_flagged(self, tmp_path):
+        # Only ledger mutators are fenced; reading the accountant is fine.
+        target = tmp_path / "repro" / "apps"
+        target.mkdir(parents=True)
+        path = target / "read_cost.py"
+        path.write_text(
+            "from repro.obs import COST\n"
+            "def show():\n"
+            "    ledger = COST.snapshot()\n"
+            "    COST.reset()\n"
+            "    return ledger\n"
+        )
+        assert lint_file(path) == []
+
+
 class TestGoodFixture:
     def test_sanctioned_patterns_lint_clean(self):
         findings = lint_file(FIXTURES / "view" / "good.py")
@@ -283,7 +323,7 @@ class TestOutput:
         rules_seen = {f.rule for f in findings}
         assert {
             "RNG001", "CLK001", "FLT001", "LAY001", "MUT001", "EXC001",
-            "TST001", "HOT001", "OBS001",
+            "TST001", "HOT001", "OBS001", "OBS002",
         } == rules_seen
 
 

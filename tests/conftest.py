@@ -143,13 +143,15 @@ def drain(batches):
 def _reset_telemetry():
     """Keep process-global observability state from leaking across tests.
 
-    METRICS, CONTEXT and FLIGHT are module singletons; a test that labels a
-    counter or arms the flight ring must not change what the next test sees.
+    METRICS, CONTEXT, FLIGHT and COST are module singletons; a test that
+    labels a counter, arms the flight ring, or attributes page costs must
+    not change what the next test sees.
     """
     yield
-    from repro.obs import CONTEXT, FLIGHT, METRICS
+    from repro.obs import CONTEXT, COST, FLIGHT, METRICS
 
     METRICS.reset()
     CONTEXT.clear()
+    COST.reset()
     if FLIGHT.enabled:
         FLIGHT.disarm()

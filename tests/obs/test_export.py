@@ -209,3 +209,84 @@ class TestChromeTrace:
         parsed = json.loads(path.read_text())
         assert len(parsed["traceEvents"]) == count
         assert parsed["displayTimeUnit"] == "ms"
+
+
+class TestAnalyticsRecordValidation:
+    """Corrupted exemplar/cost/diff records must fail ``trace validate``."""
+
+    GOOD_EXEMPLAR = {
+        "kind": "exemplar", "v": 1, "metric": "query.lat_sim_s",
+        "bucket": 2, "le": "+Inf", "value": 3.5, "span_id": 42,
+        "labels": {"tenant": "t0"},
+    }
+    GOOD_COST = {
+        "kind": "cost", "v": 1, "page_reads": {"tenant=t0": 8},
+        "page_writes": {}, "retry_io_seconds": {},
+        "attributed_reads": 8, "charged_reads": 8,
+        "attributed_writes": 0, "charged_writes": 0, "conserved": True,
+    }
+    GOOD_DIFF = {
+        "kind": "diff", "v": 1, "identical": False, "aligned": 12,
+        "only_a": 0, "only_b": 1, "divergences": 3,
+        "first_divergent": "ace_query.stab#0",
+    }
+
+    def _validate(self, tmp_path, record):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        return validate_jsonl(path)
+
+    def test_good_records_validate(self, tmp_path):
+        for record in (self.GOOD_EXEMPLAR, self.GOOD_COST, self.GOOD_DIFF):
+            assert self._validate(tmp_path, record) == [], record["kind"]
+
+    def test_exemplar_missing_span_id(self, tmp_path):
+        record = dict(self.GOOD_EXEMPLAR)
+        del record["span_id"]
+        assert any("span_id" in e for e in self._validate(tmp_path, record))
+
+    def test_exemplar_wrong_bucket_type(self, tmp_path):
+        record = dict(self.GOOD_EXEMPLAR, bucket="overflow")
+        assert any("bucket" in e for e in self._validate(tmp_path, record))
+
+    def test_exemplar_unknown_key(self, tmp_path):
+        record = dict(self.GOOD_EXEMPLAR, trace_id=9)
+        assert any("trace_id" in e for e in self._validate(tmp_path, record))
+
+    def test_exemplar_does_not_claim_a_span_id(self, tmp_path):
+        """Exemplars reference spans; they must not trip the duplicate check."""
+        span = {"name": "a", "span_id": 42, "parent_id": None,
+                "start_wall": 0.0, "end_wall": 1.0}
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(span) + "\n"
+                        + json.dumps(self.GOOD_EXEMPLAR) + "\n")
+        assert validate_jsonl(path) == []
+
+    def test_cost_missing_conserved(self, tmp_path):
+        record = dict(self.GOOD_COST)
+        del record["conserved"]
+        assert any("conserved" in e for e in self._validate(tmp_path, record))
+
+    def test_cost_false_conservation_claim_rejected(self, tmp_path):
+        record = dict(self.GOOD_COST, attributed_reads=7)
+        errors = self._validate(tmp_path, record)
+        assert any("claims conservation" in e for e in errors)
+
+    def test_cost_ledger_wrong_type(self, tmp_path):
+        record = dict(self.GOOD_COST, page_reads=8)
+        assert any("page_reads" in e for e in self._validate(tmp_path, record))
+
+    def test_diff_missing_first_divergent(self, tmp_path):
+        record = dict(self.GOOD_DIFF)
+        del record["first_divergent"]
+        errors = self._validate(tmp_path, record)
+        assert any("first_divergent" in e for e in errors)
+
+    def test_diff_null_first_divergent_allowed(self, tmp_path):
+        record = dict(self.GOOD_DIFF, identical=True, divergences=0,
+                      only_b=0, first_divergent=None)
+        assert self._validate(tmp_path, record) == []
+
+    def test_diff_bool_masquerading_as_count(self, tmp_path):
+        record = dict(self.GOOD_DIFF, aligned=True)
+        assert any("aligned" in e for e in self._validate(tmp_path, record))

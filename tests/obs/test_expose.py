@@ -74,7 +74,9 @@ class TestPrometheusText:
 
     def test_empty_snapshot_renders_empty(self):
         assert prometheus_text({}) == ""
-        assert parse_prometheus_text("") == {"types": {}, "samples": []}
+        assert parse_prometheus_text("") == {
+            "types": {}, "samples": [], "exemplars": [],
+        }
 
     def test_parser_rejects_malformed_lines(self):
         with pytest.raises(ValueError, match="malformed sample"):
