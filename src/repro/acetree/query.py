@@ -220,7 +220,7 @@ class StreamStats:
         self.cache_hits = 0
 
 
-class SampleStream:  # repro: shared[confined] one stream per traversal; never handed across tenants
+class SampleStream:  # repro: shared[owner=serve.scheduler] one stream per traversal; interleaved streams advance only inside a serve scheduler quantum
     """Online random-sample iterator over one range query.
 
     Iterating yields :class:`SampleBatch` objects; :meth:`records` flattens

@@ -36,7 +36,7 @@ __all__ = ["LeafStore", "LeafStoreWriter"]
 
 #: Monotonic identity for live leaf stores; scopes sample-cache keys so a
 #: freed/rebuilt store can never serve another tree's cached cells.
-_CACHE_TOKENS = itertools.count(1)  # repro: shared[confined] single-engine token source; scheduler PR must serialize it
+_CACHE_TOKENS = itertools.count(1)  # repro: shared[owner=serve.scheduler] token source; stores are only created during build/setup, inside the owner's quanta under serve
 
 _LEAF_HEADER = struct.Struct("<IH")  # leaf index, section count
 _SECTION_COUNT = struct.Struct("<I")

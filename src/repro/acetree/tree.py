@@ -51,7 +51,7 @@ class AceTree:
     #: section level, as list/set/count views).  Pure functions of
     #: (geometry, query), shared read-only across streams; bounded by
     #: :class:`~repro.acetree.query.SampleStream`.
-    _overlap_memo: dict = dcfield(default_factory=dict, repr=False)  # repro: shared[confined] per-tree memo, written only at stream creation on the engine thread
+    _overlap_memo: dict = dcfield(default_factory=dict, repr=False)  # repro: shared[owner=serve.scheduler] per-tree memo, written only at stream creation inside a scheduler quantum
 
     @property
     def disk(self) -> SimulatedDisk:

@@ -12,7 +12,7 @@ CLK001   no wall-clock / real-I/O access outside the sanctioned modules
 FLT001   no ``==`` / ``!=`` on key or split-bound floats in ``acetree/``.
 LAY001   package layering is respected (``core`` < ``storage`` <
          ``acetree``/``workloads`` < ``baselines``/``apps`` < ``view`` <
-         ``analysis`` < ``bench``/``testkit``).
+         ``analysis`` < ``bench``/``serve``/``testkit``).
 MUT001   no mutable default arguments.
 EXC001   no bare / overbroad ``except`` clauses.
 TST001   test files must not monkeypatch the simulated disk's I/O
@@ -232,6 +232,7 @@ LAYER_RANKS = {
     "view": 4,
     "analysis": 5,
     "bench": 6,
+    "serve": 6,
     "testkit": 6,
 }
 

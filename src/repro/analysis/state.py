@@ -9,14 +9,18 @@ registered annotation)::
     METRICS = MetricsRegistry()   repro: shared[lock=_lock] registry
     class SampleStream:           repro: shared[confined] one per traversal
 
-The grammar is ``# repro: shared[lock=<name>|confined|frozen]`` followed
-by free-text rationale:
+The grammar is ``# repro: shared[lock=<name>|owner=<name>|confined|frozen]``
+followed by free-text rationale:
 
-* ``lock=<name>`` — mutations are serialized by the named lock;
-* ``confined``    — the object is only ever touched by one logical
-  writer at a time (one engine thread today; the scheduler PR must
-  revisit every such site);
-* ``frozen``      — written once during import/build, read-only after.
+* ``lock=<name>``  — mutations are serialized by the named lock;
+* ``owner=<name>`` — mutations are serialized by the named scheduler:
+  concurrent logical users exist, but every mutation happens inside one
+  scheduling quantum of that owner (``serve.scheduler`` is the one the
+  serve layer registers; its claim is *checked* by the access-ordinal
+  sanitizer's single-writer tag on ``testkit fuzz --serve`` sweeps);
+* ``confined``     — the object is only ever touched by one logical
+  writer at a time (a single traversal or test);
+* ``frozen``       — written once during import/build, read-only after.
 
 Every annotation must also be registered in the ``pyproject.toml``
 allowlist (``[tool.repro.program] shared = ["<site>: <spec>", ...]``) so
@@ -41,7 +45,8 @@ __all__ = [
 ]
 
 _SHARED_RE = re.compile(
-    r"#\s*repro:\s*shared\[(lock=[A-Za-z0-9_.]+|confined|frozen)\]"
+    r"#\s*repro:\s*shared\["
+    r"(lock=[A-Za-z0-9_.]+|owner=[A-Za-z0-9_.]+|confined|frozen)\]"
 )
 
 #: Canonical callables that construct a shared-mutable container.  The
@@ -66,21 +71,25 @@ MUTATOR_METHODS = {
 class SharedAnnotation:
     """One parsed ``# repro: shared[...]`` annotation."""
 
-    kind: str  #: ``"lock"`` | ``"confined"`` | ``"frozen"``
-    lock: str | None  #: lock name when ``kind == "lock"``
+    kind: str  #: ``"lock"`` | ``"owner"`` | ``"confined"`` | ``"frozen"``
+    lock: str | None  #: lock/owner name when ``kind`` is ``lock``/``owner``
     line: int
 
     @property
     def spec(self) -> str:
         """The normalized bracket text (``"lock=registry"``)."""
-        return f"lock={self.lock}" if self.kind == "lock" else self.kind
+        if self.kind in ("lock", "owner"):
+            return f"{self.kind}={self.lock}"
+        return self.kind
 
 
 def parse_spec(spec: str) -> tuple[str, str | None]:
-    """Split a spec string into ``(kind, lock_name)``."""
+    """Split a spec string into ``(kind, lock_or_owner_name)``."""
     spec = spec.strip()
     if spec.startswith("lock="):
         return "lock", spec[len("lock="):]
+    if spec.startswith("owner="):
+        return "owner", spec[len("owner="):]
     return spec, None
 
 

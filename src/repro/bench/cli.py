@@ -20,7 +20,10 @@ Usage::
     python -m repro obs expose --text       # Prometheus text snapshot
     python -m repro obs expose --from trace.jsonl --watch  # live dashboard
     python -m repro testkit fuzz --seed 7   # fault-injection differential fuzz
+    python -m repro testkit fuzz --serve    # solo-vs-interleaved serve oracle
     python -m repro testkit replay FILE     # re-run a recorded failing case
+    python -m repro serve --workload bursty --tenants 100 --seed 7
+                                            # multi-tenant serve run (docs/SERVING.md)
 
 Each figure's series is printed and, with ``--out DIR``, written to
 ``DIR/<fig>.txt`` (the same format EXPERIMENTS.md quotes).  ``bench`` runs
@@ -364,8 +367,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows per dashboard table (default 8)",
     )
 
+    from ..serve.cli import add_serve_parser
     from ..testkit.cli import add_testkit_parser
 
+    add_serve_parser(sub)
     add_testkit_parser(sub)
     return parser
 
@@ -843,6 +848,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "obs":
         return _run_obs(args)
+
+    if args.command == "serve":
+        from ..serve.cli import run_serve
+
+        return run_serve(args)
 
     if args.command == "testkit":
         from ..testkit.cli import run_testkit

@@ -316,6 +316,57 @@ def _sample_cache_benchmarks(n: int, repeat: int) -> tuple[dict, dict]:
     return wall, deterministic
 
 
+def _serve_benchmarks(n: int, repeat: int) -> tuple[dict, dict]:
+    """Multi-tenant serve scheduler: wall throughput + deterministic totals.
+
+    Returns ``(wall, deterministic)`` like the cache section: the wall side
+    times one full bursty 16-tenant run (arrivals, DRR quanta, quality
+    monitors); the deterministic side records the run's simulated clock,
+    step/turn counts, and page totals — pure functions of the seed, gated
+    exactly under the ``serve.*`` rule so a scheduling-order change cannot
+    land silently.
+    """
+    from ..serve.scheduler import ServeConfig, ServeScheduler
+    from ..serve.workload import Workload, WorkloadSpec
+
+    relation = _fresh_relation(n)
+    tree = build_ace_tree(
+        relation, AceBuildParams(key_fields=("k",), height=8, seed=3)
+    )
+    domain = tree.geometry.domain.sides[0]
+    spec = WorkloadSpec(
+        shape="bursty", tenants=16, queries_per_tenant=3, mean_gap=0.001,
+        selectivity=0.2, key_lo=domain.lo, key_hi=domain.hi,
+    )
+    config = ServeConfig(target_epsilon=0.05, max_samples=2_000)
+
+    def serve_once():
+        tree.disk.reset_clock()
+        return ServeScheduler(tree, Workload(spec, seed=7), config).run()
+
+    wall_seconds = _best_of(repeat, lambda: None, lambda _state: serve_once())
+    report = serve_once()
+    totals = report.totals()
+    as_dict = report.as_dict()
+    wall = {
+        "tenants": spec.tenants,
+        "queries": spec.tenants * spec.queries_per_tenant,
+        "wall_seconds": wall_seconds,
+    }
+    deterministic = {
+        "clock_sim_s": report.clock,
+        "steps": report.steps,
+        "turns": report.turns,
+        "pages": totals["pages"],
+        "completed": totals["completed"],
+        "target_hits": totals["target_hits"],
+        "max_waiting": totals["max_waiting"],
+        "tta_p50_sim_s": as_dict["tta_p50_sim_s"],
+        "tta_p99_sim_s": as_dict["tta_p99_sim_s"],
+    }
+    return wall, deterministic
+
+
 def _span_overhead_benchmarks(repeat: int) -> dict:
     """Per-span cost of ``TRACER.span`` on its cheap paths, in ns.
 
@@ -577,6 +628,9 @@ def run_micro(n: int = 20_000, repeat: int = 5, figures: bool = False) -> dict:
     cache_wall, cache_det = _sample_cache_benchmarks(n, repeat)
     results["ace_query_cache"] = cache_wall
     results["sample_cache"] = cache_det
+    serve_wall, serve_det = _serve_benchmarks(n, repeat)
+    results["serve_wall"] = serve_wall
+    results["serve"] = serve_det
     if figures:
         results["figure_sim"] = _figure_benchmarks()
     # The aggregate profile over the whole suite (the last reset happens in

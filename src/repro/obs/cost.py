@@ -133,6 +133,28 @@ class CostAccountant:  # repro: shared[lock=_lock] attribution ledger; every mut
             )
         return reads, writes
 
+    def reads_by_label(self, label: str | None = None) -> dict:
+        """The read ledger keyed by canonical label-set tuple.
+
+        With ``label`` (e.g. ``"tenant"``), the ledger is re-keyed by that
+        one label's value instead — summing every label set carrying it —
+        which is the per-tenant view the serve scheduler audits its own
+        page-budget ledger against (a charge attributed to the wrong
+        tenant breaks this reconciliation even when the global
+        conservation check still balances).
+        """
+        with self._lock:
+            ledger = dict(self._reads)
+        if label is None:
+            return ledger
+        out: dict = {}
+        for label_set, count in ledger.items():
+            for key, value in label_set:
+                if key == label:
+                    out[value] = out.get(value, 0) + count
+                    break
+        return out
+
     def attributed_totals(self) -> tuple[int, int]:
         """``(page_reads, page_writes)`` summed over every label set."""
         with self._lock:

@@ -109,6 +109,10 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     # the seed and the cache's LRU arithmetic (wall timings of the cache
     # workload live under ace_query_cache.* instead).
     MetricRule(r"sample_cache\..*", "exact"),
+    # Serve-scheduler totals: the interleaving is deterministic, so step,
+    # turn, page, and completion counts are pure functions of the seed
+    # (wall timings of the serve workload live under serve_wall.*).
+    MetricRule(r"serve\..*", "exact"),
     # Wall-clock: throughputs up, durations down.
     MetricRule(r".*_per_s", "higher_better"),
     MetricRule(r".*(seconds|_ns_per_span|_ns_per_inc)", "lower_better"),

@@ -316,4 +316,4 @@ class Tracer:
             listener(record)
 
 
-TRACER = Tracer()  # repro: shared[confined] engine-thread span sink; scheduler PR must shard or lock it
+TRACER = Tracer()  # repro: shared[owner=serve.scheduler] span sink; interleaved traversals emit spans only inside the owner's quanta

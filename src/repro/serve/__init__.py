@@ -1,0 +1,30 @@
+"""Deterministic multi-tenant serving layer (ROADMAP item 1).
+
+``python -m repro serve --workload bursty --tenants 100 --seed 7`` runs a
+seeded multi-tenant workload through one shared ACE tree under the
+discrete-event scheduler and reports per-tenant time-to-accuracy, SLO
+burn rates, and the page-budget audit.  See docs/SERVING.md.
+"""
+
+from .scheduler import (
+    QueryRun,
+    ServeConfig,
+    ServeReport,
+    ServeScheduler,
+    TenantState,
+    percentile,
+)
+from .workload import WORKLOAD_SHAPES, ServeRequest, Workload, WorkloadSpec
+
+__all__ = [
+    "QueryRun",
+    "ServeConfig",
+    "ServeReport",
+    "ServeRequest",
+    "ServeScheduler",
+    "TenantState",
+    "WORKLOAD_SHAPES",
+    "Workload",
+    "WorkloadSpec",
+    "percentile",
+]

@@ -1,0 +1,184 @@
+"""Seeded arrival workloads for the multi-tenant serve scheduler.
+
+ROADMAP item 1 asks for "millions-of-users traffic shapes": this module
+generates the per-tenant request traces the scheduler replays.  Everything
+is a pure function of ``(spec, seed)`` through :func:`repro.core.rng.derive_random`,
+so a workload is reproducible from the command line (``--workload bursty
+--tenants 100 --seed 7``) and two same-seed serve runs are bit-identical.
+
+Shapes (per-tenant inter-arrival gap processes):
+
+``steady``
+    Poisson arrivals: exponential gaps with mean ``mean_gap``.
+``bursty``
+    A two-state process: most gaps are short intra-burst exponentials,
+    occasionally a long inter-burst silence — the flash-crowd shape.
+``diurnal``
+    Exponential gaps whose mean swings sinusoidally with simulated time
+    (period ``diurnal_period``), modelling a day/night load curve.
+``heavy-tailed``
+    Pareto gaps (``alpha=1.5``): most arrivals cluster tightly, a few
+    tenants go quiet for a very long time — the self-similar trace shape.
+
+Each shape drives both **open-loop** workloads (arrival times are fixed
+up front, load is independent of server progress) and **closed-loop**
+workloads (each tenant waits for its previous query to complete, then
+thinks for one gap before submitting the next — load self-regulates).
+
+Query bodies are 1-D range predicates over the tree's key domain with a
+fixed selectivity; every query carries its own stream seed, so the record
+sequence a query emits depends only on the query itself — the property
+the solo-vs-interleaved differential oracle (``testkit fuzz --serve``)
+checks the scheduler against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.rng import derive_random
+
+__all__ = ["WORKLOAD_SHAPES", "ServeRequest", "Workload", "WorkloadSpec"]
+
+#: Recognized traffic shapes (the ``--workload`` vocabulary).
+WORKLOAD_SHAPES: tuple[str, ...] = (
+    "steady", "bursty", "diurnal", "heavy-tailed"
+)
+
+#: Pareto shape for heavy-tailed gaps; 1 < alpha < 2 gives finite mean,
+#: infinite variance — the canonical self-similar traffic regime.
+_PARETO_ALPHA = 1.5
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query a tenant submits to the serve scheduler."""
+
+    tenant: str
+    query_id: str
+    lo: float
+    hi: float
+    stream_seed: int
+    #: Submission time (sim seconds) for open-loop workloads; closed-loop
+    #: requests after a tenant's first are submitted at completion + think
+    #: time, which only the scheduler knows.
+    arrival: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that determines a workload, minus the seed."""
+
+    shape: str = "bursty"
+    tenants: int = 8
+    queries_per_tenant: int = 2
+    closed_loop: bool = False
+    #: Mean per-tenant inter-arrival / think gap in simulated seconds.
+    mean_gap: float = 0.05
+    #: Query predicate width as a fraction of the key domain.
+    selectivity: float = 0.05
+    key_lo: float = 0.0
+    key_hi: float = 1.0
+    #: Sinusoidal period of the ``diurnal`` shape (sim seconds).
+    diurnal_period: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.shape not in WORKLOAD_SHAPES:
+            raise ValueError(
+                f"unknown workload shape {self.shape!r}; "
+                f"one of {WORKLOAD_SHAPES}"
+            )
+        if self.tenants < 1:
+            raise ValueError(f"need at least one tenant, got {self.tenants}")
+        if self.queries_per_tenant < 1:
+            raise ValueError(
+                f"need at least one query per tenant, got {self.queries_per_tenant}"
+            )
+        if self.mean_gap <= 0:
+            raise ValueError(f"mean_gap must be positive, got {self.mean_gap}")
+        if not 0 < self.selectivity <= 1:
+            raise ValueError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+        if not self.key_hi > self.key_lo:
+            raise ValueError(
+                f"need key_hi > key_lo, got [{self.key_lo}, {self.key_hi})"
+            )
+
+
+@dataclass
+class Workload:
+    """A materialized workload: requests plus the tenant gap processes.
+
+    Gap streams are consumed lazily (:meth:`next_gap`), one stdlib RNG per
+    tenant derived statelessly from ``(seed, shape, tenant)`` — a tenant's
+    gap sequence never depends on any other tenant or on scheduler
+    progress, which keeps closed-loop runs deterministic too.
+    """
+
+    spec: WorkloadSpec
+    seed: int = 0
+    _gap_rngs: dict = field(default_factory=dict, init=False, repr=False)
+
+    def tenant_names(self) -> list[str]:
+        return [f"t{i}" for i in range(self.spec.tenants)]
+
+    def requests(self, tenant: str) -> list[ServeRequest]:
+        """The tenant's query sequence (bounds + stream seeds, no arrivals)."""
+        spec = self.spec
+        rng = derive_random(self.seed, "serve-queries", tenant)
+        width = spec.selectivity * (spec.key_hi - spec.key_lo)
+        out = []
+        for i in range(spec.queries_per_tenant):
+            lo = spec.key_lo + rng.random() * (spec.key_hi - spec.key_lo - width)
+            out.append(ServeRequest(
+                tenant=tenant,
+                query_id=f"q{i}",
+                lo=lo,
+                hi=lo + width,
+                stream_seed=rng.getrandbits(32),
+            ))
+        return out
+
+    def next_gap(self, tenant: str, now: float) -> float:
+        """Draw the tenant's next inter-arrival (or think) gap at time *now*."""
+        spec = self.spec
+        rng = self._gap_rngs.get(tenant)
+        if rng is None:
+            rng = derive_random(self.seed, "serve-arrivals", spec.shape, tenant)
+            self._gap_rngs[tenant] = rng
+        shape = spec.shape
+        mean = spec.mean_gap
+        if shape == "steady":
+            return rng.expovariate(1.0 / mean)
+        if shape == "bursty":
+            # ~1 in 4 gaps is an inter-burst silence an order of magnitude
+            # longer than the intra-burst spacing; the mix keeps the
+            # long-run mean near ``mean_gap`` while clustering arrivals.
+            if rng.random() < 0.25:
+                return rng.expovariate(1.0 / (3.0 * mean))
+            return rng.expovariate(1.0 / (0.1 * mean))
+        if shape == "diurnal":
+            phase = math.sin(2.0 * math.pi * now / spec.diurnal_period)
+            return rng.expovariate(1.0 / (mean * (1.05 + phase)))
+        # heavy-tailed: Pareto with unit minimum, scaled so the mean of the
+        # gap distribution equals ``mean_gap``.
+        scale = mean * (_PARETO_ALPHA - 1.0) / _PARETO_ALPHA
+        return scale * rng.paretovariate(_PARETO_ALPHA)
+
+    def open_arrivals(self, tenant: str) -> list[ServeRequest]:
+        """The tenant's requests with open-loop arrival times filled in."""
+        clock = 0.0
+        out = []
+        for request in self.requests(tenant):
+            clock += self.next_gap(tenant, clock)
+            out.append(ServeRequest(
+                tenant=request.tenant,
+                query_id=request.query_id,
+                lo=request.lo,
+                hi=request.hi,
+                stream_seed=request.stream_seed,
+                arrival=clock,
+            ))
+        return out

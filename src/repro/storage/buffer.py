@@ -24,7 +24,7 @@ from .recovery import read_page_resilient
 __all__ = ["BufferPool", "DecodeMemo", "RecordPageCache"]
 
 
-class BufferPool:  # repro: shared[confined] one pool per index, touched only by its engine thread
+class BufferPool:  # repro: shared[owner=serve.scheduler] one pool per index, shared by interleaved traversals only inside scheduler quanta
     """Fixed-capacity LRU page cache.
 
     Args:
@@ -103,7 +103,7 @@ class BufferPool:  # repro: shared[confined] one pool per index, touched only by
         self._frames[pid] = data
 
 
-class RecordPageCache:  # repro: shared[confined] one cache per index, touched only by its engine thread
+class RecordPageCache:  # repro: shared[owner=serve.scheduler] one cache per index, shared by interleaved traversals only inside scheduler quanta
     """An LRU cache of *decoded* pages, with buffer-pool cost semantics.
 
     Real engines pin a page once and then read records out of the frame;
@@ -159,7 +159,7 @@ class RecordPageCache:  # repro: shared[confined] one cache per index, touched o
         self.evictions = 0
 
 
-class DecodeMemo:  # repro: shared[confined] cost-transparent memo; single engine thread today, sanitizer-checked
+class DecodeMemo:  # repro: shared[owner=serve.scheduler] cost-transparent memo; sanitizer-checked, mutated only inside scheduler quanta
     """A *cost-transparent* LRU memo of decoded page contents.
 
     :class:`RecordPageCache` models a real buffer pool: a hit changes what

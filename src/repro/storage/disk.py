@@ -63,7 +63,7 @@ class _Extent:
     count: int = field(default=1)
 
 
-class SimulatedDisk:  # repro: shared[confined] the clock itself is single-writer; sharding it is the scheduler PR's core problem
+class SimulatedDisk:  # repro: shared[owner=serve.scheduler] single-writer clock; concurrent traversals access it only inside a serve scheduler quantum
     """Fixed-page-size simulated disk with seek-aware timing.
 
     Args:
@@ -301,6 +301,19 @@ class SimulatedDisk:  # repro: shared[confined] the clock itself is single-write
         self.clock = 0.0
         self.stats = DiskStats()
         self._head = None
+
+    def advance_clock(self, to: float) -> None:
+        """Advance the clock to ``to`` while the disk sits idle.
+
+        The serve scheduler's discrete-event loop calls this when no query
+        is runnable and the next arrival lies in the future: simulated time
+        passes, but the device does nothing — no I/O or CPU time is
+        charged, no counter moves (unlike :meth:`charge_io`, which models
+        busy device time).  A ``to`` at or before the current clock is a
+        no-op; time never runs backwards.
+        """
+        if to > self.clock:
+            self.clock = to
 
     @contextmanager
     def unmetered(self) -> Iterator[None]:

@@ -75,7 +75,7 @@ def _packed_page_images(
     return images, counts
 
 
-class HeapFile:  # repro: shared[confined] append path is build-time, single engine thread
+class HeapFile:  # repro: shared[owner=serve.scheduler] append path is build-time; serve-time reads share it only inside scheduler quanta
     """A paged file of fixed-size records with sequential scan support.
 
     Construct with :meth:`create` (empty, append-friendly) or

@@ -72,7 +72,7 @@ class CacheStats:
         }
 
 
-class SampleCache:  # repro: shared[confined] single-writer LRU today; sanitizer-checked, scheduler PR must lock it
+class SampleCache:  # repro: shared[owner=serve.scheduler] single-writer LRU; sanitizer-checked, mutated only inside the owner's quanta
     """Byte-budgeted LRU of decoded sample cells (cache-aside).
 
     Args:

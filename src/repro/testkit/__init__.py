@@ -26,6 +26,11 @@ automatically instead of waiting for a bad seed:
   fault-injected runs plus a cold-then-warm sample-cache pass, with
   deliberately-broken mutant modes (Combine drops cells; the cache serves
   stale entries) for validating the oracle itself.
+* :mod:`repro.testkit.serve` — the serve-mode twin (``fuzz --serve``):
+  seeded multi-tenant scenarios race the deterministic serve scheduler
+  against solo runs of the same queries (scheduling must never leak
+  into results), plus fairness/accounting checks and the
+  unfair-scheduler/budget-leak mutants (see docs/SERVING.md).
 * :mod:`repro.testkit.cli` — ``python -m repro testkit fuzz|replay``.
 
 See ``docs/TESTING.md`` for the fault taxonomy, the oracle's equivalence
@@ -44,9 +49,22 @@ from .harness import (
 )
 from .generators import Scenario, generate_scenario, make_records
 from .oracle import DifferentialReport, check_stream, reference_matching
+from .serve import (
+    SERVE_MUTATIONS,
+    BudgetLeakScheduler,
+    ServeScenario,
+    ServeVerdict,
+    UnfairScheduler,
+    fairness_bound,
+    fuzz_serve,
+    generate_serve_scenario,
+    replay_serve,
+    run_serve_scenario,
+)
 from .stats import ChiSquareResult, assert_uniform, chi_square, prefix_vs_population
 
 __all__ = [
+    "BudgetLeakScheduler",
     "ChiSquareResult",
     "DifferentialReport",
     "FAULT_KINDS",
@@ -55,17 +73,26 @@ __all__ = [
     "FaultyDisk",
     "FuzzReport",
     "MUTATIONS",
+    "SERVE_MUTATIONS",
     "Scenario",
     "ScenarioVerdict",
+    "ServeScenario",
+    "ServeVerdict",
     "StaleSampleCache",
+    "UnfairScheduler",
     "assert_uniform",
     "check_stream",
     "chi_square",
+    "fairness_bound",
     "fuzz",
+    "fuzz_serve",
     "generate_scenario",
+    "generate_serve_scenario",
     "make_records",
     "prefix_vs_population",
     "reference_matching",
     "replay",
+    "replay_serve",
     "run_scenario",
+    "run_serve_scenario",
 ]

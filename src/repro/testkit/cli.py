@@ -10,7 +10,16 @@ replay payload (JSON) so the exact fault sequence can be re-run::
     python -m repro testkit fuzz --mutation cache-stale    # cache-oracle self-test
     python -m repro testkit fuzz --mutation shared-memo    # sanitizer self-test
     python -m repro testkit fuzz --sanitize-access         # confinement proof
+    python -m repro testkit fuzz --serve                   # solo-vs-interleaved
+    python -m repro testkit fuzz --serve --mutation unfair-scheduler
+    python -m repro testkit fuzz --serve --mutation budget-leak
     python -m repro testkit replay testkit_failure.json
+
+``--serve`` switches to the serve-scheduler oracle
+(:mod:`repro.testkit.serve`): seeded multi-tenant scenarios race the
+deterministic scheduler against isolated sequential runs of the same
+queries.  Serve replay payloads carry ``mode="serve"`` and ``replay``
+dispatches on it automatically.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from pathlib import Path
 from ..obs.flight import write_dump
 from .faults import FaultPlanError
 from .harness import MUTATIONS, fuzz, replay
+from .serve import SERVE_MUTATIONS, fuzz_serve, replay_serve
 
 __all__ = ["add_testkit_parser", "run_testkit"]
 
@@ -44,9 +54,14 @@ def add_testkit_parser(sub) -> None:
                         help="generated scenarios to run (default 20)")
     fuzz_p.add_argument("--no-faults", action="store_true",
                         help="clean runs only: skip the fault-injected phase")
-    fuzz_p.add_argument("--mutation", choices=MUTATIONS, default=None,
-                        help="sabotage the sampler under test (oracle "
-                        "self-test: the run must FAIL)")
+    fuzz_p.add_argument("--serve", action="store_true",
+                        help="fuzz the multi-tenant serve scheduler with the "
+                        "solo-vs-interleaved differential oracle")
+    fuzz_p.add_argument("--mutation", choices=MUTATIONS + SERVE_MUTATIONS,
+                        default=None,
+                        help="sabotage the engine under test (oracle "
+                        "self-test: the run must FAIL); serve mutations "
+                        "require --serve")
     fuzz_p.add_argument("--max-failures", type=int, default=8,
                         help="stop after this many failing cases (default 8)")
     fuzz_p.add_argument("--sanitize-access", action="store_true",
@@ -68,7 +83,16 @@ def _run_fuzz(args) -> int:
         print("testkit fuzz: --iterations and --max-failures must be positive",
               file=sys.stderr)
         return 2
-    report = fuzz(
+    if args.mutation in SERVE_MUTATIONS and not args.serve:
+        print(f"testkit fuzz: --mutation {args.mutation} requires --serve",
+              file=sys.stderr)
+        return 2
+    if args.serve and args.mutation in MUTATIONS:
+        print(f"testkit fuzz: --mutation {args.mutation} is a sampler "
+              "mutation; drop --serve", file=sys.stderr)
+        return 2
+    engine = fuzz_serve if args.serve else fuzz
+    report = engine(
         seed=args.seed,
         iterations=args.iterations,
         with_faults=not args.no_faults,
@@ -112,9 +136,10 @@ def _diff_replay_flight(first: dict) -> None:
     from ..obs.flight import FLIGHT
 
     recorded = first["flight"]["events"]
+    replayer = replay_serve if first.get("mode") == "serve" else replay
     try:
         with FLIGHT.recording():
-            replay(first)
+            replayer(first)
             FLIGHT.trip(first["flight"]["reason"])
             replayed = FLIGHT.snapshot()
     except (ValueError, FaultPlanError, KeyError) as exc:
@@ -137,8 +162,9 @@ def _run_replay(args) -> int:
         print(f"testkit replay: cannot read {args.payload}: {exc}",
               file=sys.stderr)
         return 2
+    replayer = replay_serve if payload.get("mode") == "serve" else replay
     try:
-        verdict, plan = replay(payload)
+        verdict, plan = replayer(payload)
     except (ValueError, FaultPlanError, KeyError) as exc:
         print(f"testkit replay: malformed payload: {exc}", file=sys.stderr)
         return 2

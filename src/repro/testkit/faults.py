@@ -16,6 +16,19 @@ n-th write since the disk was created), a replay against the same workload
 reproduces the identical fault sequence, which is the foundation of the
 ``python -m repro testkit replay`` workflow.
 
+**Scopes (interleaved workloads).**  A single global ordinal couples the
+fault schedule to the exact interleaving of accesses — fatal for the serve
+scheduler, where the order in which tenants hit the disk is a scheduling
+decision, not a property of any one tenant's workload.  :class:`FaultyDisk`
+therefore carries a mutable :attr:`~FaultyDisk.scope` (the serve scheduler
+sets it to the active tenant around every quantum) and counts ordinals
+**per (op, scope)**.  Schedule-mode draws use one RNG stream per
+``(op, scope)`` and replay slots key on ``(op, scope, ordinal)``, so a
+tenant's fault schedule depends only on its own access sequence: the same
+faults fire solo, under any interleaving, and under ``testkit replay``.
+The default scope ``""`` preserves the historical single-stream behaviour
+bit for bit, and scope-less serialized events load unchanged.
+
 The taxonomy (see ``docs/TESTING.md``):
 
 ``transient``
@@ -80,9 +93,10 @@ class FaultEvent:
     """One injected fault, fully determined: replaying it needs no RNG.
 
     ``op`` is ``"read"`` or ``"write"``; ``ordinal`` is the index of the
-    access among all accesses of that op since disk creation.  ``detail``
-    carries the kind-specific parameters (``bit`` for ``corrupt``,
-    ``keep_bytes`` for ``torn``, ``seconds`` for ``latency``).
+    access among all accesses of that op *within its scope* since disk
+    creation (``scope=""`` — the default — is the whole-disk scope).
+    ``detail`` carries the kind-specific parameters (``bit`` for
+    ``corrupt``, ``keep_bytes`` for ``torn``, ``seconds`` for ``latency``).
     """
 
     op: str
@@ -90,12 +104,16 @@ class FaultEvent:
     kind: str
     page: int
     detail: dict = field(default_factory=dict)
+    scope: str = ""
 
     def as_dict(self) -> dict:
         out = {"op": self.op, "ordinal": self.ordinal,
                "kind": self.kind, "page": self.page}
         if self.detail:
             out["detail"] = dict(self.detail)
+        # Omitted when default: scope-less payloads stay v1-identical.
+        if self.scope:
+            out["scope"] = self.scope
         return out
 
     @classmethod
@@ -104,6 +122,7 @@ class FaultEvent:
             return cls(
                 op=obj["op"], ordinal=obj["ordinal"], kind=obj["kind"],
                 page=obj["page"], detail=dict(obj.get("detail", {})),
+                scope=obj.get("scope", ""),
             )
         except (KeyError, TypeError) as exc:
             raise FaultPlanError(f"malformed fault event {obj!r}") from exc
@@ -144,15 +163,14 @@ class FaultPlan:
             if not 0.0 <= rate <= 1.0:
                 raise FaultPlanError(f"rate for {key!r} must be in [0, 1], got {rate}")
         self.events = list(events) if events is not None else None
-        self.injected: list[FaultEvent] = []  # repro: shared[confined] one plan per scenario run
+        self.injected: list[FaultEvent] = []  # repro: shared[owner=serve.scheduler] appended per access; serve runs append only under the scheduler's step quantum
         if self.events is not None:
-            self._by_slot = {(e.op, e.ordinal): e for e in self.events}
+            self._by_slot = {(e.op, e.scope, e.ordinal): e for e in self.events}
         else:
             self._by_slot = None
-        # One private stream per op so read/write interleaving cannot
-        # perturb the draw sequence of the other op.
-        self._read_rng = None
-        self._write_rng = None
+        # One private stream per (op, scope) so neither read/write nor
+        # cross-scope interleaving can perturb another stream's draws.
+        self._streams: dict[tuple[str, str], object] = {}
 
     # -- introspection -----------------------------------------------------
 
@@ -169,20 +187,32 @@ class FaultPlan:
 
     # -- the injection decision --------------------------------------------
 
-    def draw(self, op: str, ordinal: int, page: int, page_size: int) -> FaultEvent | None:
-        """The fault (if any) for access ``(op, ordinal)`` on ``page``.
+    def draw(
+        self, op: str, ordinal: int, page: int, page_size: int, scope: str = ""
+    ) -> FaultEvent | None:
+        """The fault (if any) for access ``(op, scope, ordinal)`` on ``page``.
 
         Deterministic: in replay mode a dictionary lookup; in schedule mode
         exactly one uniform draw per access (plus parameter draws only when
-        a fault fires), from a stream derived solely from the plan seed.
+        a fault fires), from a stream derived solely from the plan seed and
+        the scope — so one scope's schedule is independent of how its
+        accesses interleave with any other scope's.
         """
         if self._by_slot is not None:
-            return self._by_slot.get((op, ordinal))
+            return self._by_slot.get((op, scope, ordinal))
         kinds = [(k, r) for k, r in self.rates.items()
                  if k.startswith(op + ".") and r > 0.0]
         if not kinds:
             return None
-        rng = self._rng_for(op)
+        rng = self._streams.get((op, scope))
+        if rng is None:
+            # The unscoped tags match the historical per-op derivation bit
+            # for bit, so every pre-scope schedule replays unchanged.
+            tags = ("testkit-faults", op) if not scope else (
+                "testkit-faults", op, scope
+            )
+            rng = derive_random(self.seed, *tags)
+            self._streams[(op, scope)] = rng
         u = rng.random()
         acc = 0.0
         for key, rate in kinds:
@@ -190,7 +220,8 @@ class FaultPlan:
             if u < acc:
                 kind = key.split(".", 1)[1]
                 return FaultEvent(op, ordinal, kind, page,
-                                  self._draw_detail(kind, rng, page_size))
+                                  self._draw_detail(kind, rng, page_size),
+                                  scope)
         return None
 
     def record(self, event: FaultEvent) -> None:
@@ -198,15 +229,6 @@ class FaultPlan:
         self.injected.append(event)
         if FLIGHT.enabled:
             FLIGHT.record_fault(event.as_dict())
-
-    def _rng_for(self, op: str):
-        if op == "read":
-            if self._read_rng is None:
-                self._read_rng = derive_random(self.seed, "testkit-faults", "read")
-            return self._read_rng
-        if self._write_rng is None:
-            self._write_rng = derive_random(self.seed, "testkit-faults", "write")
-        return self._write_rng
 
     @staticmethod
     def _draw_detail(kind: str, rng, page_size: int) -> dict:
@@ -261,6 +283,12 @@ class FaultyDisk(SimulatedDisk):
     bit-identical to the parent class.  Setting :attr:`armed` to False
     temporarily disables injection *and* ordinal counting, so a harness can
     exempt a phase (e.g. build) while keeping replay ordinals aligned.
+
+    :attr:`scope` names the stream of accesses currently hitting the disk
+    (``""`` by default).  The serve scheduler sets it to the active tenant
+    for the duration of each scheduling quantum; ordinals are counted per
+    ``(op, scope)``, decoupling every tenant's fault schedule from the
+    interleaving.
     """
 
     can_fault = True
@@ -275,14 +303,18 @@ class FaultyDisk(SimulatedDisk):
         super().__init__(page_size, cost, checksums)
         self.plan = plan if plan is not None else FaultPlan()
         self.armed = True
-        self._read_ordinal = 0
-        self._write_ordinal = 0
+        #: Ordinal namespace for subsequent accesses (set by the scheduler).
+        self.scope = ""
+        self._read_ordinals: dict[str, int] = {}
+        self._write_ordinals: dict[str, int] = {}
 
     def read_page(self, pid: int) -> bytes:
         if not (self.armed and self.plan.active):
             return super().read_page(pid)
-        event = self.plan.draw("read", self._read_ordinal, pid, self.page_size)
-        self._read_ordinal += 1
+        scope = self.scope
+        ordinal = self._read_ordinals.get(scope, 0)
+        self._read_ordinals[scope] = ordinal + 1
+        event = self.plan.draw("read", ordinal, pid, self.page_size, scope)
         if event is None:
             return super().read_page(pid)
         if event.kind == "latency":
@@ -322,8 +354,10 @@ class FaultyDisk(SimulatedDisk):
         if not (self.armed and self.plan.active):
             super().write_page(pid, data)
             return
-        event = self.plan.draw("write", self._write_ordinal, pid, self.page_size)
-        self._write_ordinal += 1
+        scope = self.scope
+        ordinal = self._write_ordinals.get(scope, 0)
+        self._write_ordinals[scope] = ordinal + 1
+        event = self.plan.draw("write", ordinal, pid, self.page_size, scope)
         if event is None:
             super().write_page(pid, data)
             return

@@ -1,0 +1,108 @@
+"""Seeded serve workloads: determinism, shape validity, spec validation."""
+
+import pytest
+
+from repro.serve.workload import (
+    WORKLOAD_SHAPES,
+    Workload,
+    WorkloadSpec,
+)
+
+
+def _spec(**over):
+    base = dict(shape="bursty", tenants=4, queries_per_tenant=3,
+                mean_gap=0.01, selectivity=0.2, key_lo=0.0, key_hi=100.0)
+    base.update(over)
+    return WorkloadSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_requests_and_arrivals(self):
+        runs = []
+        for _ in range(2):
+            w = Workload(_spec(), seed=7)
+            runs.append([
+                (w.requests(t), w.open_arrivals(t))
+                for t in w.tenant_names()
+            ])
+        assert runs[0] == runs[1]
+
+    def test_seed_changes_the_workload(self):
+        a = Workload(_spec(), seed=1).open_arrivals("t0")
+        b = Workload(_spec(), seed=2).open_arrivals("t0")
+        assert a != b
+
+    def test_gap_streams_are_per_tenant(self):
+        # A tenant's gap sequence must not depend on who drew before it —
+        # the property that keeps closed-loop runs deterministic.
+        solo = Workload(_spec(), seed=5)
+        solo_gaps = [solo.next_gap("t1", 0.0) for _ in range(10)]
+        mixed = Workload(_spec(), seed=5)
+        mixed_gaps = []
+        for _ in range(10):
+            mixed.next_gap("t0", 0.0)
+            mixed_gaps.append(mixed.next_gap("t1", 0.0))
+            mixed.next_gap("t2", 0.0)
+        assert solo_gaps == mixed_gaps
+
+    def test_tenants_get_distinct_queries(self):
+        w = Workload(_spec(), seed=3)
+        assert w.requests("t0") != w.requests("t1")
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", WORKLOAD_SHAPES)
+    def test_gaps_positive_and_finite(self, shape):
+        w = Workload(_spec(shape=shape), seed=11)
+        gaps = [w.next_gap("t0", i * 0.01) for i in range(200)]
+        assert all(0.0 < g < 1e6 for g in gaps)
+
+    @pytest.mark.parametrize("shape", WORKLOAD_SHAPES)
+    def test_open_arrivals_strictly_increase(self, shape):
+        w = Workload(_spec(shape=shape, queries_per_tenant=5), seed=2)
+        for tenant in w.tenant_names():
+            arrivals = [r.arrival for r in w.open_arrivals(tenant)]
+            assert arrivals == sorted(arrivals)
+            assert all(a > 0 for a in arrivals)
+
+    def test_bursty_clusters_arrivals(self):
+        # Intra-burst gaps are an order of magnitude below the mean; the
+        # shape is pointless if the short mode never fires.
+        w = Workload(_spec(shape="bursty", mean_gap=1.0), seed=9)
+        gaps = [w.next_gap("t0", 0.0) for _ in range(300)]
+        assert min(gaps) < 0.5 < max(gaps)
+
+
+class TestQueries:
+    def test_bounds_inside_domain_with_fixed_width(self):
+        spec = _spec(selectivity=0.25, key_lo=10.0, key_hi=50.0)
+        w = Workload(spec, seed=4)
+        width = 0.25 * 40.0
+        for tenant in w.tenant_names():
+            for request in w.requests(tenant):
+                assert 10.0 <= request.lo < request.hi <= 50.0 + 1e-9
+                assert request.hi - request.lo == pytest.approx(width)
+
+    def test_each_query_carries_its_own_stream_seed(self):
+        w = Workload(_spec(queries_per_tenant=4), seed=6)
+        seeds = [r.stream_seed for t in w.tenant_names()
+                 for r in w.requests(t)]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestSpecValidation:
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload shape"):
+            _spec(shape="meteor")
+
+    @pytest.mark.parametrize("over", [
+        {"tenants": 0},
+        {"queries_per_tenant": 0},
+        {"mean_gap": 0.0},
+        {"selectivity": 0.0},
+        {"selectivity": 1.5},
+        {"key_lo": 5.0, "key_hi": 5.0},
+    ])
+    def test_bad_numbers_rejected(self, over):
+        with pytest.raises(ValueError):
+            _spec(**over)

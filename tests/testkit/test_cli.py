@@ -95,3 +95,58 @@ class TestReplayExitCodes:
         capsys.readouterr()
         assert main(["testkit", "replay", str(out)]) == 1
         assert "verdict differs" in capsys.readouterr().err
+
+
+class TestServeFuzzExitCodes:
+    def _serve_fuzz(self, tmp_path, *extra):
+        out = tmp_path / "serve_failure.json"
+        argv = ["testkit", "fuzz", "--serve", "--seed", "0",
+                "--iterations", "1", "--no-faults", "--out", str(out), *extra]
+        return main(argv), out
+
+    def test_clean_serve_fuzz_exits_zero(self, tmp_path, capsys):
+        status, out = self._serve_fuzz(tmp_path)
+        assert status == 0
+        assert not out.exists()
+        assert "all oracle checks passed" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("mutation,marker", [
+        ("unfair-scheduler", "fairness:"),
+        ("budget-leak", "budget-audit:"),
+    ])
+    def test_serve_mutants_exit_one_with_payload(self, tmp_path, capsys,
+                                                 mutation, marker):
+        status, out = self._serve_fuzz(tmp_path, "--mutation", mutation,
+                                       "--max-failures", "1")
+        assert status == 1
+        assert marker in capsys.readouterr().err
+        payload = json.loads(out.read_text())
+        assert payload["mode"] == "serve"
+        assert payload["mutation"] == mutation
+
+    def test_serve_mutation_without_serve_flag_exits_two(self, tmp_path,
+                                                         capsys):
+        out = tmp_path / "x.json"
+        status = main(["testkit", "fuzz", "--mutation", "unfair-scheduler",
+                       "--out", str(out)])
+        assert status == 2
+        assert "requires --serve" in capsys.readouterr().err
+
+    def test_sampler_mutation_with_serve_flag_exits_two(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "x.json"
+        status = main(["testkit", "fuzz", "--serve", "--mutation",
+                       "combine-drop", "--out", str(out)])
+        assert status == 2
+        assert "drop --serve" in capsys.readouterr().err
+
+    def test_serve_replay_reproduces_exactly(self, tmp_path, capsys):
+        status, out = self._serve_fuzz(tmp_path, "--mutation",
+                                       "unfair-scheduler",
+                                       "--max-failures", "1")
+        assert status == 1 and out.exists()
+        capsys.readouterr()
+        assert main(["testkit", "replay", str(out)]) == 1
+        captured = capsys.readouterr()
+        assert "reproduced the recorded verdict exactly" in captured.out
+        assert "DRIFT" not in captured.err

@@ -104,7 +104,7 @@ class TestCleanRunBitIdentical:
         disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256), plan=plan)
         start = _write_pages(disk)
         disk.read_page(start)
-        assert plan._read_rng is None and plan._write_rng is None
+        assert not plan._streams
         assert plan.injected == []
 
 
@@ -298,3 +298,94 @@ class TestUnmeteredUnderFaults:
         disk = SimulatedDisk(page_size=256)
         with pytest.raises(ValueError):
             disk.charge_io(-0.1)
+
+
+class TestScopedStreams:
+    """Per-(op, scope) fault streams — the serve scheduler's parity bedrock.
+
+    A tenant's fault schedule must depend only on its own access ordinals,
+    never on how its reads interleave with other tenants'.  That is what
+    lets the serve oracle compare an interleaved run against solo runs
+    fault for fault (see ``repro.testkit.serve``).
+    """
+
+    def test_scope_draws_independent_of_interleaving(self):
+        rates = {"read.transient": 0.3, "read.latency": 0.2}
+        solo = FaultPlan(seed=11, rates=rates)
+        solo_draws = [solo.draw("read", i, i, 256, scope="a")
+                      for i in range(40)]
+        mixed = FaultPlan(seed=11, rates=rates)
+        mixed_draws = []
+        for i in range(40):
+            # Interleave a foreign scope's accesses between every draw.
+            mixed.draw("read", 2 * i, i, 256, scope="b")
+            mixed_draws.append(mixed.draw("read", i, i, 256, scope="a"))
+            mixed.draw("read", 2 * i + 1, i, 256, scope="b")
+        assert solo_draws == mixed_draws
+        assert any(e is not None for e in solo_draws)
+
+    def test_default_scope_matches_pre_scope_stream(self):
+        # scope="" must reproduce the historical single-stream derivation
+        # bit for bit, so every pre-scope schedule replays unchanged.
+        rates = {"read.transient": 0.3}
+        a = FaultPlan(seed=5, rates=rates)
+        b = FaultPlan(seed=5, rates=rates)
+        assert ([a.draw("read", i, i, 256) for i in range(30)]
+                == [b.draw("read", i, i, 256, scope="") for i in range(30)])
+
+    def test_replay_slots_keyed_by_scope(self):
+        event = FaultEvent("read", 1, "transient", 7, scope="t1")
+        plan = FaultPlan(events=[event])
+        assert plan.draw("read", 1, 7, 256, scope="t0") is None
+        assert plan.draw("read", 1, 7, 256) is None
+        assert plan.draw("read", 1, 7, 256, scope="t1") == event
+
+    def test_scope_round_trips_and_default_stays_v1(self):
+        scoped = FaultEvent("read", 2, "latency", 3, {"seconds": 0.1},
+                            scope="t4")
+        assert FaultEvent.from_dict(scoped.as_dict()) == scoped
+        unscoped = FaultEvent("read", 2, "latency", 3, {"seconds": 0.1})
+        assert "scope" not in unscoped.as_dict()
+        assert FaultEvent.from_dict(unscoped.as_dict()) == unscoped
+
+    def test_disk_ordinals_counted_per_scope(self):
+        # One transient at (read, t1, ordinal 0): t0's reads must not
+        # consume t1's ordinal slots.
+        plan = FaultPlan(events=[FaultEvent("read", 0, "transient", 0,
+                                            scope="t1")])
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=plan)
+        start = _write_pages(disk)
+        disk.scope = "t0"
+        disk.read_page(start)       # t0 ordinal 0: clean
+        disk.scope = "t1"
+        with pytest.raises(TransientPageError):
+            disk.read_page(start)   # t1 ordinal 0: injected
+        assert [e.scope for e in plan.injected] == ["t1"]
+
+    def test_disarmed_disk_does_not_advance_ordinals(self):
+        # Build-time accesses (armed=False) must be exempt from ordinal
+        # accounting, or arming afterwards would shift the whole schedule.
+        plan = FaultPlan(events=[FaultEvent("read", 0, "transient", 0)])
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=plan)
+        disk.armed = False
+        start = _write_pages(disk, 2)
+        disk.read_page(start)
+        disk.armed = True
+        with pytest.raises(TransientPageError):
+            disk.read_page(start)   # still ordinal 0
+        assert len(plan.injected) == 1
+
+    def test_touch_page_is_a_timed_faultable_read(self):
+        # Memo-backed touches must stay access-for-access identical to real
+        # reads: same ordinals, same fault draws, same clock charges.
+        plan = FaultPlan(events=[FaultEvent("read", 1, "transient", 0)])
+        disk = FaultyDisk(page_size=256, cost=CostModel.scaled(256),
+                          plan=plan)
+        start = _write_pages(disk, 2)
+        disk.read_page(start)           # ordinal 0: clean
+        clock_before = disk.clock
+        with pytest.raises(TransientPageError):
+            disk.touch_page(start)      # ordinal 1: injected
+        assert disk.clock > clock_before
